@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Ablation: page-mapping policy sensitivity of the FS pipelines
+ * (Section 1 notes that "various page mapping policies can impact
+ * the throughput of our secure memory system"). Open-page row-major
+ * mapping concentrates a thread's consecutive misses in one bank,
+ * which at low core counts (Q < 43) collides with the same-bank
+ * reuse hazard and forces dummy insertions; close-page striping
+ * spreads them. The effect shrinks as Q grows past 43.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+#include "cpu/workload.hh"
+
+using namespace memsec;
+using namespace memsec::bench;
+
+int
+main()
+{
+    setQuiet(true);
+    const std::vector<std::string> workloads = {"libquantum", "milc",
+                                                "mcf"};
+    std::cout << "== Ablation: FS_RP page-mapping policy "
+                 "(sum of weighted IPCs) ==\n";
+    Table t;
+    t.header({"cores", "workload", "open-page", "close-page",
+              "close/open"});
+    for (unsigned cores : {2u, 4u, 8u}) {
+        const Config base = baseConfig(cores);
+        for (const auto &wl : workloads) {
+            std::cerr << "abl_mapping: " << cores << " cores, " << wl
+                      << "\n";
+            const auto baseIpc = harness::baselineIpc(wl, base);
+            double v[2];
+            int i = 0;
+            for (const char *il : {"open", "close"}) {
+                Config c = base;
+                c.merge(harness::schemeConfig("fs_rp"));
+                c.set("map.interleave", il);
+                c.set("workload", wl);
+                v[i++] =
+                    harness::runExperiment(c).weightedIpc(baseIpc);
+            }
+            t.row({std::to_string(cores), wl, Table::num(v[0], 3),
+                   Table::num(v[1], 3), Table::num(v[1] / v[0], 2)});
+        }
+    }
+    t.print(std::cout);
+    std::cout << "\ncsv:\n";
+    t.printCsv(std::cout);
+    return 0;
+}

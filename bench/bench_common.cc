@@ -1,0 +1,102 @@
+#include "bench_common.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+#include "cpu/workload.hh"
+#include "util/logging.hh"
+
+namespace memsec::bench {
+
+RunScale
+RunScale::fromEnv()
+{
+    RunScale s;
+    if (const char *m = std::getenv("MEMSEC_MEASURE"))
+        s.measure = std::strtoull(m, nullptr, 10);
+    if (const char *w = std::getenv("MEMSEC_WARMUP"))
+        s.warmup = std::strtoull(w, nullptr, 10);
+    if (std::getenv("MEMSEC_QUICK")) {
+        s.measure /= 4;
+        s.warmup /= 4;
+    }
+    return s;
+}
+
+Config
+baseConfig(unsigned cores)
+{
+    Config c = harness::defaultConfig();
+    const RunScale s = RunScale::fromEnv();
+    c.set("cores", cores);
+    c.set("sim.warmup", s.warmup);
+    c.set("sim.measure", s.measure);
+    return c;
+}
+
+std::vector<SuiteRow>
+runSuite(const std::vector<std::string> &schemes,
+         const std::vector<std::string> &workloads, const Config &base)
+{
+    std::vector<SuiteRow> rows;
+    for (const auto &wl : workloads) {
+        SuiteRow row;
+        row.workload = wl;
+        std::cerr << "  [" << wl << "] baseline" << std::flush;
+        const std::vector<double> baseIpc =
+            harness::baselineIpc(wl, base);
+        for (const auto &scheme : schemes) {
+            std::cerr << " " << scheme << std::flush;
+            Config c = base;
+            c.merge(harness::schemeConfig(scheme));
+            c.set("workload", wl);
+            harness::ExperimentResult r = harness::runExperiment(c);
+            row.weightedIpc[scheme] = r.weightedIpc(baseIpc);
+            row.results.emplace(scheme, std::move(r));
+        }
+        std::cerr << "\n";
+        rows.push_back(std::move(row));
+    }
+    return rows;
+}
+
+double
+suiteMean(const std::vector<SuiteRow> &rows, const std::string &scheme)
+{
+    if (rows.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (const auto &r : rows)
+        sum += r.weightedIpc.at(scheme);
+    return sum / static_cast<double>(rows.size());
+}
+
+void
+printFigure(const std::string &title, const std::vector<SuiteRow> &rows,
+            const std::vector<std::string> &schemes,
+            const std::string &metricNote)
+{
+    std::cout << "\n== " << title << " ==\n";
+    if (!metricNote.empty())
+        std::cout << metricNote << "\n";
+    Table t;
+    std::vector<std::string> hdr = {"workload"};
+    hdr.insert(hdr.end(), schemes.begin(), schemes.end());
+    t.header(hdr);
+    for (const auto &r : rows) {
+        std::vector<double> vals;
+        for (const auto &s : schemes)
+            vals.push_back(r.weightedIpc.at(s));
+        t.rowNumeric(r.workload, vals);
+    }
+    std::vector<double> am;
+    for (const auto &s : schemes)
+        am.push_back(suiteMean(rows, s));
+    t.rowNumeric("AM", am);
+    t.print(std::cout);
+    std::cout << "\ncsv:\n";
+    t.printCsv(std::cout);
+}
+
+} // namespace memsec::bench

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Shared infrastructure for the figure-regeneration harnesses.
+ *
+ * Each bench binary regenerates one table/figure of the paper: it
+ * sweeps the relevant schemes/parameters over the Section 6 workload
+ * suite, normalises against the non-secure baseline exactly as the
+ * paper does (sum of per-thread IPCs normalised to that thread's
+ * baseline IPC), and prints both an aligned table and CSV.
+ *
+ * Environment knobs (all benches):
+ *   MEMSEC_MEASURE  measured memory cycles per run (default 120000)
+ *   MEMSEC_WARMUP   warmup memory cycles per run   (default 15000)
+ *   MEMSEC_QUICK    if set, quarters the run length (CI smoke mode)
+ */
+
+#ifndef MEMSEC_BENCH_COMMON_HH
+#define MEMSEC_BENCH_COMMON_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.hh"
+#include "util/logging.hh"
+#include "util/table.hh"
+
+namespace memsec::bench {
+
+/** Run-length configuration from the environment. */
+struct RunScale
+{
+    Cycle warmup = 15000;
+    Cycle measure = 120000;
+
+    static RunScale fromEnv();
+};
+
+/** Base config: Table 1 system + env-scaled run length. */
+Config baseConfig(unsigned cores = 8);
+
+/** One workload row of a figure: weighted IPC per scheme. */
+struct SuiteRow
+{
+    std::string workload;
+    std::map<std::string, double> weightedIpc;
+    std::map<std::string, harness::ExperimentResult> results;
+};
+
+/**
+ * Run `schemes` over `workloads`, normalising weighted IPC against a
+ * fresh baseline run per workload. Prints progress on stderr.
+ */
+std::vector<SuiteRow> runSuite(const std::vector<std::string> &schemes,
+                               const std::vector<std::string> &workloads,
+                               const Config &base);
+
+/** Arithmetic mean across rows for one scheme. */
+double suiteMean(const std::vector<SuiteRow> &rows,
+                 const std::string &scheme);
+
+/** Print a figure table: workloads down, schemes across, plus AM. */
+void printFigure(const std::string &title,
+                 const std::vector<SuiteRow> &rows,
+                 const std::vector<std::string> &schemes,
+                 const std::string &metricNote);
+
+} // namespace memsec::bench
+
+#endif // MEMSEC_BENCH_COMMON_HH

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Figure 3: summary of the design-point trade-off space — relative
+ * performance of baseline, FS and TP under no/bank/rank partitioning.
+ * Values are AM weighted IPC over the suite divided by the core
+ * count, i.e. throughput relative to the non-secure baseline (1.0).
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+#include "cpu/workload.hh"
+
+using namespace memsec;
+using namespace memsec::bench;
+
+int
+main()
+{
+    setQuiet(true);
+    const std::vector<std::string> schemes = {
+        "channel_part", "fs_rp", "fs_reordered_bp", "tp_bp", "fs_np",
+        "fs_np_triple", "tp_np"};
+    std::cerr << "fig03: design-point summary\n";
+    const auto rows = runSuite(schemes, cpu::evaluationSuite(),
+                               baseConfig(8));
+
+    struct Point
+    {
+        const char *label;
+        const char *partitioning;
+        const char *scheme; // nullptr = baseline
+        double paper;
+    };
+    const Point points[] = {
+        {"NON-SECURE BASELINE", "any", nullptr, 1.00},
+        {"PRIVATE CHANNELS (non-secure sched)", "channel",
+         "channel_part", -1.0},
+        {"FS", "rank", "fs_rp", 0.74},
+        {"FS: RD/WR-REORDER", "bank", "fs_reordered_bp", 0.48},
+        {"TP", "bank", "tp_bp", 0.43},
+        {"FS: TRIPLE ALTERNATION", "none", "fs_np_triple", 0.40},
+        {"FS (basic)", "none", "fs_np", 0.20},
+        {"TP", "none", "tp_np", 0.20},
+    };
+
+    std::cout << "\n== Figure 3: baseline, prior work (TP), and new FS "
+                 "design points ==\n";
+    Table t;
+    t.header({"design point", "partitioning", "paper", "measured"});
+    for (const auto &p : points) {
+        const double measured =
+            p.scheme ? suiteMean(rows, p.scheme) / 8.0 : 1.0;
+        t.row({p.label, p.partitioning,
+               p.paper > 0 ? Table::num(p.paper, 2) : "-",
+               Table::num(measured, 3)});
+    }
+    t.print(std::cout);
+    std::cout << "\ncsv:\n";
+    t.printCsv(std::cout);
+    return 0;
+}

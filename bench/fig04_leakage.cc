@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Figure 4: execution profiles for mcf with and without the FS
+ * scheduler, against non-memory-intensive and memory-intensive
+ * co-runners. Under the baseline the two curves diverge (the
+ * attacker can read the co-runners' intensity); under FS they are
+ * bit-identical.
+ */
+
+#include <algorithm>
+#include <iostream>
+
+#include "bench_common.hh"
+#include "core/noninterference.hh"
+
+using namespace memsec;
+using namespace memsec::bench;
+
+namespace {
+
+core::VictimTimeline
+profile(const std::string &scheme, const std::string &corunner)
+{
+    Config c = baseConfig(8);
+    c.merge(harness::schemeConfig(scheme));
+    std::string wl = "mcf";
+    for (int i = 0; i < 7; ++i)
+        wl += "," + corunner;
+    c.set("workload", wl);
+    c.set("sim.warmup", 0);
+    // Longer run and finer checkpoints than the other figures: the
+    // whole point is the shape of the progress curve.
+    c.set("sim.measure", 4 * c.getUint("sim.measure", 120000));
+    c.set("audit.core", 0);
+    c.set("audit.progress_interval", 2000);
+    return harness::runExperiment(c).timelines.at(0);
+}
+
+} // namespace
+
+int
+main()
+{
+    setQuiet(true);
+    std::cerr << "fig04: mcf execution profiles (4 runs)\n";
+    const auto baseQuiet = profile("baseline", "idle");
+    const auto baseNoisy = profile("baseline", "hog");
+    const auto fsQuiet = profile("fs_rp", "idle");
+    const auto fsNoisy = profile("fs_rp", "hog");
+
+    std::cout << "\n== Figure 4: execution profiles for mcf ==\n";
+    std::cout << "columns: CPU cycles to complete N x 2k "
+                 "instructions\n";
+    Table t;
+    t.header({"x2k-instr", "base+idle", "base+hog", "FS+idle",
+              "FS+hog"});
+    const size_t n =
+        std::min({baseQuiet.progress.size(), baseNoisy.progress.size(),
+                  fsQuiet.progress.size(), fsNoisy.progress.size()});
+    const size_t step = n > 40 ? n / 40 : 1;
+    for (size_t i = 0; i < n; i += step) {
+        t.row({std::to_string(i + 1),
+               std::to_string(baseQuiet.progress[i]),
+               std::to_string(baseNoisy.progress[i]),
+               std::to_string(fsQuiet.progress[i]),
+               std::to_string(fsNoisy.progress[i])});
+    }
+    t.print(std::cout);
+
+    const auto baseAudit =
+        core::compareTimelines(baseQuiet, baseNoisy);
+    const auto fsAudit = core::compareTimelines(fsQuiet, fsNoisy);
+    std::cout << "\nbaseline curves diverge: "
+              << (baseAudit.identical ? "NO (unexpected!)" : "yes")
+              << " (max progress skew "
+              << Table::num(baseAudit.maxProgressSkewPct, 1) << "%)\n";
+    std::cout << "FS curves identical:     "
+              << (fsAudit.identical ? "yes (zero leakage)"
+                                    : "NO (unexpected!): " +
+                                          fsAudit.detail)
+              << "\n";
+    std::cout << "\ncsv:\n";
+    t.printCsv(std::cout);
+    return fsAudit.identical && !baseAudit.identical ? 0 : 1;
+}

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Figure 5: Temporal Partitioning turn-length sweep — bank-partitioned
+ * turns of 60/100/156 cycles and unpartitioned turns of 172/212/268
+ * cycles, weighted IPC per workload. Paper shape: the minimum turn
+ * length wins nearly everywhere (wait time dominates bandwidth).
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+#include "cpu/workload.hh"
+
+using namespace memsec;
+using namespace memsec::bench;
+
+int
+main()
+{
+    setQuiet(true);
+    struct TpPoint
+    {
+        std::string label;
+        std::string baseScheme;
+        unsigned turn;
+    };
+    const std::vector<TpPoint> points = {
+        {"T_TURN_BP_60", "tp_bp", 60},   {"T_TURN_BP_100", "tp_bp", 100},
+        {"T_TURN_BP_156", "tp_bp", 156}, {"T_TURN_NP_172", "tp_np", 172},
+        {"T_TURN_NP_212", "tp_np", 212}, {"T_TURN_NP_268", "tp_np", 268},
+    };
+
+    const Config base = baseConfig(8);
+    const auto workloads = cpu::evaluationSuite();
+
+    std::cout << "== Figure 5: TP with varying turn lengths "
+                 "(sum of weighted IPCs; baseline = 8.0) ==\n";
+    Table t;
+    std::vector<std::string> hdr = {"workload"};
+    for (const auto &p : points)
+        hdr.push_back(p.label);
+    t.header(hdr);
+
+    std::vector<double> am(points.size(), 0.0);
+    for (const auto &wl : workloads) {
+        std::cerr << "  [" << wl << "]" << std::flush;
+        const auto baseIpc = harness::baselineIpc(wl, base);
+        std::vector<double> vals;
+        for (size_t i = 0; i < points.size(); ++i) {
+            std::cerr << " " << points[i].label << std::flush;
+            Config c = base;
+            c.merge(harness::schemeConfig(points[i].baseScheme));
+            c.set("tp.turn", points[i].turn);
+            c.set("workload", wl);
+            const double w =
+                harness::runExperiment(c).weightedIpc(baseIpc);
+            vals.push_back(w);
+            am[i] += w;
+        }
+        std::cerr << "\n";
+        t.rowNumeric(wl, vals);
+    }
+    for (auto &v : am)
+        v /= static_cast<double>(workloads.size());
+    t.rowNumeric("AM", am);
+    t.print(std::cout);
+
+    std::cout << "\npaper shape check: minimum turn lengths are best "
+                 "on average (wait time dominates bandwidth)\n";
+    std::cout << "  BP: 60 vs 156 -> " << Table::num(am[0], 3) << " vs "
+              << Table::num(am[2], 3)
+              << (am[0] > am[2] ? "  (minimum wins)" : "  (differs)")
+              << "\n";
+    std::cout << "  NP: 172 vs 268 -> " << Table::num(am[3], 3)
+              << " vs " << Table::num(am[5], 3)
+              << (am[3] > am[5] ? "  (minimum wins)" : "  (differs)")
+              << "\n";
+    std::cout << "\ncsv:\n";
+    t.printCsv(std::cout);
+    return 0;
+}

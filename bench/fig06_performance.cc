@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Figure 6: weighted IPC of the five secure design points over the
+ * full workload suite (8 cores). Paper shape: FS_RP highest, then
+ * FS_Reordered_BP, then TP_BP, then FS_NP_Optimized (triple
+ * alternation), then TP_NP; the non-secure baseline is 8.0 by
+ * construction of the metric.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+#include "cpu/workload.hh"
+
+using namespace memsec;
+using namespace memsec::bench;
+
+int
+main()
+{
+    setQuiet(true);
+    const std::vector<std::string> schemes = {
+        "fs_rp", "fs_reordered_bp", "tp_bp", "fs_np_triple", "tp_np"};
+    std::cerr << "fig06: performance for 8-core FS and TP\n";
+    const auto rows = runSuite(schemes, cpu::evaluationSuite(),
+                               baseConfig(8));
+    printFigure("Figure 6: Performance for 8-core FS and TP "
+                "(sum of weighted IPCs; baseline = 8.0)",
+                rows, schemes, "");
+
+    std::cout << "\npaper reference (relative to baseline): "
+                 "FS_RP ~0.73, FS_Reordered_BP ~0.48, TP_BP ~0.43, "
+                 "FS_NP_Triple ~0.40, TP_NP ~0.20\n";
+    std::cout << "measured  (relative to baseline):";
+    for (const auto &s : schemes)
+        std::cout << " " << s << "=" << Table::num(
+            suiteMean(rows, s) / 8.0, 3);
+    std::cout << "\n";
+    return 0;
+}

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Figure 10: scalability of rank/bank-partitioned FS and
+ * bank-partitioned TP at 8, 4, and 2 cores (as many ranks as cores
+ * participate in partitioning). Paper shape: FS out-performs TP by
+ * ~85% at 4 cores and ~18% at 2 cores; at low core counts FS_RP
+ * additionally fights the same-bank back-to-back hazard (Q < 43).
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+#include "cpu/workload.hh"
+
+using namespace memsec;
+using namespace memsec::bench;
+
+int
+main()
+{
+    setQuiet(true);
+    const std::vector<std::string> schemes = {"fs_rp",
+                                              "fs_reordered_bp",
+                                              "tp_bp"};
+    const auto workloads = cpu::evaluationSuite();
+
+    std::cout << "== Figure 10: performance vs core count "
+                 "(AM of weighted IPC; baseline = core count) ==\n";
+    Table t;
+    t.header({"cores", "FS_RP", "FS_Reordered_BP", "TP", "FS/TP"});
+
+    for (unsigned cores : {8u, 4u, 2u}) {
+        std::cerr << "fig10: " << cores << " cores\n";
+        const Config base = baseConfig(cores);
+        std::vector<double> am(schemes.size(), 0.0);
+        for (const auto &wl : workloads) {
+            std::cerr << "  [" << wl << "]" << std::flush;
+            const auto baseIpc = harness::baselineIpc(wl, base);
+            for (size_t i = 0; i < schemes.size(); ++i) {
+                std::cerr << " " << schemes[i] << std::flush;
+                Config c = base;
+                c.merge(harness::schemeConfig(schemes[i]));
+                c.set("workload", wl);
+                am[i] +=
+                    harness::runExperiment(c).weightedIpc(baseIpc);
+            }
+            std::cerr << "\n";
+        }
+        for (auto &v : am)
+            v /= static_cast<double>(workloads.size());
+        t.row({std::to_string(cores), Table::num(am[0], 3),
+               Table::num(am[1], 3), Table::num(am[2], 3),
+               Table::num(am[0] / am[2], 2)});
+    }
+    t.print(std::cout);
+    std::cout << "\npaper reference: FS beats TP by ~85% at 4 cores "
+                 "and ~18% at 2 cores\n";
+    std::cout << "\ncsv:\n";
+    t.printCsv(std::cout);
+    return 0;
+}

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks for the simulator's hot paths:
+ * the pipeline solver, the timing checker, the DRAM issue path, the
+ * schedulers' per-cycle work, and an end-to-end experiment tick rate.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/pipeline_solver.hh"
+#include "cpu/trace.hh"
+#include "cpu/workload.hh"
+#include "harness/experiment.hh"
+#include "mem/memory_controller.hh"
+#include "sched/frfcfs.hh"
+#include "sched/fs.hh"
+#include "util/logging.hh"
+
+using namespace memsec;
+
+namespace {
+
+void
+BM_SolverSolveAll(benchmark::State &state)
+{
+    const auto tp = dram::TimingParams::ddr3_1600_4gb();
+    for (auto _ : state) {
+        core::PipelineSolver solver(tp);
+        for (auto level :
+             {core::PartitionLevel::Rank, core::PartitionLevel::Bank,
+              core::PartitionLevel::None}) {
+            benchmark::DoNotOptimize(solver.solveBest(level));
+        }
+    }
+}
+BENCHMARK(BM_SolverSolveAll);
+
+void
+BM_TimingCheckerObserve(benchmark::State &state)
+{
+    const auto tp = dram::TimingParams::ddr3_1600_4gb();
+    dram::TimingChecker ck(tp, 8, 8);
+    Cycle t = 0;
+    unsigned rank = 0;
+    for (auto _ : state) {
+        dram::Command act{dram::CmdType::Act, rank, 0, 1, 0, false};
+        ck.observe(act, t);
+        dram::Command rd{dram::CmdType::RdA, rank, 0, 1, 0, false};
+        ck.observe(rd, t + tp.rcd);
+        t += 56;
+        rank = (rank + 1) % 8;
+    }
+    state.SetItemsProcessed(state.iterations() * 2);
+}
+BENCHMARK(BM_TimingCheckerObserve);
+
+void
+BM_DramIssueReadLoop(benchmark::State &state)
+{
+    const auto tp = dram::TimingParams::ddr3_1600_4gb();
+    dram::DramSystem sys(tp, dram::Geometry{});
+    Cycle t = 0;
+    unsigned rank = 0;
+    for (auto _ : state) {
+        sys.issue({dram::CmdType::Act, rank, 0, 1, 0, false}, t);
+        sys.issue({dram::CmdType::RdA, rank, 0, 1, 0, false},
+                  t + tp.rcd);
+        t += 56;
+        rank = (rank + 1) % 8;
+    }
+    state.SetItemsProcessed(state.iterations() * 2);
+}
+BENCHMARK(BM_DramIssueReadLoop);
+
+void
+BM_TraceGeneration(benchmark::State &state)
+{
+    cpu::SyntheticTraceGenerator gen(cpu::profileByName("milc"), 1);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(gen.next());
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TraceGeneration);
+
+void
+BM_FsSchedulerTick(benchmark::State &state)
+{
+    mem::AddressMap map(dram::Geometry{}, mem::Partition::Rank,
+                        mem::Interleave::ClosePage, 8);
+    mem::MemoryController::Params p;
+    p.numDomains = 8;
+    mem::MemoryController mc("mc", p, map);
+    mc.setScheduler(std::make_unique<sched::FsScheduler>(
+        mc, sched::FsScheduler::Params{}));
+    Cycle t = 0;
+    for (auto _ : state)
+        mc.tick(t++);
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FsSchedulerTick);
+
+void
+BM_FrFcfsTickLoaded(benchmark::State &state)
+{
+    mem::AddressMap map(dram::Geometry{}, mem::Partition::None,
+                        mem::Interleave::OpenPage, 8);
+    mem::MemoryController::Params p;
+    p.numDomains = 8;
+    mem::MemoryController mc("mc", p, map);
+    mc.setScheduler(std::make_unique<sched::FrFcfsScheduler>(mc));
+    Rng rng(3);
+    Cycle t = 0;
+    for (auto _ : state) {
+        // Keep the queues partially full.
+        for (DomainId d = 0; d < 8; ++d) {
+            if (mc.canAccept(d) && rng.chance(0.2)) {
+                auto r = std::make_unique<mem::MemRequest>();
+                r->domain = d;
+                r->type = rng.chance(0.3) ? mem::ReqType::Write
+                                          : mem::ReqType::Read;
+                r->addr = rng.below(1ull << 30) * kLineBytes;
+                mc.access(std::move(r), t);
+            }
+        }
+        mc.tick(t++);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FrFcfsTickLoaded);
+
+void
+BM_EndToEndExperiment(benchmark::State &state)
+{
+    setQuiet(true);
+    for (auto _ : state) {
+        Config c = harness::defaultConfig();
+        c.merge(harness::schemeConfig("fs_rp"));
+        c.set("workload", "milc");
+        c.set("sim.warmup", 500);
+        c.set("sim.measure", 5000);
+        benchmark::DoNotOptimize(harness::runExperiment(c));
+    }
+}
+BENCHMARK(BM_EndToEndExperiment)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

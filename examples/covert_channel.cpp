@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Covert-channel demonstration (the attack the paper defends
+ * against). A sender VM modulates its memory intensity to transmit a
+ * bit string; a receiver VM on the same memory controller measures
+ * its own progress per window and decodes the bits from the
+ * contention it observes. Under the non-secure baseline the channel
+ * works; under Fixed Service the receiver's timing is invariant and
+ * the channel capacity collapses to zero.
+ *
+ * The "sender" is modelled by alternating co-runner intensity per
+ * window using two runs (idle vs hog co-runners) and sampling the
+ * receiver's per-window progress — the same measurement a real
+ * receiver thread would take with rdtsc.
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/noninterference.hh"
+#include "harness/experiment.hh"
+#include "util/logging.hh"
+#include "util/table.hh"
+
+using namespace memsec;
+
+namespace {
+
+/** Receiver progress per fixed instruction window. */
+std::vector<uint64_t>
+receiverWindows(const std::string &scheme, const std::string &sender)
+{
+    Config c = harness::defaultConfig();
+    c.merge(harness::schemeConfig(scheme));
+    std::string wl = "mcf";
+    for (int i = 0; i < 7; ++i)
+        wl += "," + sender;
+    c.set("workload", wl);
+    c.set("sim.warmup", 0);
+    c.set("sim.measure", 300000);
+    c.set("audit.core", 0);
+    c.set("audit.progress_interval", 2000);
+    const auto prog =
+        harness::runExperiment(c).timelines.at(0).progress;
+    // Convert cumulative checkpoints into per-window durations.
+    std::vector<uint64_t> windows;
+    for (size_t i = 1; i < prog.size(); ++i)
+        windows.push_back(prog[i] - prog[i - 1]);
+    return windows;
+}
+
+/** Decode bits: window slower than the idle-calibrated threshold. */
+unsigned
+decodedBits(const std::vector<uint64_t> &quiet,
+            const std::vector<uint64_t> &noisy)
+{
+    unsigned distinguishable = 0;
+    const size_t n = std::min(quiet.size(), noisy.size());
+    for (size_t i = 0; i < n; ++i) {
+        const double ratio = static_cast<double>(noisy[i]) /
+                             static_cast<double>(quiet[i]);
+        if (ratio > 1.05 || ratio < 0.95)
+            ++distinguishable;
+    }
+    return distinguishable;
+}
+
+/**
+ * Capacity estimate: treat each receiver window as one use of a
+ * binary symmetric channel whose error rate is the fraction of
+ * windows the threshold classifier got wrong, and convert windows
+ * per second (at 3.2 GHz) into bits per second:
+ *   C = (1 - H(pe)) * windows/s.
+ */
+double
+capacityBitsPerSec(const std::vector<uint64_t> &quiet,
+                   const std::vector<uint64_t> &noisy)
+{
+    const size_t n = std::min(quiet.size(), noisy.size());
+    if (n == 0)
+        return 0.0;
+    // Threshold just above the slowest quiet window: a noisy window
+    // below it is a missed '1', a quiet window above it a false '1'.
+    uint64_t thr = 0;
+    for (size_t i = 0; i < n; ++i)
+        thr = std::max(thr, quiet[i]);
+    thr += thr / 40; // 2.5% guard band
+    double miss = 0;
+    double falseAlarm = 0;
+    for (size_t i = 0; i < n; ++i) {
+        miss += noisy[i] <= thr;
+        falseAlarm += quiet[i] > thr;
+    }
+    double pe = 0.5 * (miss + falseAlarm) / static_cast<double>(n);
+    pe = std::min(0.5, pe);
+    auto entropy = [](double p) {
+        if (p <= 0.0 || p >= 1.0)
+            return 0.0;
+        return -p * std::log2(p) - (1 - p) * std::log2(1 - p);
+    };
+    const double perUse = std::max(0.0, 1.0 - entropy(pe));
+    double meanWindowCycles = 0.0;
+    for (size_t i = 0; i < n; ++i)
+        meanWindowCycles +=
+            0.5 * static_cast<double>(quiet[i] + noisy[i]);
+    meanWindowCycles /= static_cast<double>(n);
+    const double windowsPerSec = 3.2e9 / meanWindowCycles;
+    return perUse * windowsPerSec;
+}
+
+} // namespace
+
+int
+main()
+{
+    setQuiet(true);
+    std::cout << "covert channel: sender modulates memory intensity, "
+                 "receiver (mcf) times its own windows\n\n";
+
+    Table t;
+    t.header({"scheme", "windows", "distinguishable", "channel",
+              "est. capacity"});
+    for (const char *scheme : {"baseline", "fs_rp", "fs_np_triple"}) {
+        std::cerr << "running " << scheme << "...\n";
+        const auto quiet = receiverWindows(scheme, "idle");
+        const auto noisy = receiverWindows(scheme, "hog");
+        const unsigned bits = decodedBits(quiet, noisy);
+        const size_t n = std::min(quiet.size(), noisy.size());
+        const double cap = capacityBitsPerSec(quiet, noisy);
+        t.row({scheme, std::to_string(n), std::to_string(bits),
+               bits > n / 2 ? "OPEN (leaks)" : "closed",
+               cap >= 1000.0
+                   ? Table::num(cap / 1000.0, 1) + " Kbit/s"
+                   : Table::num(cap, 1) + " bit/s"});
+    }
+    t.print(std::cout);
+    std::cout << "\n(Hunger et al., cited in Section 2.2, report "
+                 ">100 Kbit/s for synchronised senders on real "
+                 "hardware; the estimate above is per-window BSC "
+                 "capacity at this window size.)\n";
+
+    std::cout
+        << "\nunder the baseline the receiver distinguishes sender "
+           "intensity per window\n(a working covert channel, cf. Wu "
+           "et al. and Hunger et al. cited in the paper);\nunder FS "
+           "every window is bit-identical, so the channel is closed."
+        << "\n";
+    return 0;
+}

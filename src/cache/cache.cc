@@ -1,0 +1,117 @@
+#include "cache/cache.hh"
+
+#include "util/bitops.hh"
+#include "util/logging.hh"
+
+namespace memsec::cache {
+
+Cache::Cache(uint64_t sizeBytes, unsigned ways) : ways_(ways)
+{
+    fatal_if(ways == 0, "cache needs at least one way");
+    const uint64_t lines = sizeBytes / kLineBytes;
+    fatal_if(lines < ways || lines % ways != 0,
+             "cache size {} not divisible into {} ways", sizeBytes, ways);
+    const uint64_t nsets = lines / ways;
+    fatal_if(!isPowerOf2(nsets), "cache set count must be a power of two");
+    sets_.resize(nsets);
+    for (auto &s : sets_)
+        s.ways.resize(ways);
+}
+
+unsigned
+Cache::setIndex(Addr addr) const
+{
+    return static_cast<unsigned>((addr / kLineBytes) %
+                                 sets_.size());
+}
+
+Addr
+Cache::tagOf(Addr addr) const
+{
+    return (addr / kLineBytes) / sets_.size();
+}
+
+Cache::Line *
+Cache::find(Addr addr)
+{
+    Set &set = sets_[setIndex(addr)];
+    const Addr tag = tagOf(addr);
+    for (auto &line : set.ways) {
+        if (line.valid && line.tag == tag)
+            return &line;
+    }
+    return nullptr;
+}
+
+const Cache::Line *
+Cache::find(Addr addr) const
+{
+    return const_cast<Cache *>(this)->find(addr);
+}
+
+AccessResult
+Cache::access(Addr addr, bool isStore)
+{
+    AccessResult res;
+    if (Line *line = find(addr)) {
+        line->lruStamp = ++stamp_;
+        if (isStore)
+            line->dirty = true;
+        if (line->prefetched) {
+            res.prefetchHit = true;
+            line->prefetched = false;
+        }
+        hits_.inc();
+        res.hit = true;
+        return res;
+    }
+    misses_.inc();
+    return res;
+}
+
+bool
+Cache::contains(Addr addr) const
+{
+    return find(addr) != nullptr;
+}
+
+FillResult
+Cache::fill(Addr addr, bool dirty, bool prefetched)
+{
+    FillResult res;
+    if (Line *line = find(addr)) {
+        // Already present (e.g. prefetch raced a demand fill).
+        line->dirty = line->dirty || dirty;
+        return res;
+    }
+    Set &set = sets_[setIndex(addr)];
+    Line *victim = &set.ways[0];
+    for (auto &line : set.ways) {
+        if (!line.valid) {
+            victim = &line;
+            break;
+        }
+        if (line.lruStamp < victim->lruStamp)
+            victim = &line;
+    }
+    if (victim->valid && victim->dirty) {
+        res.evictedDirty = true;
+        res.writebackAddr =
+            (victim->tag * sets_.size() + setIndex(addr)) * kLineBytes;
+    }
+    victim->valid = true;
+    victim->dirty = dirty;
+    victim->prefetched = prefetched;
+    victim->tag = tagOf(addr);
+    victim->lruStamp = ++stamp_;
+    return res;
+}
+
+void
+Cache::markDirty(Addr addr)
+{
+    if (Line *line = find(addr))
+        line->dirty = true;
+}
+
+} // namespace memsec::cache

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Set-associative writeback last-level cache.
+ *
+ * One instance per core: the paper's shared L2 must itself be
+ * partitioned for the end-to-end system to be leak-free (cache side
+ * channels are out of scope and assumed handled, Section 2.2), so we
+ * model the per-core partition directly: 4 MB / 8 cores = 512 KB,
+ * 8-way, LRU, write-allocate, writeback.
+ */
+
+#ifndef MEMSEC_CACHE_CACHE_HH
+#define MEMSEC_CACHE_CACHE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.hh"
+#include "stats/stats.hh"
+
+namespace memsec::cache {
+
+/** Result of a cache access. */
+struct AccessResult
+{
+    bool hit = false;
+    bool prefetchHit = false; ///< first demand touch of a prefetched line
+};
+
+/** Result of a line fill. */
+struct FillResult
+{
+    bool evictedDirty = false;
+    Addr writebackAddr = 0;
+};
+
+/** Simple blocking-free LRU cache model. */
+class Cache
+{
+  public:
+    /**
+     * @param sizeBytes total capacity
+     * @param ways associativity
+     */
+    Cache(uint64_t sizeBytes, unsigned ways);
+
+    /**
+     * Look up (and touch) a line. On a store hit the line is marked
+     * dirty. Misses do NOT allocate; the owner fetches the line and
+     * calls fill() when data returns.
+     */
+    AccessResult access(Addr addr, bool isStore);
+
+    /** True if the line is present (no LRU update). */
+    bool contains(Addr addr) const;
+
+    /** Install a line; returns any dirty victim to write back.
+     *  `prefetched` marks the line for usefulness accounting. */
+    FillResult fill(Addr addr, bool dirty, bool prefetched = false);
+
+    /** Mark a resident line dirty (store completing after fill). */
+    void markDirty(Addr addr);
+
+    unsigned numSets() const { return static_cast<unsigned>(sets_.size()); }
+    unsigned ways() const { return ways_; }
+
+    const Counter &hits() const { return hits_; }
+    const Counter &misses() const { return misses_; }
+
+  private:
+    struct Line
+    {
+        Addr tag = 0;
+        bool valid = false;
+        bool dirty = false;
+        bool prefetched = false;
+        uint64_t lruStamp = 0;
+    };
+
+    struct Set
+    {
+        std::vector<Line> ways;
+    };
+
+    Line *find(Addr addr);
+    const Line *find(Addr addr) const;
+    unsigned setIndex(Addr addr) const;
+    Addr tagOf(Addr addr) const;
+
+    unsigned ways_;
+    std::vector<Set> sets_;
+    uint64_t stamp_ = 0;
+    Counter hits_;
+    Counter misses_;
+};
+
+} // namespace memsec::cache
+
+#endif // MEMSEC_CACHE_CACHE_HH

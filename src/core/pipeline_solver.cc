@@ -1,0 +1,354 @@
+#include "core/pipeline_solver.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace memsec::core {
+
+const char *
+periodicRefName(PeriodicRef r)
+{
+    switch (r) {
+      case PeriodicRef::Data: return "fixed-periodic-data";
+      case PeriodicRef::Ras: return "fixed-periodic-RAS";
+      case PeriodicRef::Cas: return "fixed-periodic-CAS";
+    }
+    return "???";
+}
+
+const char *
+partitionLevelName(PartitionLevel p)
+{
+    switch (p) {
+      case PartitionLevel::Rank: return "rank-partitioned";
+      case PartitionLevel::Bank: return "bank-partitioned";
+      case PartitionLevel::None: return "unpartitioned";
+    }
+    return "???";
+}
+
+PipelineSolver::PipelineSolver(const dram::TimingParams &tp) : tp_(tp)
+{
+    tp_.validate();
+}
+
+SlotOffsets
+PipelineSolver::offsets(PeriodicRef ref) const
+{
+    const int cas = static_cast<int>(tp_.cas);
+    const int cwd = static_cast<int>(tp_.cwd);
+    const int rcd = static_cast<int>(tp_.rcd);
+    switch (ref) {
+      case PeriodicRef::Data:
+        return {-cas - rcd, -cas, 0, -cwd - rcd, -cwd, 0};
+      case PeriodicRef::Ras:
+        return {0, rcd, rcd + cas, 0, rcd, rcd + cwd};
+      case PeriodicRef::Cas:
+        return {-rcd, 0, cas, -rcd, 0, cwd};
+    }
+    panic("bad periodic reference");
+}
+
+namespace {
+
+/** Commands of one slot given its type (read/write). */
+struct SlotCmds
+{
+    int act;
+    int cas;
+    int data;
+};
+
+SlotCmds
+cmdsOf(const SlotOffsets &off, bool write)
+{
+    if (write)
+        return {off.actWrite, off.casWrite, off.dataWrite};
+    return {off.actRead, off.casRead, off.dataRead};
+}
+
+} // namespace
+
+bool
+PipelineSolver::checkPair(PeriodicRef ref, PartitionLevel level, unsigned l,
+                          unsigned d, bool laterWrite, bool earlierWrite,
+                          std::string *why) const
+{
+    const SlotOffsets off = offsets(ref);
+    const SlotCmds later = cmdsOf(off, laterWrite);
+    const SlotCmds earlier = cmdsOf(off, earlierWrite);
+    const long gap = static_cast<long>(d) * l;
+
+    auto blocked = [&](const char *rule, long have, long need) {
+        if (why) {
+            std::ostringstream os;
+            os << rule << " violated for d=" << d << " ("
+               << (earlierWrite ? "W" : "R") << "->"
+               << (laterWrite ? "W" : "R") << "): gap " << have
+               << " < " << need;
+            *why = os.str();
+        }
+        return false;
+    };
+
+    // 1. Command-bus conflicts: no two commands in the same cycle
+    //    (the paper's Equation 1 family).
+    const int laterCmds[2] = {later.act, later.cas};
+    const int earlierCmds[2] = {earlier.act, earlier.cas};
+    for (int lc : laterCmds) {
+        for (int ec : earlierCmds) {
+            if (gap + lc - ec == 0)
+                return blocked("cmd-bus", 0, 1);
+        }
+    }
+
+    // 2. Data-bus: the later burst must start after the earlier one
+    //    ends, plus tRTRS since adjacent slots may switch ranks.
+    {
+        const long have = gap + later.data - earlier.data;
+        const long need = static_cast<long>(tp_.burst) + tp_.rtrs;
+        if (have < need)
+            return blocked("data-bus/tRTRS", have, need);
+    }
+
+    if (level == PartitionLevel::Rank)
+        return true;
+
+    // 3. Same-rank constraints (bank partitioning and below): any two
+    //    slots may share a rank (the paper's Equations 2-4).
+    {
+        // tRRD between any two ACTs (Equation 2).
+        const long have = gap + later.act - earlier.act;
+        if (have < static_cast<long>(tp_.rrd))
+            return blocked("tRRD", have, tp_.rrd);
+        // tFAW: a slot and the slot four before it (Equation 3).
+        if (d == 4 && have < static_cast<long>(tp_.faw))
+            return blocked("tFAW", have, tp_.faw);
+    }
+    {
+        // Column-command turnaround (Equation 4).
+        const long have = gap + later.cas - earlier.cas;
+        long need;
+        if (earlierWrite == laterWrite)
+            need = tp_.ccd;
+        else if (earlierWrite)
+            need = tp_.wr2rd();
+        else
+            need = tp_.rd2wr();
+        if (have < need)
+            return blocked("CAS-turnaround", have, need);
+    }
+
+    if (level == PartitionLevel::Bank)
+        return true;
+
+    // 4. Same-bank reuse (no partitioning): any two slots may target
+    //    different rows of the same bank, so the later ACT must wait
+    //    for the earlier access's auto-precharge to complete.
+    {
+        const long have = gap + later.act - earlier.act;
+        const long need = earlierWrite
+                              ? static_cast<long>(tp_.actToActWrA())
+                              : static_cast<long>(tp_.actToActRdA());
+        if (have < need)
+            return blocked("same-bank-reuse", have, need);
+    }
+    return true;
+}
+
+bool
+PipelineSolver::feasible(PeriodicRef ref, PartitionLevel level, unsigned l,
+                         std::string *why) const
+{
+    if (l == 0) {
+        if (why)
+            *why = "l must be positive";
+        return false;
+    }
+    // Constraints can only bind while d*l is within the largest
+    // constant plus the command-offset span.
+    const SlotOffsets off = offsets(ref);
+    const long span =
+        std::max({std::abs(off.actRead), std::abs(off.actWrite),
+                  std::abs(off.dataRead), std::abs(off.dataWrite),
+                  std::abs(off.casRead), std::abs(off.casWrite)});
+    const long maxConst = std::max({static_cast<long>(tp_.faw),
+                                    static_cast<long>(tp_.wr2rd()),
+                                    static_cast<long>(tp_.actToActWrA()),
+                                    static_cast<long>(tp_.actToActRdA())});
+    const unsigned dMax = static_cast<unsigned>(
+        (maxConst + 2 * span) / static_cast<long>(l) + 2);
+
+    for (unsigned d = 1; d <= dMax; ++d) {
+        for (bool laterWrite : {false, true}) {
+            for (bool earlierWrite : {false, true}) {
+                if (!checkPair(ref, level, l, d, laterWrite, earlierWrite,
+                               why))
+                    return false;
+            }
+        }
+    }
+    return true;
+}
+
+PipelineSolution
+PipelineSolver::solve(PeriodicRef ref, PartitionLevel level,
+                      unsigned maxL) const
+{
+    PipelineSolution sol;
+    sol.ref = ref;
+    sol.level = level;
+    sol.offsets = offsets(ref);
+    for (unsigned l = 1; l <= maxL; ++l) {
+        if (feasible(ref, level, l)) {
+            sol.feasible = true;
+            sol.l = l;
+            return sol;
+        }
+    }
+    return sol;
+}
+
+PipelineSolution
+PipelineSolver::solveBest(PartitionLevel level, unsigned maxL) const
+{
+    PipelineSolution best;
+    for (PeriodicRef ref :
+         {PeriodicRef::Data, PeriodicRef::Ras, PeriodicRef::Cas}) {
+        PipelineSolution s = solve(ref, level, maxL);
+        if (s.feasible && (!best.feasible || s.l < best.l))
+            best = s;
+    }
+    return best;
+}
+
+ReorderedSolution
+PipelineSolver::solveReordered(unsigned threads) const
+{
+    fatal_if(threads == 0, "reordered interval needs >= 1 thread");
+    const SlotOffsets off = offsets(PeriodicRef::Data);
+
+    // Within an interval the data-slot order is reads then writes, so
+    // adjacent type pairs are (R,R), (R,W) and (W,W) only. Find the
+    // smallest uniform spacing s satisfying every rule for every pair
+    // distance (threads may all target one rank under bank
+    // partitioning, so rank-level rules apply).
+    auto pairOk = [&](unsigned s, unsigned d, bool earlierWrite,
+                      bool laterWrite) {
+        const SlotCmds later = cmdsOf(off, laterWrite);
+        const SlotCmds earlier = cmdsOf(off, earlierWrite);
+        const long gap = static_cast<long>(d) * s;
+        const int lc[2] = {later.act, later.cas};
+        const int ec[2] = {earlier.act, earlier.cas};
+        for (int a : lc) {
+            for (int b : ec) {
+                if (gap + a - b == 0)
+                    return false;
+            }
+        }
+        if (gap + later.data - earlier.data <
+            static_cast<long>(tp_.burst) + tp_.rtrs)
+            return false;
+        const long actGap = gap + later.act - earlier.act;
+        if (actGap < static_cast<long>(tp_.rrd))
+            return false;
+        if (d == 4 && actGap < static_cast<long>(tp_.faw))
+            return false;
+        const long casGap = gap + later.cas - earlier.cas;
+        long need;
+        if (earlierWrite == laterWrite)
+            need = tp_.ccd;
+        else if (!earlierWrite && laterWrite)
+            need = tp_.rd2wr();
+        else
+            return true; // (W,R) never adjacent within an interval
+        return casGap >= need;
+    };
+
+    ReorderedSolution out;
+    for (unsigned s = tp_.burst; s <= 256 && out.spacing == 0; ++s) {
+        bool ok = true;
+        for (unsigned d = 1; d <= threads && ok; ++d) {
+            for (bool ew : {false, true}) {
+                for (bool lw : {false, true}) {
+                    // Skip the impossible in-interval (W,R) order.
+                    if (ew && !lw)
+                        continue;
+                    if (!pairOk(s, d, ew, lw)) {
+                        ok = false;
+                        break;
+                    }
+                }
+                if (!ok)
+                    break;
+            }
+        }
+        if (ok)
+            out.spacing = s;
+    }
+    fatal_if(out.spacing == 0, "no feasible reordered spacing found");
+
+    // Across the interval boundary the last write is followed by the
+    // first read of the next interval: the binding rule is the
+    // write-to-read column turnaround.
+    // Data-start gap G: write CAS at T+dataW->casW, read CAS at
+    // T+G+casR-dataR; require casGap >= wr2rd, plus the generic rules.
+    unsigned endGap = out.spacing;
+    for (;; ++endGap) {
+        const SlotCmds wr = cmdsOf(off, true);
+        const SlotCmds rd = cmdsOf(off, false);
+        const long g = endGap;
+        const long casGap = g + rd.cas - wr.cas;
+        if (casGap < static_cast<long>(tp_.wr2rd()))
+            continue;
+        const long actGap = g + rd.act - wr.act;
+        if (actGap < static_cast<long>(tp_.rrd))
+            continue;
+        if (g + rd.data - wr.data <
+            static_cast<long>(tp_.burst) + tp_.rtrs)
+            continue;
+        bool conflict = false;
+        const int lc[2] = {rd.act, rd.cas};
+        const int ec[2] = {wr.act, wr.cas};
+        for (int a : lc) {
+            for (int b : ec) {
+                if (g + a - b == 0)
+                    conflict = true;
+            }
+        }
+        if (!conflict)
+            break;
+    }
+
+    out.endGap = endGap;
+    out.q = (threads - 1) * out.spacing + endGap;
+    out.peakUtilisation =
+        static_cast<double>(threads * tp_.burst) / out.q;
+    return out;
+}
+
+unsigned
+PipelineSolver::alternationFactor() const
+{
+    const PipelineSolution bank = solveBest(PartitionLevel::Bank);
+    panic_if(!bank.feasible, "no bank-partitioned pipeline exists");
+    const unsigned reuse = std::max(tp_.actToActWrA(), tp_.actToActRdA());
+    return (reuse + bank.l - 1) / bank.l;
+}
+
+bool
+PipelineSolver::rankPartSameBankHazard(unsigned threads, unsigned l) const
+{
+    // A thread's consecutive slots are Q = threads*l apart at the
+    // reference point; command skew between a write slot and a read
+    // slot shrinks the worst-case ACT-to-ACT gap by |actR - actW|.
+    const SlotOffsets off = offsets(PeriodicRef::Data);
+    const long skew = std::abs(static_cast<long>(off.actRead) -
+                               static_cast<long>(off.actWrite));
+    const long worstGap = static_cast<long>(threads) * l - skew;
+    return worstGap < static_cast<long>(tp_.actToActWrA());
+}
+
+} // namespace memsec::core

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Static view of an FS slot schedule.
+ *
+ * SlotSchedule turns a PipelineSolution plus a domain count into the
+ * concrete per-cycle command template the FS scheduler executes. It
+ * exists so tests, examples, and documentation tooling can inspect
+ * and verify the schedule (e.g. prove command-bus conflict freedom
+ * over a whole frame) without running a simulation.
+ */
+
+#ifndef MEMSEC_CORE_SLOT_SCHEDULE_HH
+#define MEMSEC_CORE_SLOT_SCHEDULE_HH
+
+#include <string>
+#include <vector>
+
+#include "core/pipeline_solver.hh"
+#include "sim/types.hh"
+
+namespace memsec::core {
+
+/** The command footprint of one slot, in absolute cycles. */
+struct SlotPlan
+{
+    uint64_t slot = 0;
+    DomainId domain = 0;
+    bool write = false;
+    Cycle refCycle = 0;
+    Cycle actAt = 0;
+    Cycle casAt = 0;
+    Cycle dataStart = 0;
+    Cycle dataEnd = 0;
+};
+
+/** Expands a pipeline solution into concrete slot plans. */
+class SlotSchedule
+{
+  public:
+    SlotSchedule(const PipelineSolution &sol, unsigned numDomains,
+                 const dram::TimingParams &tp);
+
+    /** Cycles by which commands may precede the slot reference. */
+    Cycle lead() const { return lead_; }
+
+    /** Frame length Q = numDomains * l. */
+    Cycle frameLength() const { return numDomains_ * sol_.l; }
+
+    /** Domain served by slot s (round-robin). */
+    DomainId domainOf(uint64_t slot) const
+    {
+        return static_cast<DomainId>(slot % numDomains_);
+    }
+
+    /** Concrete plan for slot s with the given transaction type. */
+    SlotPlan plan(uint64_t slot, bool write) const;
+
+    /**
+     * Verify that an arbitrary read/write type assignment over
+     * `slots` consecutive slots yields pairwise-distinct command
+     * cycles and non-overlapping data bursts. Types are taken from
+     * the bit pattern `writeMask` (bit i = slot i is a write).
+     * Returns an empty string on success, else a description.
+     */
+    std::string verifyWindow(uint64_t slots, uint64_t writeMask) const;
+
+    const PipelineSolution &solution() const { return sol_; }
+
+  private:
+    PipelineSolution sol_;
+    unsigned numDomains_;
+    dram::TimingParams tp_;
+    Cycle lead_;
+};
+
+} // namespace memsec::core
+
+#endif // MEMSEC_CORE_SLOT_SCHEDULE_HH

@@ -1,0 +1,426 @@
+#include "cpu/core_model.hh"
+
+#include "cpu/trace_file.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace memsec::cpu {
+
+using mem::MemRequest;
+using mem::ReqType;
+
+namespace {
+
+Addr
+lineOf(Addr addr)
+{
+    return addr / kLineBytes * kLineBytes;
+}
+
+} // namespace
+
+CoreModel::CoreModel(std::string name, DomainId domain,
+                     const Params &params, const WorkloadProfile &profile,
+                     uint64_t traceSeed, mem::MemoryController &mc)
+    : Component(std::move(name)), domain_(domain), params_(params),
+      profile_(profile), mc_(mc), llc_(params.llcBytes, params.llcWays),
+      prefetcher_()
+{
+    if (profile.tracePath.empty()) {
+        trace_ = std::make_unique<SyntheticTraceGenerator>(profile,
+                                                           traceSeed);
+    } else {
+        trace_ = std::make_unique<FileTraceGenerator>(profile.tracePath);
+    }
+    fatal_if(params.robSize == 0 || params.retireWidth == 0,
+             "core parameters must be nonzero");
+    nextProgressMark_ = params.progressInterval;
+
+    // Functional cache warmup: replay a trace prefix through the LLC
+    // with no timing so measurement starts from a warm cache, as the
+    // paper's fast-forwarded checkpoints do. Writebacks generated
+    // here are discarded (they happened "before" the simulation).
+    for (uint64_t i = 0; i < params.functionalWarmupRecords; ++i) {
+        const TraceRecord tr = trace_->next();
+        const Addr line = lineOf(tr.addr);
+        if (!llc_.access(line, tr.isStore).hit)
+            llc_.fill(line, tr.isStore);
+    }
+}
+
+double
+CoreModel::ipc()
+    const
+{
+    const CpuCycle cycles = cpuCycles_ - measureStartCycle_;
+    if (cycles == 0)
+        return 0.0;
+    return static_cast<double>(retired_ - measureStartRetired_) /
+           static_cast<double>(cycles);
+}
+
+void
+CoreModel::beginMeasurement()
+{
+    measureStartCycle_ = cpuCycles_;
+    measureStartRetired_ = retired_;
+}
+
+size_t
+CoreModel::demandMshrs() const
+{
+    return mshr_.size() - prefetchInflight_;
+}
+
+void
+CoreModel::tick(Cycle now)
+{
+    memNow_ = now;
+    drainWritebacks();
+    retryBlocked();
+    for (unsigned sub = 0; sub < params_.cpuMult; ++sub)
+        cpuCycle();
+}
+
+void
+CoreModel::cpuCycle()
+{
+    retire();
+    dispatch();
+    ++cpuCycles_;
+}
+
+void
+CoreModel::dispatch()
+{
+    while (robInstrs_ < params_.robSize) {
+        const TraceRecord tr = trace_->next();
+        Record rec;
+        rec.instrs = static_cast<uint64_t>(tr.gap) + 1;
+        rec.isStore = tr.isStore;
+        rec.addr = lineOf(tr.addr);
+        rob_.push_back(rec);
+        robInstrs_ += rec.instrs;
+        executeMemOp(rob_.back());
+    }
+}
+
+void
+CoreModel::executeMemOp(Record &rec)
+{
+    if (rec.isStore)
+        stores_.inc();
+    else
+        loads_.inc();
+
+    const cache::AccessResult ar = llc_.access(rec.addr, rec.isStore);
+    if (ar.prefetchHit)
+        prefetchUseful_.inc();
+    if (ar.hit) {
+        if (rec.isStore) {
+            rec.state = Record::State::Done;
+        } else {
+            rec.state = Record::State::LlcPending;
+            rec.doneAt = cpuCycles_ + params_.llcHitLatency;
+        }
+        return;
+    }
+    llcMisses_.inc();
+
+    // A pending writeback still holds the data: refill locally.
+    auto wb = std::find(writebacks_.begin(), writebacks_.end(), rec.addr);
+    if (wb != writebacks_.end()) {
+        writebacks_.erase(wb);
+        const cache::FillResult fr = llc_.fill(rec.addr, true);
+        if (fr.evictedDirty)
+            writebacks_.push_back(fr.writebackAddr);
+        if (rec.isStore) {
+            rec.state = Record::State::Done;
+        } else {
+            rec.state = Record::State::LlcPending;
+            rec.doneAt = cpuCycles_ + params_.llcHitLatency;
+        }
+        return;
+    }
+
+    auto it = mshr_.find(rec.addr);
+    if (it != mshr_.end()) {
+        MshrEntry &entry = it->second;
+        if (entry.isPrefetch && !entry.demandTouched) {
+            prefetchUseful_.inc();
+            entry.demandTouched = true;
+        }
+        // Upgrade a prefetch entry to a demand fetch: the prefetch is
+        // only a hint and may wait in the controller's side queue
+        // indefinitely (e.g. a saturated FS domain never has a dummy
+        // slot). Whichever response arrives first fills the line.
+        if (entry.isPrefetch) {
+            if (!mc_.canAccept(domain_)) {
+                rec.state = rec.isStore ? Record::State::Done
+                                        : Record::State::NeedsIssue;
+                if (rec.isStore)
+                    pendingStoreFetches_.push_back(rec.addr);
+                return;
+            }
+            entry.isPrefetch = false;
+            --prefetchInflight_;
+            sendRead(rec.addr);
+        }
+        if (rec.isStore) {
+            entry.fillDirty = true;
+            rec.state = Record::State::Done;
+        } else {
+            entry.waiters.push_back(&rec);
+            rec.state = Record::State::MemPending;
+        }
+        return;
+    }
+
+    if (rec.isStore) {
+        // Fetch-for-ownership; the store itself retires via the
+        // store buffer.
+        rec.state = Record::State::Done;
+        issueStoreFetch(rec.addr);
+    } else {
+        if (!tryIssueLoad(rec))
+            rec.state = Record::State::NeedsIssue;
+    }
+    if (params_.prefetchEnabled)
+        issuePrefetches(rec.addr);
+}
+
+void
+CoreModel::sendRead(Addr addr)
+{
+    memReads_.inc();
+    auto req = std::make_unique<MemRequest>();
+    req->domain = domain_;
+    req->type = ReqType::Read;
+    req->addr = addr;
+    req->client = this;
+    mc_.access(std::move(req), memNow_);
+}
+
+bool
+CoreModel::tryIssueLoad(Record &rec)
+{
+    if (demandMshrs() >= profile_.mshrs || !mc_.canAccept(domain_))
+        return false;
+    MshrEntry &entry = mshr_[rec.addr];
+    entry.waiters.push_back(&rec);
+    rec.state = Record::State::MemPending;
+    sendRead(rec.addr);
+    return true;
+}
+
+void
+CoreModel::issueStoreFetch(Addr addr)
+{
+    if (demandMshrs() >= profile_.mshrs || !mc_.canAccept(domain_)) {
+        pendingStoreFetches_.push_back(addr);
+        return;
+    }
+    MshrEntry &entry = mshr_[addr];
+    entry.fillDirty = true;
+    sendRead(addr);
+}
+
+void
+CoreModel::issuePrefetches(Addr missAddr)
+{
+    const auto candidates = prefetcher_.onMiss(missAddr);
+    for (Addr target : candidates) {
+        const Addr line = lineOf(target);
+        if (llc_.contains(line) || mshr_.count(line))
+            continue;
+        if (prefetchInflight_ >= 4)
+            break;
+        MshrEntry &entry = mshr_[line];
+        entry.isPrefetch = true;
+        ++prefetchInflight_;
+        prefetchIssued_.inc();
+
+        auto req = std::make_unique<MemRequest>();
+        req->domain = domain_;
+        req->type = ReqType::Prefetch;
+        req->addr = line;
+        req->client = this;
+        mc_.access(std::move(req), memNow_);
+    }
+}
+
+void
+CoreModel::retire()
+{
+    unsigned budget = params_.retireWidth;
+    bool stalled = false;
+    while (budget > 0 && !rob_.empty()) {
+        Record &head = rob_.front();
+        // Gap instructions before the memory op retire freely.
+        const uint64_t gapLeft =
+            head.instrs > head.retiredOfThis + 1
+                ? head.instrs - head.retiredOfThis - 1
+                : 0;
+        const uint64_t take = std::min<uint64_t>(budget, gapLeft);
+        head.retiredOfThis += take;
+        retired_ += take;
+        budget -= static_cast<unsigned>(take);
+        if (budget == 0)
+            break;
+
+        // The memory op itself.
+        const bool ready =
+            head.isStore || head.state == Record::State::Done ||
+            (head.state == Record::State::LlcPending &&
+             head.doneAt <= cpuCycles_);
+        if (!ready) {
+            stalled = true;
+            break;
+        }
+        ++head.retiredOfThis;
+        ++retired_;
+        --budget;
+        robInstrs_ -= head.instrs;
+        rob_.pop_front();
+    }
+    if (stalled)
+        robStallCycles_.inc();
+
+    if (params_.progressInterval > 0) {
+        while (retired_ >= nextProgressMark_ && nextProgressMark_ > 0) {
+            timeline_.progress.push_back(cpuCycles_);
+            nextProgressMark_ += params_.progressInterval;
+        }
+    }
+}
+
+void
+CoreModel::memResponse(const MemRequest &req)
+{
+    if (req.type == ReqType::Write)
+        return;
+    const Addr line = lineOf(req.addr);
+
+    if (params_.captureTimeline && req.type == ReqType::Read)
+        timeline_.recordService(req.arrival, req.completed);
+
+    auto it = mshr_.find(line);
+    if (it == mshr_.end())
+        return; // e.g. a forwarded read that never allocated
+    MshrEntry entry = std::move(it->second);
+    if (entry.isPrefetch)
+        --prefetchInflight_;
+    mshr_.erase(it);
+
+    const cache::FillResult fr = llc_.fill(
+        line, entry.fillDirty,
+        entry.isPrefetch && !entry.demandTouched);
+    if (fr.evictedDirty)
+        writebacks_.push_back(fr.writebackAddr);
+    for (Record *rec : entry.waiters)
+        rec->state = Record::State::Done;
+}
+
+void
+CoreModel::memDropped(const MemRequest &req)
+{
+    // A prefetch hint was discarded: clear its MSHR entry. Any demand
+    // loads that merged with it must be re-issued as real reads.
+    const Addr line = lineOf(req.addr);
+    auto it = mshr_.find(line);
+    if (it == mshr_.end())
+        return;
+    if (!it->second.isPrefetch) {
+        // Already upgraded: a real demand read is in flight and will
+        // complete this entry.
+        return;
+    }
+    MshrEntry entry = std::move(it->second);
+    --prefetchInflight_;
+    mshr_.erase(it);
+    for (Record *rec : entry.waiters)
+        rec->state = Record::State::NeedsIssue;
+    if (entry.fillDirty)
+        pendingStoreFetches_.push_back(line);
+}
+
+void
+CoreModel::drainWritebacks()
+{
+    while (!writebacks_.empty() &&
+           mc_.canAccept(domain_, ReqType::Write)) {
+        auto req = std::make_unique<MemRequest>();
+        req->domain = domain_;
+        req->type = ReqType::Write;
+        req->addr = writebacks_.front();
+        req->client = nullptr;
+        writebacks_.pop_front();
+        memWritebacks_.inc();
+        mc_.access(std::move(req), memNow_);
+    }
+}
+
+void
+CoreModel::retryBlocked()
+{
+    while (!pendingStoreFetches_.empty()) {
+        const Addr addr = pendingStoreFetches_.front();
+        if (llc_.contains(addr) || mshr_.count(addr)) {
+            pendingStoreFetches_.pop_front();
+            continue;
+        }
+        if (demandMshrs() >= profile_.mshrs || !mc_.canAccept(domain_))
+            break;
+        pendingStoreFetches_.pop_front();
+        issueStoreFetch(addr);
+    }
+
+    for (auto &rec : rob_) {
+        if (rec.state != Record::State::NeedsIssue)
+            continue;
+        auto it = mshr_.find(rec.addr);
+        if (it != mshr_.end()) {
+            if (it->second.isPrefetch) {
+                // Still a hint; upgrade once a queue slot frees up.
+                if (!mc_.canAccept(domain_))
+                    break;
+                it->second.isPrefetch = false;
+                --prefetchInflight_;
+                sendRead(rec.addr);
+            }
+            it->second.waiters.push_back(&rec);
+            rec.state = Record::State::MemPending;
+            continue;
+        }
+        if (llc_.contains(rec.addr)) {
+            rec.state = Record::State::LlcPending;
+            rec.doneAt = cpuCycles_ + params_.llcHitLatency;
+            continue;
+        }
+        if (!tryIssueLoad(rec))
+            break;
+    }
+}
+
+void
+CoreModel::registerStats(StatGroup &group) const
+{
+    group.add("loads", &loads_, "load instructions executed");
+    group.add("stores", &stores_, "store instructions executed");
+    group.add("llc_misses", &llcMisses_, "LLC misses");
+    group.add("mem_reads", &memReads_, "memory reads issued");
+    group.add("writebacks", &memWritebacks_, "writebacks issued");
+    group.add("prefetch_issued", &prefetchIssued_,
+              "prefetch requests sent to the controller");
+    group.add("prefetch_useful", &prefetchUseful_,
+              "prefetched lines touched by demand accesses");
+    group.add("rob_stall_cycles", &robStallCycles_,
+              "CPU cycles with retirement blocked on memory");
+    group.addFormula(
+        "ipc", [this] { return ipc(); },
+        "instructions per CPU cycle over the measured region");
+}
+
+} // namespace memsec::cpu

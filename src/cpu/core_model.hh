@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Trace-driven out-of-order core model.
+ *
+ * The model captures what the paper's results depend on — the
+ * coupling between memory latency and instruction throughput through
+ * a finite reorder buffer — without modelling ISA semantics:
+ *  - a 64-entry ROB dispatches trace records in order;
+ *  - memory operations execute at dispatch (LLC lookup, miss issue);
+ *  - retirement is in order, `retireWidth` instructions per CPU
+ *    cycle; a load blocks retirement until its data returns, a store
+ *    retires through the store buffer;
+ *  - memory-level parallelism is bounded by the ROB and the
+ *    per-benchmark MSHR count.
+ *
+ * Each core owns a private LLC slice (the paper's shared L2 must be
+ * partitioned for the end-to-end system to be leak-free) and an
+ * optional sandbox prefetcher.
+ */
+
+#ifndef MEMSEC_CPU_CORE_MODEL_HH
+#define MEMSEC_CPU_CORE_MODEL_HH
+
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/cache.hh"
+#include "core/noninterference.hh"
+#include "cpu/prefetcher.hh"
+#include "cpu/trace.hh"
+#include "mem/memory_controller.hh"
+#include "sim/simulator.hh"
+#include "stats/stats.hh"
+
+namespace memsec::cpu {
+
+/** One simulated hardware thread / security domain. */
+class CoreModel : public Component, public mem::MemClient
+{
+  public:
+    struct Params
+    {
+        unsigned robSize = 64;
+        unsigned retireWidth = 4;
+        unsigned cpuMult = kDefaultCpuMult;
+        unsigned llcHitLatency = 10; ///< CPU cycles
+        uint64_t llcBytes = 512 * 1024;
+        unsigned llcWays = 8;
+        bool prefetchEnabled = false;
+        /** Instructions per progress checkpoint (0 = no capture). */
+        uint64_t progressInterval = 0;
+        /** Record the per-request service timeline. */
+        bool captureTimeline = false;
+        /** Trace records replayed functionally (no timing) through
+         *  the LLC at construction — the stand-in for the paper's
+         *  50-billion-instruction fast-forward. */
+        uint64_t functionalWarmupRecords = 0;
+    };
+
+    CoreModel(std::string name, DomainId domain, const Params &params,
+              const WorkloadProfile &profile, uint64_t traceSeed,
+              mem::MemoryController &mc);
+
+    void tick(Cycle now) override;
+    void memResponse(const mem::MemRequest &req) override;
+    void memDropped(const mem::MemRequest &req) override;
+
+    uint64_t retired() const { return retired_; }
+    CpuCycle cpuCycles() const { return cpuCycles_; }
+    double ipc() const;
+
+    /** Freeze the IPC measurement start point (end of warmup). */
+    void beginMeasurement();
+
+    const core::VictimTimeline &timeline() const { return timeline_; }
+    const cache::Cache &llc() const { return llc_; }
+    const SandboxPrefetcher &prefetcher() const { return prefetcher_; }
+
+    void registerStats(StatGroup &group) const;
+
+    uint64_t prefetchIssued() const { return prefetchIssued_.value(); }
+    uint64_t prefetchUseful() const { return prefetchUseful_.value(); }
+
+  private:
+    struct Record
+    {
+        uint64_t instrs = 1;      ///< gap + the memory op itself
+        uint64_t retiredOfThis = 0;
+        bool isStore = false;
+        Addr addr = 0;
+        enum class State : uint8_t
+        {
+            Done,       ///< retirable
+            LlcPending, ///< waiting for the LLC hit latency
+            MemPending, ///< waiting for memory data
+            NeedsIssue, ///< load miss blocked on MSHR/queue space
+        } state = State::Done;
+        CpuCycle doneAt = 0; ///< for LlcPending
+    };
+
+    struct MshrEntry
+    {
+        std::vector<Record *> waiters;
+        bool fillDirty = false;
+        bool isPrefetch = false;
+        bool demandTouched = false; ///< usefulness counted already
+    };
+
+    void cpuCycle();
+    void dispatch();
+    void retire();
+    void executeMemOp(Record &rec);
+    void sendRead(Addr addr);
+    bool tryIssueLoad(Record &rec);
+    void issueStoreFetch(Addr addr);
+    void issuePrefetches(Addr missAddr);
+    void drainWritebacks();
+    void retryBlocked();
+    size_t demandMshrs() const;
+
+    DomainId domain_;
+    Params params_;
+    WorkloadProfile profile_;
+    std::unique_ptr<TraceGenerator> trace_;
+    mem::MemoryController &mc_;
+    cache::Cache llc_;
+    SandboxPrefetcher prefetcher_;
+
+    std::deque<Record> rob_;
+    uint64_t robInstrs_ = 0;
+    std::unordered_map<Addr, MshrEntry> mshr_; ///< keyed by line addr
+    size_t prefetchInflight_ = 0;
+    std::deque<Addr> pendingStoreFetches_;
+    std::deque<Addr> writebacks_;
+    Cycle memNow_ = 0;
+
+    CpuCycle cpuCycles_ = 0;
+    uint64_t retired_ = 0;
+    CpuCycle measureStartCycle_ = 0;
+    uint64_t measureStartRetired_ = 0;
+
+    core::VictimTimeline timeline_;
+    uint64_t nextProgressMark_ = 0;
+
+    Counter loads_;
+    Counter stores_;
+    Counter llcMisses_;
+    Counter memReads_;
+    Counter memWritebacks_;
+    Counter prefetchIssued_;
+    Counter prefetchUseful_;
+    Counter robStallCycles_;
+};
+
+} // namespace memsec::cpu
+
+#endif // MEMSEC_CPU_CORE_MODEL_HH

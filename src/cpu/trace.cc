@@ -1,0 +1,73 @@
+#include "cpu/trace.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace memsec::cpu {
+
+SyntheticTraceGenerator::SyntheticTraceGenerator(
+    const WorkloadProfile &profile, uint64_t seed)
+    : profile_(profile), rng_(seed ^ 0xABCD1234FEED5678ull)
+{
+    fatal_if(profile.memRatio <= 0.0 || profile.memRatio > 1.0,
+             "memRatio must be in (0,1], got {}", profile.memRatio);
+    fatal_if(profile.footprintLines == 0, "footprint must be nonzero");
+    const unsigned streams = std::max(1u, profile.numStreams);
+    // Start streams at seed-dependent offsets: co-scheduled copies of
+    // one benchmark run different phases, so their streams must not
+    // collide bank-for-bank.
+    for (unsigned s = 0; s < streams; ++s)
+        streamPos_.push_back(rng_.below(profile.footprintLines));
+    recent_.assign(64, 0);
+}
+
+Addr
+SyntheticTraceGenerator::pickLine()
+{
+    const uint64_t fp = profile_.footprintLines;
+
+    if (!recent_.empty() && rng_.chance(profile_.reuseFraction)) {
+        // Temporal reuse of a recently touched line.
+        return recent_[rng_.below(recent_.size())];
+    }
+
+    uint64_t line;
+    if (rng_.chance(profile_.streamFraction)) {
+        const unsigned s = streamRr_++ % streamPos_.size();
+        streamPos_[s] =
+            (streamPos_[s] + profile_.strideLines) % fp;
+        line = streamPos_[s];
+    } else {
+        line = rng_.below(fp);
+    }
+    recent_[recentIdx_++ % recent_.size()] = line * kLineBytes;
+    return line * kLineBytes;
+}
+
+TraceRecord
+SyntheticTraceGenerator::next()
+{
+    double ratio = profile_.memRatio;
+    if (profile_.phaseLength > 0) {
+        if (phaseLeft_ == 0) {
+            busyPhase_ = !busyPhase_;
+            phaseLeft_ = 1 + rng_.geometric(
+                             1.0 / static_cast<double>(
+                                       profile_.phaseLength));
+        }
+        --phaseLeft_;
+        ratio *= busyPhase_ ? profile_.phaseHighFactor
+                            : profile_.phaseLowFactor;
+        ratio = std::min(0.95, std::max(1e-6, ratio));
+    }
+
+    TraceRecord rec;
+    rec.gap = static_cast<uint32_t>(
+        std::min<uint64_t>(rng_.geometric(ratio), 1u << 20));
+    rec.isStore = rng_.chance(profile_.storeFraction);
+    rec.addr = pickLine();
+    return rec;
+}
+
+} // namespace memsec::cpu

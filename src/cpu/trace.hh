@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Instruction-trace records and synthetic trace generation.
+ *
+ * The original evaluation replays SPEC CPU2006 / NPB regions under
+ * Simics; without those inputs we synthesise per-benchmark traces
+ * whose memory behaviour (intensity, spatial streams, working-set
+ * size, reuse, store ratio, memory-level parallelism) is set per
+ * profile. Generators are deterministic given (profile, seed).
+ */
+
+#ifndef MEMSEC_CPU_TRACE_HH
+#define MEMSEC_CPU_TRACE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+#include "util/random.hh"
+
+namespace memsec::cpu {
+
+/** One trace step: `gap` non-memory instructions, then a memory op. */
+struct TraceRecord
+{
+    uint32_t gap = 0;
+    bool isStore = false;
+    Addr addr = 0;
+};
+
+/** Abstract instruction/memory trace source. */
+class TraceGenerator
+{
+  public:
+    virtual ~TraceGenerator() = default;
+
+    /** Produce the next record. Traces are infinite. */
+    virtual TraceRecord next() = 0;
+};
+
+/** Tunable memory behaviour of one synthetic benchmark. */
+struct WorkloadProfile
+{
+    std::string name = "unnamed";
+    /** Fraction of instructions that are memory operations. */
+    double memRatio = 0.2;
+    /** Fraction of memory operations that are stores. */
+    double storeFraction = 0.3;
+    /** Working set in cache lines. */
+    uint64_t footprintLines = 1 << 17;
+    /** Fraction of accesses following sequential/strided streams. */
+    double streamFraction = 0.5;
+    /** Number of concurrent streams. */
+    unsigned numStreams = 4;
+    /** Stream stride in cache lines. */
+    unsigned strideLines = 1;
+    /** Fraction of accesses that re-touch a recently used line
+     *  (drives LLC hits / temporal locality). */
+    double reuseFraction = 0.5;
+    /** Maximum outstanding misses the core can sustain (MLP). */
+    unsigned mshrs = 8;
+
+    /**
+     * Phase behaviour: real benchmarks alternate memory-intensive
+     * and compute bursts; this is what creates both queueing
+     * pressure and idle (dummy) slots under shaping. Mean phase
+     * length in trace records; 0 disables phases.
+     */
+    uint64_t phaseLength = 0;
+    /** memRatio multiplier during quiet phases. */
+    double phaseLowFactor = 0.1;
+    /** memRatio multiplier during busy phases. */
+    double phaseHighFactor = 1.6;
+
+    /**
+     * Non-empty: replay this trace file (see cpu/trace_file.hh)
+     * instead of synthesising; the behavioural fields above are then
+     * ignored except `mshrs`.
+     */
+    std::string tracePath;
+};
+
+/** Profile-driven synthetic generator. */
+class SyntheticTraceGenerator : public TraceGenerator
+{
+  public:
+    SyntheticTraceGenerator(const WorkloadProfile &profile, uint64_t seed);
+
+    TraceRecord next() override;
+
+    const WorkloadProfile &profile() const { return profile_; }
+
+  private:
+    Addr pickLine();
+
+    WorkloadProfile profile_;
+    Rng rng_;
+    std::vector<uint64_t> streamPos_;
+    unsigned streamRr_ = 0;
+    std::vector<Addr> recent_;
+    size_t recentIdx_ = 0;
+    bool busyPhase_ = true;
+    uint64_t phaseLeft_ = 0;
+};
+
+} // namespace memsec::cpu
+
+#endif // MEMSEC_CPU_TRACE_HH

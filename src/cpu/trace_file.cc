@@ -1,0 +1,100 @@
+#include "cpu/trace_file.hh"
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace memsec::cpu {
+
+std::vector<TraceRecord>
+parseTrace(const std::string &text)
+{
+    std::vector<TraceRecord> out;
+    std::istringstream in(text);
+    std::string line;
+    int lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        const auto hash = line.find('#');
+        if (hash != std::string::npos)
+            line = line.substr(0, hash);
+        std::istringstream ls(line);
+        uint64_t gap;
+        std::string kind;
+        std::string addr;
+        if (!(ls >> gap))
+            continue; // blank / comment-only line
+        fatal_if(!(ls >> kind >> addr),
+                 "trace line {}: expected '<gap> R|W <hex-addr>', "
+                 "got '{}'",
+                 lineno, line);
+        fatal_if(kind != "R" && kind != "W",
+                 "trace line {}: kind must be R or W, got '{}'",
+                 lineno, kind);
+        TraceRecord rec;
+        rec.gap = static_cast<uint32_t>(gap);
+        rec.isStore = kind == "W";
+        char *end = nullptr;
+        rec.addr = std::strtoull(addr.c_str(), &end, 16);
+        fatal_if(end == addr.c_str() || *end != '\0',
+                 "trace line {}: bad address '{}'", lineno, addr);
+        out.push_back(rec);
+    }
+    return out;
+}
+
+std::string
+formatTrace(const std::vector<TraceRecord> &records)
+{
+    std::ostringstream os;
+    os << "# memsec trace: <gap> R|W <hex-address>\n";
+    for (const auto &r : records) {
+        os << r.gap << " " << (r.isStore ? "W" : "R") << " " << std::hex
+           << r.addr << std::dec << "\n";
+    }
+    return os.str();
+}
+
+FileTraceGenerator::FileTraceGenerator(const std::string &path)
+{
+    std::ifstream in(path);
+    fatal_if(!in, "cannot open trace file '{}'", path);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    records_ = parseTrace(buf.str());
+    fatal_if(records_.empty(), "trace file '{}' has no records", path);
+}
+
+FileTraceGenerator::FileTraceGenerator(std::vector<TraceRecord> records)
+    : records_(std::move(records))
+{
+    fatal_if(records_.empty(), "empty trace");
+}
+
+TraceRecord
+FileTraceGenerator::next()
+{
+    const TraceRecord rec = records_[pos_];
+    if (++pos_ == records_.size()) {
+        pos_ = 0;
+        ++loops_;
+    }
+    return rec;
+}
+
+void
+recordTrace(TraceGenerator &gen, size_t count, const std::string &path)
+{
+    std::vector<TraceRecord> records;
+    records.reserve(count);
+    for (size_t i = 0; i < count; ++i)
+        records.push_back(gen.next());
+    std::ofstream out(path);
+    fatal_if(!out, "cannot open '{}' for writing", path);
+    out << formatTrace(records);
+}
+
+} // namespace memsec::cpu

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Trace file I/O.
+ *
+ * The original evaluation replays SPEC regions; this repository ships
+ * synthetic generators, but downstream users will want to feed their
+ * own traces. The format is USIMM-flavoured text, one record per
+ * line:
+ *
+ *     <gap> R|W <hex-address>
+ *
+ * where <gap> is the number of non-memory instructions preceding the
+ * operation. '#' starts a comment. A FileTraceGenerator replays a
+ * trace (looping at EOF, like USIMM); recordTrace() samples any
+ * generator to a file, so synthetic workloads can be exported,
+ * inspected, or replayed bit-identically elsewhere.
+ */
+
+#ifndef MEMSEC_CPU_TRACE_FILE_HH
+#define MEMSEC_CPU_TRACE_FILE_HH
+
+#include <string>
+#include <vector>
+
+#include "cpu/trace.hh"
+
+namespace memsec::cpu {
+
+/** Replays a trace file, looping at end-of-file. */
+class FileTraceGenerator : public TraceGenerator
+{
+  public:
+    /** Parse the whole file up front; fatal on malformed lines. */
+    explicit FileTraceGenerator(const std::string &path);
+
+    /** Build directly from records (testing / programmatic use). */
+    explicit FileTraceGenerator(std::vector<TraceRecord> records);
+
+    TraceRecord next() override;
+
+    size_t size() const { return records_.size(); }
+
+    /** Times the trace has wrapped back to the start. */
+    uint64_t loops() const { return loops_; }
+
+  private:
+    std::vector<TraceRecord> records_;
+    size_t pos_ = 0;
+    uint64_t loops_ = 0;
+};
+
+/** Parse trace text (the file format above). Fatal on bad input. */
+std::vector<TraceRecord> parseTrace(const std::string &text);
+
+/** Render records in the file format. */
+std::string formatTrace(const std::vector<TraceRecord> &records);
+
+/** Sample `count` records from `gen` and write them to `path`. */
+void recordTrace(TraceGenerator &gen, size_t count,
+                 const std::string &path);
+
+} // namespace memsec::cpu
+
+#endif // MEMSEC_CPU_TRACE_FILE_HH

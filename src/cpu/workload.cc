@@ -1,0 +1,140 @@
+#include "cpu/workload.hh"
+
+#include <map>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace memsec::cpu {
+
+namespace {
+
+WorkloadProfile
+make(const std::string &name, double memRatio, double storeFrac,
+     uint64_t footprintLines, double streamFrac, unsigned streams,
+     unsigned stride, double reuse, unsigned mshrs,
+     uint64_t phaseLength = 1500)
+{
+    WorkloadProfile p;
+    p.name = name;
+    p.memRatio = memRatio;
+    p.storeFraction = storeFrac;
+    p.footprintLines = footprintLines;
+    p.streamFraction = streamFrac;
+    p.numStreams = streams;
+    p.strideLines = stride;
+    p.reuseFraction = reuse;
+    p.mshrs = mshrs;
+    // Benchmarks are phased: bursts of memory traffic alternate with
+    // compute stretches. Phases produce both queueing pressure and
+    // the idle slots that become dummy operations under shaping.
+    p.phaseLength = phaseLength;
+    return p;
+}
+
+const std::map<std::string, WorkloadProfile> &
+registry()
+{
+    // Footprints are in 64B lines (1<<14 = 1 MB). The per-core LLC
+    // slice is 512 KB (8K lines); footprints well above it produce
+    // the benchmark's characteristic miss traffic.
+    static const std::map<std::string, WorkloadProfile> reg = {
+        // Streaming, extremely memory-intensive, high MLP.
+        {"libquantum",
+         make("libquantum", 0.25, 0.15, 1 << 19, 0.95, 2, 1, 0.85, 16)},
+        // Pointer chasing over a huge footprint; modest MLP.
+        {"mcf", make("mcf", 0.30, 0.25, 1 << 20, 0.05, 1, 1, 0.85, 6)},
+        // Strided lattice sweeps, memory-intensive.
+        {"milc", make("milc", 0.28, 0.30, 1 << 18, 0.80, 4, 2, 0.90, 12)},
+        // Stream-heavy stencil with a large write share.
+        {"lbm", make("lbm", 0.30, 0.45, 1 << 19, 0.90, 8, 1, 0.90, 12)},
+        // FDTD sweeps, strided, memory-intensive.
+        {"GemsFDTD",
+         make("GemsFDTD", 0.30, 0.30, 1 << 19, 0.80, 6, 4, 0.93, 10)},
+        // Path search: mixed random/short streams, moderate traffic.
+        {"astar", make("astar", 0.25, 0.25, 1 << 15, 0.40, 2, 1, 0.975, 6)},
+        // Structured grid, moderate intensity.
+        {"zeusmp",
+         make("zeusmp", 0.22, 0.30, 1 << 17, 0.70, 4, 2, 0.972, 8)},
+        // Working set just above the LLC slice: mostly hits with a
+        // trickle of capacity misses (the paper's 87%-dummy case).
+        {"xalancbmk",
+         make("xalancbmk", 0.30, 0.30, 8800, 0.30, 2, 1, 0.93, 8)},
+        // NPB conjugate gradient: sparse random gathers.
+        {"CG", make("CG", 0.30, 0.20, 1 << 17, 0.20, 2, 1, 0.90, 10)},
+        // NPB scalar pentadiagonal: multi-stream sweeps.
+        {"SP", make("SP", 0.28, 0.35, 1 << 18, 0.85, 6, 1, 0.91, 12)},
+        // Mix components.
+        {"omnetpp",
+         make("omnetpp", 0.25, 0.30, 1 << 16, 0.15, 1, 1, 0.97, 6)},
+        {"soplex",
+         make("soplex", 0.28, 0.25, 1 << 17, 0.50, 2, 1, 0.955, 8)},
+        // Synthetic attacker/co-runner profiles.
+        {"idle", make("idle", 0.001, 0.0, 64, 0.0, 1, 1, 0.999, 1, 0)},
+        {"hog", make("hog", 0.45, 0.30, 1 << 20, 0.30, 4, 1, 0.30, 16, 0)},
+    };
+    return reg;
+}
+
+} // namespace
+
+WorkloadProfile
+profileByName(const std::string &name)
+{
+    const auto &reg = registry();
+    auto it = reg.find(name);
+    fatal_if(it == reg.end(), "unknown workload profile '{}'", name);
+    return it->second;
+}
+
+std::vector<std::string>
+allProfileNames()
+{
+    std::vector<std::string> out;
+    for (const auto &kv : registry())
+        out.push_back(kv.first);
+    return out;
+}
+
+std::vector<WorkloadProfile>
+workloadMix(const std::string &name, unsigned cores)
+{
+    fatal_if(cores == 0, "need at least one core");
+    std::vector<std::string> parts;
+    if (name == "mix1") {
+        parts = {"xalancbmk", "soplex", "mcf", "omnetpp"};
+    } else if (name == "mix2") {
+        parts = {"milc", "lbm", "xalancbmk", "zeusmp"};
+    } else if (name.find(',') != std::string::npos) {
+        std::istringstream is(name);
+        std::string tok;
+        while (std::getline(is, tok, ','))
+            parts.push_back(tok);
+    } else {
+        parts = {name}; // rate mode
+    }
+
+    std::vector<WorkloadProfile> out;
+    for (unsigned c = 0; c < cores; ++c) {
+        const std::string &part = parts[c % parts.size()];
+        if (part.rfind("trace:", 0) == 0) {
+            WorkloadProfile p;
+            p.name = "trace";
+            p.tracePath = part.substr(6);
+            out.push_back(p);
+        } else {
+            out.push_back(profileByName(part));
+        }
+    }
+    return out;
+}
+
+std::vector<std::string>
+evaluationSuite()
+{
+    return {"mix1", "mix2",  "CG",     "SP",        "astar",
+            "lbm",  "libquantum", "mcf", "milc",    "zeusmp",
+            "GemsFDTD", "xalancbmk"};
+}
+
+} // namespace memsec::cpu

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * The paper's workload suite as synthetic profiles.
+ *
+ * Profiles are calibrated to each benchmark's published character
+ * (memory intensity, streaming vs pointer chasing, working-set size,
+ * write ratio, memory-level parallelism), not to absolute SPEC
+ * numbers. Mixes follow Section 6: rate mode for the single
+ * benchmarks, mix1 = 2x {xalancbmk, soplex, mcf, omnetpp}, and
+ * mix2 = 2x {milc, lbm, xalancbmk, zeusmp}.
+ */
+
+#ifndef MEMSEC_CPU_WORKLOAD_HH
+#define MEMSEC_CPU_WORKLOAD_HH
+
+#include <string>
+#include <vector>
+
+#include "cpu/trace.hh"
+
+namespace memsec::cpu {
+
+/** Look up a benchmark profile by name; fatal on unknown names. */
+WorkloadProfile profileByName(const std::string &name);
+
+/** All single-benchmark profile names known to the registry. */
+std::vector<std::string> allProfileNames();
+
+/**
+ * Expand a workload name (a benchmark in rate mode, "mix1"/"mix2",
+ * or a comma-separated list) to exactly `cores` per-core profiles.
+ */
+std::vector<WorkloadProfile> workloadMix(const std::string &name,
+                                         unsigned cores);
+
+/** The 12-entry evaluation suite of Section 6, in figure order. */
+std::vector<std::string> evaluationSuite();
+
+} // namespace memsec::cpu
+
+#endif // MEMSEC_CPU_WORKLOAD_HH

@@ -1,0 +1,61 @@
+#include "dram/command.hh"
+
+#include <sstream>
+
+namespace memsec::dram {
+
+const char *
+cmdName(CmdType t)
+{
+    switch (t) {
+      case CmdType::Act: return "ACT";
+      case CmdType::Pre: return "PRE";
+      case CmdType::Rd: return "RD";
+      case CmdType::RdA: return "RDA";
+      case CmdType::Wr: return "WR";
+      case CmdType::WrA: return "WRA";
+      case CmdType::Ref: return "REF";
+      case CmdType::PdEnter: return "PDE";
+      case CmdType::PdExit: return "PDX";
+    }
+    return "???";
+}
+
+bool
+isColumn(CmdType t)
+{
+    return t == CmdType::Rd || t == CmdType::RdA || t == CmdType::Wr ||
+           t == CmdType::WrA;
+}
+
+bool
+isRead(CmdType t)
+{
+    return t == CmdType::Rd || t == CmdType::RdA;
+}
+
+bool
+isWrite(CmdType t)
+{
+    return t == CmdType::Wr || t == CmdType::WrA;
+}
+
+bool
+isAutoPrecharge(CmdType t)
+{
+    return t == CmdType::RdA || t == CmdType::WrA;
+}
+
+std::string
+Command::toString() const
+{
+    std::ostringstream os;
+    os << cmdName(type) << " r" << rank << " b" << bank << " row" << row;
+    if (req)
+        os << " req" << req;
+    if (suppressed)
+        os << " (suppressed)";
+    return os.str();
+}
+
+} // namespace memsec::dram

@@ -1,0 +1,171 @@
+#include "dram/dram_system.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace memsec::dram {
+
+DramSystem::DramSystem(const TimingParams &tp, const Geometry &geo)
+    : tp_(tp), geo_(geo), buses_(tp_),
+      checker_(tp_, geo.ranksPerChannel, geo.banksPerRank)
+{
+    tp_.validate();
+    geo_.validate();
+    ranks_.reserve(geo.ranksPerChannel);
+    for (unsigned r = 0; r < geo.ranksPerChannel; ++r)
+        ranks_.emplace_back(geo.banksPerRank, tp_);
+}
+
+bool
+DramSystem::canIssue(const Command &cmd, Cycle now, std::string *why) const
+{
+    auto blocked = [&](const char *reason) {
+        if (why)
+            *why = reason;
+        return false;
+    };
+
+    if (!buses_.cmdBusFree(now))
+        return blocked("command bus busy");
+
+    fatal_if(cmd.rank >= ranks_.size(), "rank {} out of range", cmd.rank);
+    const Rank &rk = ranks_[cmd.rank];
+    if (cmd.type != CmdType::PdExit) {
+        if (now < rk.refreshEndsAt())
+            return blocked("rank refreshing");
+        if (rk.isPoweredDown())
+            return blocked("rank powered down");
+    }
+
+    switch (cmd.type) {
+      case CmdType::Act: {
+        const Bank &bk = rk.bank(cmd.bank);
+        if (bk.isOpen())
+            return blocked("bank has open row");
+        if (now < bk.nextAct())
+            return blocked("bank tRC/tRP");
+        if (now < rk.nextActRankLimit())
+            return blocked("rank tRRD/tFAW");
+        return true;
+      }
+      case CmdType::Rd:
+      case CmdType::RdA:
+      case CmdType::Wr:
+      case CmdType::WrA: {
+        const Bank &bk = rk.bank(cmd.bank);
+        const bool rd = isRead(cmd.type);
+        if (!bk.isOpen() || bk.openRow() != cmd.row)
+            return blocked("row not open");
+        if (rd && now < bk.nextRead())
+            return blocked("bank tRCD (read)");
+        if (!rd && now < bk.nextWrite())
+            return blocked("bank tRCD (write)");
+        if (rd && now < rk.nextRead())
+            return blocked("rank CAS turnaround (read)");
+        if (!rd && now < rk.nextWrite())
+            return blocked("rank CAS turnaround (write)");
+        const Cycle dataStart = now + (rd ? tp_.cas : tp_.cwd);
+        if (!buses_.dataBusFree(dataStart, cmd.rank))
+            return blocked("data bus / tRTRS");
+        return true;
+      }
+      case CmdType::Pre: {
+        const Bank &bk = rk.bank(cmd.bank);
+        if (!bk.isOpen())
+            return blocked("bank already closed");
+        if (now < bk.nextPre())
+            return blocked("bank tRAS/tRTP/tWR");
+        return true;
+      }
+      case CmdType::Ref:
+        if (!rk.allBanksIdleBy(now))
+            return blocked("banks not precharged for REF");
+        return true;
+      case CmdType::PdEnter:
+        if (rk.anyBankOpen())
+            return blocked("open rows prevent power-down");
+        if (now < rk.pdExitReadyAt())
+            return blocked("tXP after power-down exit");
+        return true;
+      case CmdType::PdExit:
+        if (!rk.isPoweredDown())
+            return blocked("rank not powered down");
+        if (now < rk.earliestPdExit())
+            return blocked("tCKE residency");
+        return true;
+    }
+    return blocked("unknown command");
+}
+
+IssueResult
+DramSystem::issue(const Command &cmd, Cycle now)
+{
+    std::string why;
+    panic_if(!canIssue(cmd, now, &why), "illegal issue of {} at {}: {}",
+             cmd.toString(), now, why);
+
+    // Independent audit first, so a fast-path bug cannot mask a real
+    // constraint violation.
+    checker_.observe(cmd, now);
+    buses_.useCmdBus(now);
+    ++commandsIssued_;
+
+    Rank &rk = ranks_[cmd.rank];
+    IssueResult res;
+
+    switch (cmd.type) {
+      case CmdType::Act:
+        rk.bank(cmd.bank).doActivate(now, cmd.row, tp_);
+        rk.recordActivate(now, cmd.suppressed);
+        break;
+      case CmdType::Rd:
+      case CmdType::RdA: {
+        rk.bank(cmd.bank).doRead(now, isAutoPrecharge(cmd.type), tp_);
+        rk.recordRead(now);
+        res.dataStart = now + tp_.cas;
+        res.dataEnd = res.dataStart + tp_.burst;
+        buses_.reserveData(res.dataStart, cmd.rank);
+        if (cmd.suppressed)
+            ++rk.energy().suppressedCas;
+        else
+            ++rk.energy().reads;
+        break;
+      }
+      case CmdType::Wr:
+      case CmdType::WrA: {
+        rk.bank(cmd.bank).doWrite(now, isAutoPrecharge(cmd.type), tp_);
+        rk.recordWrite(now);
+        res.dataStart = now + tp_.cwd;
+        res.dataEnd = res.dataStart + tp_.burst;
+        buses_.reserveData(res.dataStart, cmd.rank);
+        if (cmd.suppressed)
+            ++rk.energy().suppressedCas;
+        else
+            ++rk.energy().writes;
+        break;
+      }
+      case CmdType::Pre:
+        rk.bank(cmd.bank).doPrecharge(now, tp_);
+        break;
+      case CmdType::Ref:
+        rk.startRefresh(now);
+        break;
+      case CmdType::PdEnter:
+        rk.enterPowerDown(now);
+        break;
+      case CmdType::PdExit:
+        rk.exitPowerDown(now);
+        break;
+    }
+    return res;
+}
+
+void
+DramSystem::tick(Cycle now)
+{
+    for (auto &rk : ranks_)
+        rk.tickEnergy(now);
+}
+
+} // namespace memsec::dram

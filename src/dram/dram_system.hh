@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Single-channel DRAM device model.
+ *
+ * DramSystem is the authority on DRAM state for one channel: it owns
+ * the ranks/banks, the shared buses, and the independent
+ * TimingChecker. Schedulers ask canIssue() and then issue(); issue()
+ * both updates the fast-path state and feeds the auditor, so an
+ * inconsistent scheduler is caught immediately.
+ */
+
+#ifndef MEMSEC_DRAM_DRAM_SYSTEM_HH
+#define MEMSEC_DRAM_DRAM_SYSTEM_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dram/channel.hh"
+#include "dram/command.hh"
+#include "dram/rank.hh"
+#include "dram/timing.hh"
+#include "dram/timing_checker.hh"
+#include "sim/types.hh"
+
+namespace memsec::dram {
+
+/** Result of a column command: when its data burst completes. */
+struct IssueResult
+{
+    Cycle dataStart = 0; ///< first cycle of the data burst (column cmds)
+    Cycle dataEnd = 0;   ///< one past the last burst cycle
+};
+
+/** One memory channel's worth of DRAM devices. */
+class DramSystem
+{
+  public:
+    DramSystem(const TimingParams &tp, const Geometry &geo);
+
+    /** True if `cmd` may legally issue at cycle `now`; optionally
+     *  reports the blocking rule. */
+    bool canIssue(const Command &cmd, Cycle now,
+                  std::string *why = nullptr) const;
+
+    /**
+     * Issue a command at cycle `now`. Panics if illegal. For column
+     * commands the returned IssueResult carries the data-burst window;
+     * for others it is zero.
+     */
+    IssueResult issue(const Command &cmd, Cycle now);
+
+    /** Per-cycle housekeeping (energy state accounting). */
+    void tick(Cycle now);
+
+    Rank &rank(unsigned r) { return ranks_.at(r); }
+    const Rank &rank(unsigned r) const { return ranks_.at(r); }
+    unsigned numRanks() const { return static_cast<unsigned>(ranks_.size()); }
+
+    ChannelBuses &buses() { return buses_; }
+    const ChannelBuses &buses() const { return buses_; }
+
+    const TimingParams &timing() const { return tp_; }
+    const Geometry &geometry() const { return geo_; }
+    TimingChecker &checker() { return checker_; }
+
+    /** Total commands issued. */
+    uint64_t commandsIssued() const { return commandsIssued_; }
+
+  private:
+    TimingParams tp_;
+    Geometry geo_;
+    std::vector<Rank> ranks_;
+    ChannelBuses buses_;
+    TimingChecker checker_;
+    uint64_t commandsIssued_ = 0;
+};
+
+} // namespace memsec::dram
+
+#endif // MEMSEC_DRAM_DRAM_SYSTEM_HH

@@ -1,0 +1,149 @@
+#include "dram/rank.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace memsec::dram {
+
+Rank::Rank(unsigned banks, const TimingParams &tp)
+    : tp_(tp), banks_(banks)
+{
+}
+
+Cycle
+Rank::nextActRankLimit() const
+{
+    Cycle limit = nextActRrd_;
+    if (actWindow_.size() >= 4)
+        limit = std::max(limit, actWindow_.front() + tp_.faw);
+    return limit;
+}
+
+void
+Rank::recordActivate(Cycle t, bool suppressed)
+{
+    panic_if(t < nextActRankLimit(),
+             "rank ACT at {} violates tRRD/tFAW limit {}", t,
+             nextActRankLimit());
+    nextActRrd_ = t + tp_.rrd;
+    actWindow_.push_back(t);
+    while (actWindow_.size() > 4)
+        actWindow_.pop_front();
+    if (suppressed)
+        ++energy_.suppressedActs;
+    else
+        ++energy_.activates;
+}
+
+void
+Rank::recordRead(Cycle t)
+{
+    panic_if(t < nextRead_, "rank RD at {} before nextRead {}", t,
+             nextRead_);
+    nextRead_ = t + tp_.ccd;
+    nextWrite_ = std::max(nextWrite_, t + tp_.rd2wr());
+}
+
+void
+Rank::recordWrite(Cycle t)
+{
+    panic_if(t < nextWrite_, "rank WR at {} before nextWrite {}", t,
+             nextWrite_);
+    nextWrite_ = t + tp_.ccd;
+    nextRead_ = std::max(nextRead_, t + tp_.wr2rd());
+}
+
+bool
+Rank::anyBankOpen() const
+{
+    for (const auto &b : banks_) {
+        if (b.isOpen())
+            return true;
+    }
+    return false;
+}
+
+bool
+Rank::allBanksIdleBy(Cycle t) const
+{
+    for (const auto &b : banks_) {
+        if (b.isOpen() || b.nextAct() > t)
+            return false;
+    }
+    return true;
+}
+
+void
+Rank::startRefresh(Cycle t)
+{
+    panic_if(anyBankOpen(), "REF with open rows");
+    panic_if(poweredDown_, "REF while powered down");
+    refreshEnd_ = t + tp_.rfc;
+    for (auto &b : banks_)
+        b.blockUntil(refreshEnd_);
+    nextRead_ = std::max(nextRead_, refreshEnd_);
+    nextWrite_ = std::max(nextWrite_, refreshEnd_);
+    nextActRrd_ = std::max(nextActRrd_, refreshEnd_);
+    ++energy_.refreshes;
+}
+
+void
+Rank::enterPowerDown(Cycle t)
+{
+    panic_if(anyBankOpen(), "precharge power-down with open rows");
+    panic_if(poweredDown_, "PDE while already powered down");
+    panic_if(t < refreshEnd_, "PDE during refresh");
+    panic_if(t < pdExitReadyAt_, "PDE before tXP after the last exit");
+    poweredDown_ = true;
+    pdEnteredAt_ = t;
+}
+
+void
+Rank::exitPowerDown(Cycle t)
+{
+    panic_if(!poweredDown_, "PDX while not powered down");
+    panic_if(t < earliestPdExit(),
+             "PDX at {} before minimum residency end {}", t,
+             earliestPdExit());
+    poweredDown_ = false;
+    pdExitReadyAt_ = t + tp_.xp;
+    const Cycle ready = t + tp_.xp;
+    for (auto &b : banks_)
+        b.blockUntil(ready);
+    nextRead_ = std::max(nextRead_, ready);
+    nextWrite_ = std::max(nextWrite_, ready);
+    nextActRrd_ = std::max(nextActRrd_, ready);
+}
+
+PowerState
+Rank::powerState(Cycle now) const
+{
+    if (poweredDown_)
+        return PowerState::PowerDown;
+    if (now < refreshEnd_)
+        return PowerState::Refreshing;
+    return anyBankOpen() ? PowerState::ActiveStandby
+                         : PowerState::PrechargeStandby;
+}
+
+void
+Rank::tickEnergy(Cycle now)
+{
+    switch (powerState(now)) {
+      case PowerState::PowerDown:
+        ++energy_.cyclesPowerDown;
+        break;
+      case PowerState::Refreshing:
+        ++energy_.cyclesRefreshing;
+        break;
+      case PowerState::ActiveStandby:
+        ++energy_.cyclesActive;
+        break;
+      case PowerState::PrechargeStandby:
+        ++energy_.cyclesPrecharge;
+        break;
+    }
+}
+
+} // namespace memsec::dram

@@ -1,0 +1,101 @@
+#include "dram/timing.hh"
+
+#include <sstream>
+
+#include "util/bitops.hh"
+#include "util/logging.hh"
+
+namespace memsec::dram {
+
+void
+TimingParams::validate() const
+{
+    fatal_if(burst == 0, "tBURST must be nonzero");
+    fatal_if(ccd < burst, "tCCD ({}) below tBURST ({})", ccd, burst);
+    fatal_if(ras + rp > rc + 1, "tRAS + tRP ({}) inconsistent with tRC ({})",
+             ras + rp, rc);
+    fatal_if(cas < cwd, "tCAS ({}) below tCWD ({}): unsupported part",
+             cas, cwd);
+    fatal_if(faw < rrd, "tFAW ({}) below tRRD ({})", faw, rrd);
+    fatal_if(rfc == 0 || refi == 0, "refresh parameters must be nonzero");
+}
+
+std::string
+TimingParams::toString() const
+{
+    std::ostringstream os;
+    os << "tRC=" << rc << " tRCD=" << rcd << " tRAS=" << ras
+       << " tRP=" << rp << " tRTP=" << rtp << " tWR=" << wr
+       << " tRRD=" << rrd << " tFAW=" << faw << " tCAS=" << cas
+       << " tCWD=" << cwd << " tBURST=" << burst << " tCCD=" << ccd
+       << " tWTR=" << wtr << " tRTRS=" << rtrs << " tREFI=" << refi
+       << " tRFC=" << rfc << " tXP=" << xp;
+    return os.str();
+}
+
+TimingParams
+TimingParams::ddr3_1600_4gb()
+{
+    // Exactly the paper's Table 1; defaults already encode it.
+    return TimingParams{};
+}
+
+TimingParams
+TimingParams::ddr3_2133()
+{
+    TimingParams t;
+    t.rc = 50;
+    t.rcd = 14;
+    t.ras = 36;
+    t.rp = 14;
+    t.rtp = 8;
+    t.wr = 16;
+    t.rrd = 6;
+    t.faw = 27;
+    t.cas = 14;
+    t.cwd = 7;
+    t.burst = 4;
+    t.ccd = 4;
+    t.wtr = 8;
+    t.rtrs = 2;
+    t.refi = 8320;
+    t.rfc = 278;
+    return t;
+}
+
+TimingParams
+TimingParams::ddr4_2400()
+{
+    TimingParams t;
+    t.rc = 55;
+    t.rcd = 16;
+    t.ras = 39;
+    t.rp = 16;
+    t.rtp = 9;
+    t.wr = 18;
+    t.rrd = 7;   // tRRD_L
+    t.faw = 26;
+    t.cas = 16;
+    t.cwd = 12;
+    t.burst = 4;
+    t.ccd = 6;   // tCCD_L
+    t.wtr = 9;   // tWTR_L
+    t.rtrs = 3;
+    t.refi = 9360;
+    t.rfc = 420;
+    return t;
+}
+
+void
+Geometry::validate() const
+{
+    fatal_if(channels == 0 || ranksPerChannel == 0 || banksPerRank == 0 ||
+             rowsPerBank == 0 || colsPerRow == 0,
+             "geometry fields must all be nonzero");
+    fatal_if(!isPowerOf2(ranksPerChannel) || !isPowerOf2(banksPerRank) ||
+             !isPowerOf2(rowsPerBank) || !isPowerOf2(colsPerRow) ||
+             !isPowerOf2(channels),
+             "geometry fields must be powers of two for address mapping");
+}
+
+} // namespace memsec::dram

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * DRAM timing parameters.
+ *
+ * All values are in DRAM bus cycles (800 MHz for DDR3-1600, i.e.
+ * 1.25 ns per cycle) and follow the paper's Table 1. Derived values
+ * used by both the schedulers and the pipeline solver (read-to-write
+ * and write-to-read column-command gaps, command offsets relative to
+ * the data burst) are computed here so every consumer agrees on them.
+ */
+
+#ifndef MEMSEC_DRAM_TIMING_HH
+#define MEMSEC_DRAM_TIMING_HH
+
+#include <cstdint>
+#include <string>
+
+namespace memsec::dram {
+
+/**
+ * JEDEC-style timing parameter set. Field names mirror the datasheet
+ * names (t prefix dropped: tRCD -> rcd).
+ */
+struct TimingParams
+{
+    // -- Bank / row timing --
+    unsigned rc = 39;    ///< ACT to ACT, same bank (tRC)
+    unsigned rcd = 11;   ///< ACT to column command, same bank (tRCD)
+    unsigned ras = 28;   ///< ACT to PRE, same bank (tRAS)
+    unsigned rp = 11;    ///< PRE to ACT, same bank (tRP)
+    unsigned rtp = 6;    ///< column-read to PRE (tRTP)
+    unsigned wr = 12;    ///< end of write burst to PRE (tWR)
+
+    // -- Rank-level activation limits --
+    unsigned rrd = 5;    ///< ACT to ACT, different banks same rank (tRRD)
+    unsigned faw = 24;   ///< window for at most four ACTs per rank (tFAW)
+
+    // -- Column / bus timing --
+    unsigned cas = 11;   ///< column-read to data (CL / tCAS)
+    unsigned cwd = 5;    ///< column-write to data (CWL / tCWD)
+    unsigned burst = 4;  ///< data burst length on the bus (tBURST)
+    unsigned ccd = 4;    ///< column command to column command (tCCD)
+    unsigned wtr = 6;    ///< end of write burst to column-read (tWTR)
+    unsigned rtrs = 2;   ///< rank-to-rank data-bus switch (tRTRS)
+
+    // -- Refresh --
+    uint64_t refi = 6240; ///< average refresh interval (tREFI, 7.8 us)
+    unsigned rfc = 208;   ///< refresh cycle time (tRFC, 260 ns)
+
+    // -- Power-down --
+    unsigned xp = 10;    ///< power-down exit to first command (tXP)
+    unsigned cke = 4;    ///< minimum power-down residency (tCKE)
+
+    /**
+     * Column-read to column-write, same rank:
+     * the read burst must clear the bus before the write burst starts.
+     * rd2wr = cas + burst - cwd (paper: 11 + 4 - 5 = 10).
+     */
+    unsigned rd2wr() const { return cas + burst - cwd; }
+
+    /**
+     * Column-write to column-read, same rank:
+     * wr2rd = cwd + burst + wtr (paper: 5 + 4 + 6 = 15).
+     */
+    unsigned wr2rd() const { return cwd + burst + wtr; }
+
+    /**
+     * ACT to next ACT on the same bank when the access is a write with
+     * auto-precharge: rcd + cwd + burst + wr + rp (paper: 43). This is
+     * the binding constraint for the unpartitioned FS pipeline.
+     */
+    unsigned actToActWrA() const { return rcd + cwd + burst + wr + rp; }
+
+    /** ACT to next ACT, same bank, read with auto-precharge. */
+    unsigned actToActRdA() const
+    {
+        const unsigned via_rtp = rcd + rtp + rp;
+        return via_rtp > rc ? via_rtp : rc;
+    }
+
+    /** Validate internal consistency; fatal on nonsense values. */
+    void validate() const;
+
+    /** Human-readable multi-line dump. */
+    std::string toString() const;
+
+    /** The paper's Table 1 DDR3-1600 4Gb part. */
+    static TimingParams ddr3_1600_4gb();
+
+    /** A faster DDR3-2133-like part (solver generality tests). */
+    static TimingParams ddr3_2133();
+
+    /** A DDR4-2400-like part (solver generality tests). */
+    static TimingParams ddr4_2400();
+};
+
+/** Geometry of the simulated memory system. */
+struct Geometry
+{
+    unsigned channels = 1;
+    unsigned ranksPerChannel = 8;
+    unsigned banksPerRank = 8;
+    unsigned rowsPerBank = 32768;
+    unsigned colsPerRow = 128;   ///< cache lines per row (8 KB row / 64 B)
+
+    unsigned ranksTotal() const { return channels * ranksPerChannel; }
+    unsigned banksTotal() const { return ranksTotal() * banksPerRank; }
+    uint64_t lineCapacity() const
+    {
+        return static_cast<uint64_t>(banksTotal()) * rowsPerBank *
+               colsPerRow;
+    }
+    void validate() const;
+};
+
+} // namespace memsec::dram
+
+#endif // MEMSEC_DRAM_TIMING_HH

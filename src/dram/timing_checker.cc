@@ -1,0 +1,273 @@
+#include "dram/timing_checker.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace memsec::dram {
+
+TimingChecker::TimingChecker(const TimingParams &tp, unsigned ranks,
+                             unsigned banks)
+    : tp_(tp), nbanks_(banks),
+      banks_(static_cast<size_t>(ranks) * banks), ranks_(ranks)
+{
+}
+
+TimingChecker::BankShadow &
+TimingChecker::bankOf(const Command &cmd)
+{
+    return banks_.at(static_cast<size_t>(cmd.rank) * nbanks_ + cmd.bank);
+}
+
+TimingChecker::RankShadow &
+TimingChecker::rankOf(const Command &cmd)
+{
+    return ranks_.at(cmd.rank);
+}
+
+void
+TimingChecker::fail(Cycle t, const std::string &rule,
+                    const std::string &detail)
+{
+    currentOk_ = false;
+    if (strict_)
+        panic("timing violation [{}] at cycle {}: {}", rule, t, detail);
+    violations_.push_back({t, rule, detail});
+}
+
+void
+TimingChecker::require(bool ok, Cycle t, const char *rule,
+                       const std::string &detail)
+{
+    if (!ok)
+        fail(t, rule, detail);
+}
+
+bool
+TimingChecker::observe(const Command &cmd, Cycle t)
+{
+    ++observed_;
+    currentOk_ = true;
+
+    // Shared command bus: exactly one command per cycle, time monotone.
+    require(lastCmdCycle_ == kNoCycle || t > lastCmdCycle_, t, "cmd-bus",
+            "command at cycle " + std::to_string(t) +
+                " but bus last used at " + std::to_string(lastCmdCycle_));
+    lastCmdCycle_ = t;
+
+    // No commands to a refreshing or powered-down rank.
+    RankShadow &rk = rankOf(cmd);
+    if (cmd.type != CmdType::PdExit) {
+        require(t >= rk.refreshEnd || cmd.type == CmdType::Ref, t, "tRFC",
+                "command to rank during refresh");
+        require(!rk.poweredDown, t, "power-down",
+                std::string(cmdName(cmd.type)) + " to powered-down rank");
+    }
+    require(t >= rk.pdExitReadyAt || cmd.type == CmdType::PdExit, t, "tXP",
+            "command before power-down exit latency elapsed");
+
+    switch (cmd.type) {
+      case CmdType::Act:
+        checkAct(cmd, t);
+        break;
+      case CmdType::Rd:
+      case CmdType::RdA:
+      case CmdType::Wr:
+      case CmdType::WrA:
+        checkColumn(cmd, t);
+        break;
+      case CmdType::Pre:
+        checkPre(cmd, t);
+        break;
+      case CmdType::Ref:
+        checkRef(cmd, t);
+        break;
+      case CmdType::PdEnter:
+      case CmdType::PdExit:
+        checkPd(cmd, t);
+        break;
+    }
+    return currentOk_;
+}
+
+void
+TimingChecker::checkAct(const Command &cmd, Cycle t)
+{
+    BankShadow &bk = bankOf(cmd);
+    RankShadow &rk = rankOf(cmd);
+
+    require(bk.openRow == kNoRow, t, "row-state",
+            "ACT to bank with open row");
+    if (bk.lastAct != kNoCycle) {
+        require(t >= bk.lastAct + tp_.rc, t, "tRC",
+                "ACT-to-ACT gap " + std::to_string(t - bk.lastAct) +
+                    " < tRC");
+    }
+    require(t >= bk.preReadyAt, t, "tRP",
+            "ACT " + std::to_string(t) + " before precharge completes at " +
+                std::to_string(bk.preReadyAt));
+    if (!rk.actHistory.empty()) {
+        require(t >= rk.actHistory.back() + tp_.rrd, t, "tRRD",
+                "rank ACT-to-ACT gap " +
+                    std::to_string(t - rk.actHistory.back()) + " < tRRD");
+    }
+    if (rk.actHistory.size() >= 4) {
+        const Cycle fourth = rk.actHistory[rk.actHistory.size() - 4];
+        require(t >= fourth + tp_.faw, t, "tFAW",
+                "fifth ACT within tFAW window (" +
+                    std::to_string(t - fourth) + " < " +
+                    std::to_string(tp_.faw) + ")");
+    }
+
+    bk.openRow = cmd.row;
+    bk.lastAct = t;
+    bk.lastRdCas = kNoCycle;
+    bk.lastWrCas = kNoCycle;
+    rk.actHistory.push_back(t);
+    while (rk.actHistory.size() > 4)
+        rk.actHistory.pop_front();
+}
+
+void
+TimingChecker::checkColumn(const Command &cmd, Cycle t)
+{
+    BankShadow &bk = bankOf(cmd);
+    RankShadow &rk = rankOf(cmd);
+    const bool rd = isRead(cmd.type);
+
+    require(bk.openRow != kNoRow, t, "row-state",
+            "column command to closed bank");
+    require(bk.openRow == cmd.row, t, "row-state",
+            "column command to row " + std::to_string(cmd.row) +
+                " but open row is " + std::to_string(bk.openRow));
+    require(bk.lastAct == kNoCycle || t >= bk.lastAct + tp_.rcd, t, "tRCD",
+            "CAS " + std::to_string(t - bk.lastAct) + " after ACT < tRCD");
+
+    // Same-rank CAS-to-CAS turnaround.
+    if (rk.lastRdCas != kNoCycle) {
+        if (rd) {
+            require(t >= rk.lastRdCas + tp_.ccd, t, "tCCD",
+                    "RD-to-RD same rank < tCCD");
+        } else {
+            require(t >= rk.lastRdCas + tp_.rd2wr(), t, "rd2wr",
+                    "RD-to-WR same rank gap " +
+                        std::to_string(t - rk.lastRdCas) + " < " +
+                        std::to_string(tp_.rd2wr()));
+        }
+    }
+    if (rk.lastWrCas != kNoCycle) {
+        if (rd) {
+            require(t >= rk.lastWrCas + tp_.wr2rd(), t, "tWTR",
+                    "WR-to-RD same rank gap " +
+                        std::to_string(t - rk.lastWrCas) + " < " +
+                        std::to_string(tp_.wr2rd()));
+        } else {
+            require(t >= rk.lastWrCas + tp_.ccd, t, "tCCD",
+                    "WR-to-WR same rank < tCCD");
+        }
+    }
+
+    // Data-bus occupancy and rank-to-rank switching.
+    const Cycle dataStart = t + (rd ? tp_.cas : tp_.cwd);
+    if (lastDataStart_ != kNoCycle) {
+        require(dataStart >= lastDataEnd_, t, "data-bus",
+                "burst at " + std::to_string(dataStart) +
+                    " overlaps burst ending " +
+                    std::to_string(lastDataEnd_));
+        if (cmd.rank != lastDataRank_) {
+            require(dataStart >= lastDataEnd_ + tp_.rtrs, t, "tRTRS",
+                    "rank switch gap " +
+                        std::to_string(dataStart - lastDataEnd_) +
+                        " < tRTRS");
+        }
+    }
+    lastDataStart_ = dataStart;
+    lastDataEnd_ = dataStart + tp_.burst;
+    lastDataRank_ = cmd.rank;
+
+    if (rd) {
+        bk.lastRdCas = t;
+        rk.lastRdCas = t;
+    } else {
+        bk.lastWrCas = t;
+        rk.lastWrCas = t;
+    }
+
+    if (isAutoPrecharge(cmd.type)) {
+        // Auto-precharge begins after tRTP (read) or after the burst
+        // plus tWR (write), but the device internally delays it until
+        // tRAS is satisfied (JEDEC auto-precharge semantics); the bank
+        // is ACT-ready tRP after the precharge actually starts.
+        Cycle preStart =
+            rd ? t + tp_.rtp : t + tp_.cwd + tp_.burst + tp_.wr;
+        if (bk.lastAct != kNoCycle)
+            preStart = std::max(preStart, bk.lastAct + tp_.ras);
+        bk.openRow = kNoRow;
+        bk.preReadyAt = preStart + tp_.rp;
+    }
+}
+
+void
+TimingChecker::checkPre(const Command &cmd, Cycle t)
+{
+    BankShadow &bk = bankOf(cmd);
+    require(bk.openRow != kNoRow, t, "row-state",
+            "PRE to closed bank");
+    require(bk.lastAct == kNoCycle || t >= bk.lastAct + tp_.ras, t, "tRAS",
+            "PRE " + std::to_string(t - bk.lastAct) + " after ACT < tRAS");
+    if (bk.lastRdCas != kNoCycle) {
+        require(t >= bk.lastRdCas + tp_.rtp, t, "tRTP",
+                "PRE too soon after column read");
+    }
+    if (bk.lastWrCas != kNoCycle) {
+        require(t >= bk.lastWrCas + tp_.cwd + tp_.burst + tp_.wr, t, "tWR",
+                "PRE too soon after column write");
+    }
+    bk.openRow = kNoRow;
+    bk.preReadyAt = t + tp_.rp;
+}
+
+void
+TimingChecker::checkRef(const Command &cmd, Cycle t)
+{
+    RankShadow &rk = rankOf(cmd);
+    for (unsigned b = 0; b < nbanks_; ++b) {
+        const BankShadow &bk =
+            banks_[static_cast<size_t>(cmd.rank) * nbanks_ + b];
+        require(bk.openRow == kNoRow, t, "row-state",
+                "REF with open row in bank " + std::to_string(b));
+        require(t >= bk.preReadyAt, t, "tRP",
+                "REF before precharge completes in bank " +
+                    std::to_string(b));
+    }
+    require(t >= rk.refreshEnd, t, "tRFC", "REF during REF");
+    rk.refreshEnd = t + tp_.rfc;
+}
+
+void
+TimingChecker::checkPd(const Command &cmd, Cycle t)
+{
+    RankShadow &rk = rankOf(cmd);
+    if (cmd.type == CmdType::PdEnter) {
+        require(!rk.poweredDown, t, "power-down", "PDE while powered down");
+        require(t >= rk.refreshEnd, t, "power-down", "PDE during refresh");
+        for (unsigned b = 0; b < nbanks_; ++b) {
+            const BankShadow &bk =
+                banks_[static_cast<size_t>(cmd.rank) * nbanks_ + b];
+            require(bk.openRow == kNoRow, t, "power-down",
+                    "precharge power-down with open row");
+        }
+        rk.poweredDown = true;
+        rk.pdEnteredAt = t;
+    } else {
+        require(rk.poweredDown, t, "power-down",
+                "PDX while not powered down");
+        require(t >= rk.pdEnteredAt + tp_.cke, t, "tCKE",
+                "PDX before minimum power-down residency");
+        rk.poweredDown = false;
+        rk.pdExitReadyAt = t + tp_.xp;
+    }
+}
+
+} // namespace memsec::dram

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Independent JEDEC timing auditor.
+ *
+ * The checker maintains its own shadow of DRAM state, derived purely
+ * from the command stream it is fed, and verifies every constraint the
+ * paper's pipeline equations encode (plus row-management legality).
+ * It deliberately duplicates the fast-path bookkeeping in Bank/Rank/
+ * ChannelBuses: a bug in either implementation surfaces as a
+ * disagreement, so the FS schedules are *demonstrated* conflict-free
+ * rather than assumed so.
+ *
+ * Every violation is reported through a Violation record; in strict
+ * mode (the default everywhere) a violation is a panic.
+ */
+
+#ifndef MEMSEC_DRAM_TIMING_CHECKER_HH
+#define MEMSEC_DRAM_TIMING_CHECKER_HH
+
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "dram/command.hh"
+#include "dram/timing.hh"
+#include "sim/types.hh"
+
+namespace memsec::dram {
+
+/** One detected rule violation. */
+struct Violation
+{
+    Cycle cycle = 0;
+    std::string rule;   ///< e.g. "tFAW", "cmd-bus", "row-state"
+    std::string detail;
+};
+
+/** Shadow-model timing auditor for a single channel. */
+class TimingChecker
+{
+  public:
+    TimingChecker(const TimingParams &tp, unsigned ranks, unsigned banks);
+
+    /**
+     * Observe a command issued at cycle t. Returns true if legal.
+     * In strict mode an illegal command panics instead of returning.
+     */
+    bool observe(const Command &cmd, Cycle t);
+
+    /** Violations recorded so far (non-strict mode only). */
+    const std::vector<Violation> &violations() const { return violations_; }
+
+    /** Number of commands checked. */
+    uint64_t observed() const { return observed_; }
+
+    /** Panic on violation (default) vs record-and-continue. */
+    void setStrict(bool strict) { strict_ = strict; }
+
+  private:
+    /** Sentinel for "no open row" (independent of Bank's). */
+    static constexpr unsigned kNoRow = ~0u;
+
+    struct BankShadow
+    {
+        unsigned openRow = kNoRow;
+        Cycle lastAct = kNoCycle;      ///< issue cycle of last ACT
+        Cycle lastRdCas = kNoCycle;    ///< last column-read to this bank
+        Cycle lastWrCas = kNoCycle;    ///< last column-write to this bank
+        Cycle preReadyAt = 0;          ///< cycle bank became precharged
+    };
+
+    struct RankShadow
+    {
+        std::deque<Cycle> actHistory;  ///< recent ACTs for tRRD/tFAW
+        Cycle lastRdCas = kNoCycle;
+        Cycle lastWrCas = kNoCycle;
+        Cycle refreshEnd = 0;
+        bool poweredDown = false;
+        Cycle pdEnteredAt = 0;
+        Cycle pdExitReadyAt = 0;       ///< tXP horizon after PDX
+    };
+
+    void fail(Cycle t, const std::string &rule, const std::string &detail);
+    void require(bool ok, Cycle t, const char *rule,
+                 const std::string &detail);
+
+    void checkAct(const Command &cmd, Cycle t);
+    void checkColumn(const Command &cmd, Cycle t);
+    void checkPre(const Command &cmd, Cycle t);
+    void checkRef(const Command &cmd, Cycle t);
+    void checkPd(const Command &cmd, Cycle t);
+
+    BankShadow &bankOf(const Command &cmd);
+    RankShadow &rankOf(const Command &cmd);
+
+    const TimingParams tp_;
+    unsigned nbanks_;
+    std::vector<BankShadow> banks_;  ///< [rank * nbanks + bank]
+    std::vector<RankShadow> ranks_;
+
+    Cycle lastCmdCycle_ = kNoCycle;
+    Cycle lastDataStart_ = kNoCycle;
+    Cycle lastDataEnd_ = 0;
+    unsigned lastDataRank_ = ~0u;
+
+    bool strict_ = true;
+    bool currentOk_ = true;
+    uint64_t observed_ = 0;
+    std::vector<Violation> violations_;
+};
+
+} // namespace memsec::dram
+
+#endif // MEMSEC_DRAM_TIMING_CHECKER_HH

@@ -1,0 +1,79 @@
+#include "energy/power_model.hh"
+
+#include <sstream>
+
+namespace memsec::energy {
+
+EnergyBreakdown &
+EnergyBreakdown::operator+=(const EnergyBreakdown &o)
+{
+    backgroundNj += o.backgroundNj;
+    activateNj += o.activateNj;
+    readWriteNj += o.readWriteNj;
+    refreshNj += o.refreshNj;
+    return *this;
+}
+
+std::string
+EnergyBreakdown::toString() const
+{
+    std::ostringstream os;
+    os << "bg=" << backgroundNj << "nJ act=" << activateNj
+       << "nJ rdwr=" << readWriteNj << "nJ ref=" << refreshNj
+       << "nJ total=" << totalNj() << "nJ";
+    return os.str();
+}
+
+PowerModel::PowerModel(const DeviceParams &dev,
+                       const dram::TimingParams &tp)
+    : dev_(dev), tp_(tp)
+{
+}
+
+EnergyBreakdown
+PowerModel::rankEnergy(const dram::RankEnergyCounters &c) const
+{
+    EnergyBreakdown e;
+    const double devs = dev_.devicesPerRank;
+    const double vdd = dev_.vdd;
+    // mA * V * ns = pJ; divide by 1000 for nJ.
+    const double mAToNjPerNs = vdd / 1000.0;
+
+    // Background energy by residency state.
+    const double bgNs =
+        cyclesToNs(static_cast<double>(c.cyclesActive)) * dev_.idd3n +
+        cyclesToNs(static_cast<double>(c.cyclesPrecharge)) * dev_.idd2n +
+        cyclesToNs(static_cast<double>(c.cyclesPowerDown)) * dev_.idd2p +
+        cyclesToNs(static_cast<double>(c.cyclesRefreshing)) * dev_.idd2n;
+    e.backgroundNj = bgNs * mAToNjPerNs * devs;
+
+    // Activate/precharge pair energy (Micron formulation): the IDD0
+    // loop current minus the background it would have drawn anyway,
+    // integrated over tRC.
+    const double actExtra =
+        (dev_.idd0 * tp_.rc -
+         (dev_.idd3n * tp_.ras + dev_.idd2n * (tp_.rc - tp_.ras))) *
+        dev_.tckNs;
+    e.activateNj = actExtra * mAToNjPerNs * devs *
+                   static_cast<double>(c.activates);
+
+    // Read/write burst energy above active standby, plus I/O and
+    // termination per transfer.
+    const double rdNs = cyclesToNs(
+        static_cast<double>(c.reads) * tp_.burst);
+    const double wrNs = cyclesToNs(
+        static_cast<double>(c.writes) * tp_.burst);
+    e.readWriteNj = ((dev_.idd4r - dev_.idd3n) * rdNs +
+                     (dev_.idd4w - dev_.idd3n) * wrNs) *
+                        mAToNjPerNs * devs +
+                    dev_.ioTermPerBurstNj *
+                        static_cast<double>(c.reads + c.writes);
+
+    // Refresh energy above precharge standby.
+    const double refNs =
+        cyclesToNs(static_cast<double>(c.refreshes) * tp_.rfc);
+    e.refreshNj = (dev_.idd5 - dev_.idd2n) * refNs * mAToNjPerNs * devs;
+    return e;
+}
+
+} // namespace memsec::energy

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Micron-power-calculator-style DDR3 energy model.
+ *
+ * Energy is computed per rank from the event counters the DRAM model
+ * collects, using datasheet IDD currents for a 4 Gb DDR3-1600 part:
+ *  - background power per power state (active / precharge standby,
+ *    precharge power-down, refresh),
+ *  - activate/precharge energy per ACT (IDD0-based),
+ *  - read/write burst energy (IDD4R/IDD4W) plus I/O and termination.
+ * This mirrors the methodology the paper uses (Micron power
+ * calculator fed with simulator statistics).
+ */
+
+#ifndef MEMSEC_ENERGY_POWER_MODEL_HH
+#define MEMSEC_ENERGY_POWER_MODEL_HH
+
+#include <string>
+
+#include "dram/rank.hh"
+#include "dram/timing.hh"
+
+namespace memsec::energy {
+
+/** Datasheet electrical parameters for one DRAM device generation. */
+struct DeviceParams
+{
+    double vdd = 1.5;        ///< volts
+    // Currents in mA, per device (x8), 4Gb DDR3-1600 datasheet class.
+    double idd0 = 70.0;      ///< one-bank ACT-PRE cycling
+    double idd2n = 42.0;     ///< precharge standby
+    double idd2p = 12.0;     ///< precharge power-down (fast exit)
+    double idd3n = 45.0;     ///< active standby
+    double idd4r = 140.0;    ///< burst read
+    double idd4w = 145.0;    ///< burst write
+    double idd5 = 190.0;     ///< refresh
+    double tckNs = 1.25;     ///< bus clock period (DDR3-1600)
+    unsigned devicesPerRank = 8; ///< x8 devices behind a 64-bit bus
+    /** I/O + termination energy per 64-byte transfer, in nJ. */
+    double ioTermPerBurstNj = 4.0;
+
+    static DeviceParams ddr3_1600_4gb() { return DeviceParams{}; }
+};
+
+/** Energy breakdown for one rank (nanojoules). */
+struct EnergyBreakdown
+{
+    double backgroundNj = 0.0;
+    double activateNj = 0.0;
+    double readWriteNj = 0.0;
+    double refreshNj = 0.0;
+
+    double totalNj() const
+    {
+        return backgroundNj + activateNj + readWriteNj + refreshNj;
+    }
+
+    EnergyBreakdown &operator+=(const EnergyBreakdown &o);
+    std::string toString() const;
+};
+
+/** Computes energy from rank event counters. */
+class PowerModel
+{
+  public:
+    PowerModel(const DeviceParams &dev, const dram::TimingParams &tp);
+
+    /** Energy for one rank's counters. */
+    EnergyBreakdown rankEnergy(const dram::RankEnergyCounters &c) const;
+
+    const DeviceParams &device() const { return dev_; }
+
+  private:
+    double cyclesToNs(double cycles) const { return cycles * dev_.tckNs; }
+
+    DeviceParams dev_;
+    dram::TimingParams tp_;
+};
+
+} // namespace memsec::energy
+
+#endif // MEMSEC_ENERGY_POWER_MODEL_HH

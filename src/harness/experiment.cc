@@ -1,0 +1,452 @@
+#include "harness/experiment.hh"
+
+#include <algorithm>
+#include <deque>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <sstream>
+
+#include "cpu/core_model.hh"
+#include "cpu/workload.hh"
+#include "mem/address_map.hh"
+#include "mem/memory_controller.hh"
+#include "sched/frfcfs.hh"
+#include "sched/fs.hh"
+#include "sched/fs_reordered.hh"
+#include "sched/tp.hh"
+#include "sim/simulator.hh"
+#include "util/logging.hh"
+
+namespace memsec::harness {
+
+using mem::AddressMap;
+using mem::Interleave;
+using mem::MemoryController;
+using mem::Partition;
+
+double
+ExperimentResult::weightedIpc(const std::vector<double> &baseIpc) const
+{
+    panic_if(baseIpc.size() != ipc.size(),
+             "baseline IPC vector size mismatch");
+    double sum = 0.0;
+    for (size_t i = 0; i < ipc.size(); ++i)
+        sum += baseIpc[i] > 0.0 ? ipc[i] / baseIpc[i] : 0.0;
+    return sum;
+}
+
+Config
+defaultConfig()
+{
+    Config c;
+    c.set("cores", 8);
+    c.set("sched", "baseline");
+    c.set("workload", "mcf");
+    c.set("dram.channels", 1);
+    c.set("dram.ranks", 8);
+    c.set("dram.banks", 8);
+    c.set("dram.rows", 32768);
+    c.set("dram.cols", 128);
+    c.set("mc.queue_capacity", 16);
+    c.set("map.partition", "none");
+    c.set("map.interleave", "close");
+    c.set("core.rob", 64);
+    c.set("core.retire_width", 4);
+    c.set("core.cpu_mult", 4);
+    c.set("core.llc_kb", 512);
+    c.set("core.llc_ways", 8);
+    c.set("core.llc_hit_latency", 10);
+    c.set("sim.warmup", 20000);
+    c.set("sim.measure", 200000);
+    c.set("tp.turn", 60);
+    c.set("audit.core", -1);
+    c.set("audit.progress_interval", 10000);
+    c.set("seed", 1);
+    return c;
+}
+
+Config
+schemeConfig(const std::string &scheme)
+{
+    Config c;
+    c.set("scheme", scheme);
+    auto fsRp = [&] {
+        c.set("sched", "fs");
+        c.set("fs.mode", "rank");
+        c.set("map.partition", "rank");
+    };
+    if (scheme == "baseline") {
+        c.set("sched", "baseline");
+        c.set("map.partition", "none");
+        c.set("map.interleave", "open");
+    } else if (scheme == "baseline_prefetch") {
+        c.set("sched", "baseline");
+        c.set("map.partition", "none");
+        c.set("map.interleave", "open");
+        c.set("core.prefetch", true);
+    } else if (scheme == "fs_rp") {
+        fsRp();
+    } else if (scheme == "fs_rp_prefetch") {
+        fsRp();
+        c.set("core.prefetch", true);
+        c.set("fs.prefetch", true);
+    } else if (scheme == "fs_rp_suppress") {
+        fsRp();
+        c.set("fs.suppress", true);
+    } else if (scheme == "fs_rp_boost") {
+        fsRp();
+        c.set("fs.suppress", true);
+        c.set("fs.boost", true);
+    } else if (scheme == "fs_rp_powerdown") {
+        fsRp();
+        c.set("fs.suppress", true);
+        c.set("fs.boost", true);
+        c.set("fs.powerdown", true);
+    } else if (scheme == "fs_bp") {
+        c.set("sched", "fs");
+        c.set("fs.mode", "bank");
+        c.set("map.partition", "bank");
+    } else if (scheme == "fs_reordered_bp") {
+        c.set("sched", "fs_reordered");
+        c.set("map.partition", "bank");
+    } else if (scheme == "fs_np") {
+        c.set("sched", "fs");
+        c.set("fs.mode", "none");
+        c.set("map.partition", "none");
+    } else if (scheme == "fs_np_triple") {
+        c.set("sched", "fs");
+        c.set("fs.mode", "triple");
+        c.set("map.partition", "none");
+    } else if (scheme == "tp_bp") {
+        c.set("sched", "tp");
+        c.set("map.partition", "bank");
+        c.set("map.interleave", "open");
+        c.set("tp.turn", 60);
+    } else if (scheme == "tp_np") {
+        c.set("sched", "tp");
+        c.set("map.partition", "none");
+        c.set("map.interleave", "open");
+        c.set("tp.turn", 172);
+    } else if (scheme == "channel_part") {
+        // Section 4.1: with at most one domain per channel nothing is
+        // shared, so the non-secure scheduler is already leak-free.
+        c.set("sched", "baseline");
+        c.set("map.partition", "channel");
+        c.set("map.interleave", "open");
+    } else {
+        fatal("unknown scheme '{}'", scheme);
+    }
+    return c;
+}
+
+std::vector<std::string>
+allSchemes()
+{
+    return {"baseline",        "baseline_prefetch", "fs_rp",
+            "fs_rp_prefetch",  "fs_rp_suppress",    "fs_rp_boost",
+            "fs_rp_powerdown", "fs_bp",             "fs_reordered_bp",
+            "fs_np",           "fs_np_triple",      "tp_bp",
+            "tp_np",           "channel_part"};
+}
+
+namespace {
+
+Partition
+parsePartition(const std::string &s)
+{
+    if (s == "none")
+        return Partition::None;
+    if (s == "channel")
+        return Partition::Channel;
+    if (s == "rank")
+        return Partition::Rank;
+    if (s == "bank")
+        return Partition::Bank;
+    fatal("unknown partition '{}'", s);
+}
+
+Interleave
+parseInterleave(const std::string &s)
+{
+    if (s == "open")
+        return Interleave::OpenPage;
+    if (s == "close")
+        return Interleave::ClosePage;
+    fatal("unknown interleave '{}'", s);
+}
+
+uint64_t
+traceSeed(const std::string &profileName, unsigned coreIdx,
+          uint64_t baseSeed)
+{
+    // Seed depends only on the core's own identity so a victim's
+    // trace is bit-identical regardless of its co-runners.
+    uint64_t h = baseSeed * 0x100000001B3ull;
+    for (char ch : profileName)
+        h = (h ^ static_cast<uint64_t>(ch)) * 0x100000001B3ull;
+    return h ^ (0x9E3779B97F4A7C15ull * (coreIdx + 1));
+}
+
+} // namespace
+
+ExperimentResult
+runExperiment(const Config &cfg)
+{
+    const unsigned cores =
+        static_cast<unsigned>(cfg.getUint("cores", 8));
+    const std::string schedName = cfg.getString("sched", "baseline");
+    const std::string workload = cfg.getString("workload", "mcf");
+
+    dram::TimingParams tp = dram::TimingParams::ddr3_1600_4gb();
+    dram::Geometry geo;
+    geo.channels = static_cast<unsigned>(cfg.getUint("dram.channels", 1));
+    // Convenience: channel partitioning needs one channel per domain.
+    if (cfg.getString("map.partition", "none") == "channel" &&
+        geo.channels < cores)
+        geo.channels = cores;
+    geo.ranksPerChannel =
+        static_cast<unsigned>(cfg.getUint("dram.ranks", 8));
+    geo.banksPerRank = static_cast<unsigned>(cfg.getUint("dram.banks", 8));
+    geo.rowsPerBank =
+        static_cast<unsigned>(cfg.getUint("dram.rows", 32768));
+    geo.colsPerRow = static_cast<unsigned>(cfg.getUint("dram.cols", 128));
+
+    AddressMap map(geo, parsePartition(cfg.getString("map.partition",
+                                                     "none")),
+                   parseInterleave(cfg.getString("map.interleave",
+                                                 "close")),
+                   cores);
+
+    MemoryController::Params mcp;
+    mcp.timing = tp;
+    mcp.geo = geo;
+    mcp.numDomains = cores;
+    mcp.queueCapacity = cfg.getUint("mc.queue_capacity", 16);
+    // One controller per channel; all domains' queues exist on each
+    // controller, but a core only ever talks to its own channel's.
+    const unsigned numMcs = geo.channels;
+    fatal_if(numMcs > 1 && map.partition() == Partition::Channel &&
+                 schedName != "baseline",
+             "channel partitioning runs a per-channel non-secure "
+             "scheduler (nothing is shared); got '{}'",
+             schedName);
+    fatal_if(numMcs > 1 && schedName == "tp",
+             "multi-channel TP is not modelled; use one channel");
+    std::vector<std::unique_ptr<MemoryController>> mcs;
+    for (unsigned m = 0; m < numMcs; ++m) {
+        mcs.push_back(std::make_unique<MemoryController>(
+            "mc" + std::to_string(m), mcp, map));
+    }
+    MemoryController &mc = *mcs.front();
+
+    const bool refresh = cfg.getBool("dram.refresh", false);
+    if (schedName == "baseline") {
+        for (auto &m : mcs) {
+            m->setScheduler(std::make_unique<sched::FrFcfsScheduler>(
+                *m, cfg.getBool("core.prefetch", false), refresh));
+        }
+    } else if (schedName == "tp") {
+        sched::TpScheduler::Params p;
+        p.turnLength = static_cast<unsigned>(cfg.getUint("tp.turn", 60));
+        p.extraDead =
+            static_cast<unsigned>(cfg.getUint("tp.extra_dead", 0));
+        mc.setScheduler(std::make_unique<sched::TpScheduler>(mc, p));
+        fatal_if(numMcs > 1, "multi-channel TP is not modelled");
+    } else if (schedName == "fs") {
+        sched::FsScheduler::Params p;
+        const std::string mode = cfg.getString("fs.mode", "rank");
+        if (mode == "rank")
+            p.mode = sched::FsMode::RankPart;
+        else if (mode == "bank")
+            p.mode = sched::FsMode::BankPart;
+        else if (mode == "none")
+            p.mode = sched::FsMode::NoPart;
+        else if (mode == "triple")
+            p.mode = sched::FsMode::TripleAlt;
+        else
+            fatal("unknown fs.mode '{}'", mode);
+        p.prefetchInDummies = cfg.getBool("fs.prefetch", false);
+        p.suppressDummies = cfg.getBool("fs.suppress", false);
+        p.rowBufferBoost = cfg.getBool("fs.boost", false);
+        p.powerDown = cfg.getBool("fs.powerdown", false);
+        p.refresh = refresh;
+        p.rngSeed = cfg.getUint("seed", 1);
+        // SLA issue-slot weights: "2,1,1,..." (one entry per domain).
+        const std::string weights = cfg.getString("fs.slot_weights", "");
+        if (!weights.empty()) {
+            std::istringstream ws(weights);
+            std::string tok;
+            while (std::getline(ws, tok, ','))
+                p.slotWeights.push_back(
+                    static_cast<unsigned>(std::stoul(tok)));
+        }
+        for (unsigned m = 0; m < numMcs; ++m) {
+            sched::FsScheduler::Params pm = p;
+            if (numMcs > 1 && pm.slotWeights.empty()) {
+                pm.slotWeights.assign(cores, 0);
+                for (DomainId d = 0; d < cores; ++d) {
+                    if (map.channelOf(d) == m)
+                        pm.slotWeights[d] = 1;
+                }
+            }
+            mcs[m]->setScheduler(
+                std::make_unique<sched::FsScheduler>(*mcs[m], pm));
+        }
+    } else if (schedName == "fs_reordered") {
+        fatal_if(numMcs > 1,
+                 "multi-channel reordered FS is not modelled");
+        sched::FsReorderedScheduler::Params p;
+        p.rngSeed = cfg.getUint("seed", 1);
+        mc.setScheduler(
+            std::make_unique<sched::FsReorderedScheduler>(mc, p));
+    } else {
+        fatal("unknown scheduler '{}'", schedName);
+    }
+
+    const auto profiles = cpu::workloadMix(workload, cores);
+    const int64_t auditCore = cfg.getInt("audit.core", -1);
+
+    std::vector<std::unique_ptr<cpu::CoreModel>> coreModels;
+    for (unsigned i = 0; i < cores; ++i) {
+        cpu::CoreModel::Params cp;
+        cp.robSize = static_cast<unsigned>(cfg.getUint("core.rob", 64));
+        cp.retireWidth =
+            static_cast<unsigned>(cfg.getUint("core.retire_width", 4));
+        cp.cpuMult =
+            static_cast<unsigned>(cfg.getUint("core.cpu_mult", 4));
+        cp.llcHitLatency = static_cast<unsigned>(
+            cfg.getUint("core.llc_hit_latency", 10));
+        cp.llcBytes = cfg.getUint("core.llc_kb", 512) * 1024;
+        cp.llcWays =
+            static_cast<unsigned>(cfg.getUint("core.llc_ways", 8));
+        cp.prefetchEnabled = cfg.getBool("core.prefetch", false);
+        // Functional warmup must cover the footprint despite the
+        // profile's temporal-reuse fraction diluting unique touches.
+        const double freshFrac =
+            std::max(0.05, 1.0 - profiles[i].reuseFraction);
+        const auto warmDefault = static_cast<uint64_t>(
+            std::min(400000.0,
+                     6.0 * static_cast<double>(
+                               profiles[i].footprintLines) /
+                         freshFrac));
+        cp.functionalWarmupRecords =
+            cfg.getUint("core.functional_warmup", warmDefault);
+        if (auditCore >= 0 && static_cast<unsigned>(auditCore) == i) {
+            cp.captureTimeline = true;
+            cp.progressInterval =
+                cfg.getUint("audit.progress_interval", 10000);
+        }
+        MemoryController &myMc =
+            *mcs[numMcs > 1 ? map.channelOf(i) % numMcs : 0];
+        coreModels.push_back(std::make_unique<cpu::CoreModel>(
+            "core" + std::to_string(i), i, cp, profiles[i],
+            traceSeed(profiles[i].name, i, cfg.getUint("seed", 1)),
+            myMc));
+    }
+
+    Simulator sim;
+    for (auto &c : coreModels)
+        sim.add(c.get());
+    for (auto &m : mcs)
+        sim.add(m.get());
+
+    const Cycle warmup = cfg.getUint("sim.warmup", 20000);
+    const Cycle measure = cfg.getUint("sim.measure", 200000);
+    sim.run(warmup);
+    for (auto &c : coreModels)
+        c->beginMeasurement();
+    sim.run(measure);
+    for (auto &m : mcs)
+        m->scheduler().finalize(sim.now());
+
+    ExperimentResult res;
+    res.scheme = cfg.getString("scheme", schedName);
+    res.workload = workload;
+    res.cores = cores;
+    res.cyclesRun = sim.now();
+    for (auto &c : coreModels) {
+        res.ipc.push_back(c->ipc());
+        res.prefetchIssued += c->prefetchIssued();
+        res.prefetchUseful += c->prefetchUseful();
+        if (auditCore >= 0)
+            res.timelines.push_back(c->timeline());
+    }
+    {
+        double latSum = 0.0;
+        double latN = 0.0;
+        double bw = 0.0;
+        double real = 0.0;
+        double dummy = 0.0;
+        for (auto &m : mcs) {
+            const auto &st = m->stats();
+            latSum += st.readLatency.mean() *
+                      static_cast<double>(st.readLatency.count());
+            latN += static_cast<double>(st.readLatency.count());
+            bw += m->effectiveBandwidth(sim.now());
+            real += static_cast<double>(st.realBursts.value());
+            dummy += static_cast<double>(st.dummyBursts.value());
+            res.demandReads += st.demandReads.value();
+        }
+        res.meanReadLatency = latN > 0 ? latSum / latN : 0.0;
+        res.effectiveBandwidth = bw / static_cast<double>(numMcs);
+        res.dummyFraction =
+            real + dummy > 0 ? dummy / (real + dummy) : 0.0;
+    }
+
+    if (auto *fr = dynamic_cast<sched::FrFcfsScheduler *>(
+            &mc.scheduler())) {
+        const auto &e = fr->engine();
+        const double casTotal =
+            static_cast<double>(e.rowHits() + e.rowMisses());
+        res.rowHitRate = casTotal > 0 ? e.rowHits() / casTotal : 0.0;
+    }
+
+    energy::PowerModel pm(energy::DeviceParams::ddr3_1600_4gb(), tp);
+    for (auto &m : mcs) {
+        for (unsigned r = 0; r < m->dram().numRanks(); ++r)
+            res.energy += pm.rankEnergy(m->dram().rank(r).energy());
+    }
+
+    // Optional full statistics dump ("stats.dump" = file path, or
+    // "-" for stdout): every controller, scheduler, and core stat.
+    const std::string dump = cfg.getString("stats.dump", "");
+    if (!dump.empty()) {
+        StatGroup all("experiment");
+        std::deque<StatGroup> groups;
+        for (size_t m = 0; m < mcs.size(); ++m) {
+            groups.emplace_back("mc");
+            mcs[m]->registerStats(groups.back());
+            all.adopt("mc" + std::to_string(m), groups.back());
+            groups.emplace_back("sched");
+            mcs[m]->scheduler().registerStats(groups.back());
+            all.adopt("mc" + std::to_string(m) + ".sched",
+                      groups.back());
+        }
+        for (size_t i = 0; i < coreModels.size(); ++i) {
+            groups.emplace_back("core");
+            coreModels[i]->registerStats(groups.back());
+            all.adopt("core" + std::to_string(i), groups.back());
+        }
+        if (dump == "-") {
+            all.dump(std::cout);
+        } else {
+            std::ofstream out(dump);
+            fatal_if(!out, "cannot open stats dump file '{}'", dump);
+            all.dump(out);
+        }
+    }
+
+    return res;
+}
+
+std::vector<double>
+baselineIpc(const std::string &workload, const Config &base)
+{
+    Config cfg = base;
+    cfg.merge(schemeConfig("baseline"));
+    cfg.set("workload", workload);
+    return runExperiment(cfg).ipc;
+}
+
+} // namespace memsec::harness

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Experiment harness: builds a full system (cores + private LLC
+ * slices + memory controller + DRAM) from a Config, runs it, and
+ * extracts the metrics the paper reports.
+ *
+ * Schemes are addressed by the names used in Section 6/7:
+ *   baseline, baseline_prefetch, fs_rp, fs_rp_prefetch,
+ *   fs_reordered_bp, fs_bp, fs_np, fs_np_triple, tp_bp, tp_np
+ * plus energy-optimisation variants fs_rp_suppress, fs_rp_boost,
+ * fs_rp_powerdown (cumulative, as in Figure 9).
+ */
+
+#ifndef MEMSEC_HARNESS_EXPERIMENT_HH
+#define MEMSEC_HARNESS_EXPERIMENT_HH
+
+#include <string>
+#include <vector>
+
+#include "core/noninterference.hh"
+#include "energy/power_model.hh"
+#include "sim/config.hh"
+#include "sim/types.hh"
+
+namespace memsec::harness {
+
+/** Everything one run produces. */
+struct ExperimentResult
+{
+    std::string scheme;
+    std::string workload;
+    unsigned cores = 0;
+    Cycle cyclesRun = 0;
+
+    std::vector<double> ipc; ///< per core, measured region only
+    double meanReadLatency = 0.0; ///< memory cycles
+    double effectiveBandwidth = 0.0; ///< real-data bus utilisation
+    double dummyFraction = 0.0; ///< dummy bursts / all bursts
+    double rowHitRate = 0.0;    ///< baseline/TP only, else 0
+
+    energy::EnergyBreakdown energy; ///< summed over ranks
+
+    uint64_t prefetchIssued = 0;
+    uint64_t prefetchUseful = 0;
+    uint64_t demandReads = 0;
+
+    /** Captured victim timelines (cores with audit enabled). */
+    std::vector<core::VictimTimeline> timelines;
+
+    /** Sum over cores of ipc[i] / baseIpc[i]. */
+    double weightedIpc(const std::vector<double> &baseIpc) const;
+};
+
+/** The paper's Table 1 system configuration as a Config. */
+Config defaultConfig();
+
+/**
+ * Config fragment selecting a named scheme (scheduler + matching
+ * partitioning + options). Merge over defaultConfig().
+ */
+Config schemeConfig(const std::string &scheme);
+
+/** All scheme names schemeConfig() accepts. */
+std::vector<std::string> allSchemes();
+
+/** Build, warm up, run, and summarise one experiment. */
+ExperimentResult runExperiment(const Config &cfg);
+
+/**
+ * Convenience: baseline per-core IPCs for a workload under `base`
+ * (used to normalise weighted IPC as in Figures 5/6/7/10).
+ */
+std::vector<double> baselineIpc(const std::string &workload,
+                                const Config &base);
+
+} // namespace memsec::harness
+
+#endif // MEMSEC_HARNESS_EXPERIMENT_HH

@@ -1,0 +1,206 @@
+#include "mem/memory_controller.hh"
+
+#include "sched/scheduler.hh"
+#include "util/logging.hh"
+
+namespace memsec::mem {
+
+MemoryController::MemoryController(std::string name, const Params &params,
+                                   const AddressMap &map)
+    : Component(std::move(name)), map_(map),
+      dram_(params.timing, params.geo)
+{
+    fatal_if(params.numDomains == 0, "controller needs >= 1 domain");
+    for (unsigned d = 0; d < params.numDomains; ++d)
+        queues_.emplace_back(params.queueCapacity,
+                             params.queueCapacity);
+    prefetchQueues_.resize(params.numDomains);
+    stats_.readLatencyHist.init(0.0, 32.0, 64);
+}
+
+MemoryController::~MemoryController() = default;
+
+void
+MemoryController::setScheduler(std::unique_ptr<sched::Scheduler> sched)
+{
+    sched_ = std::move(sched);
+}
+
+sched::Scheduler &
+MemoryController::scheduler()
+{
+    panic_if(!sched_, "no scheduler installed");
+    return *sched_;
+}
+
+bool
+MemoryController::canAccept(DomainId domain, ReqType type) const
+{
+    return !queues_.at(domain).full(type);
+}
+
+void
+MemoryController::access(std::unique_ptr<MemRequest> req, Cycle now)
+{
+    panic_if(req->domain >= queues_.size(), "bad domain {}", req->domain);
+    TransactionQueue &q = queues_[req->domain];
+    panic_if(req->type != ReqType::Prefetch && q.full(req->type),
+             "access() with full queue; check canAccept first");
+
+    req->arrival = now;
+    if (req->id == 0)
+        req->id = ++reqIdSeq_;
+    req->loc = map_.decode(req->domain, req->addr);
+
+    switch (req->type) {
+      case ReqType::Prefetch: {
+        // Prefetches are hints: they wait in a side queue and are
+        // dropped rather than ever exerting backpressure.
+        if (q.hasEntryFor(req->addr))
+            return;
+        auto &pq = prefetchQueues_[req->domain];
+        stats_.prefetches.inc();
+        pq.push_back(std::move(req));
+        if (pq.size() > kPrefetchQueueCap) {
+            auto dropped = std::move(pq.front());
+            pq.pop_front();
+            if (dropped->client)
+                dropped->client->memDropped(*dropped);
+        }
+        return;
+      }
+      case ReqType::Read: {
+        // Store-to-load bypass: a queued write to the same line can
+        // service the read without a DRAM access.
+        if (q.hasWriteTo(req->addr)) {
+            stats_.forwarded.inc();
+            req->completed = now;
+            if (req->client)
+                req->client->memResponse(*req);
+            return;
+        }
+        // A demand read supersedes a same-line prefetch hint...
+        auto &pq = prefetchQueues_[req->domain];
+        for (auto it = pq.begin(); it != pq.end(); ++it) {
+            if ((*it)->addr / kLineBytes == req->addr / kLineBytes) {
+                pq.erase(it);
+                break;
+            }
+        }
+        // ...and rides a same-line prefetch already in the queue
+        // (same client, same line: one response completes both).
+        const Addr line = req->addr / kLineBytes;
+        if (q.findOldest([line](const MemRequest &e) {
+                return e.type == ReqType::Prefetch &&
+                       e.addr / kLineBytes == line;
+            })) {
+            stats_.mergedWithPrefetch.inc();
+            return;
+        }
+        stats_.demandReads.inc();
+        break;
+      }
+      case ReqType::Write:
+        // Write merging: a second writeback to a queued line is
+        // absorbed by the queue entry.
+        if (q.hasWriteTo(req->addr)) {
+            stats_.mergedWrites.inc();
+            return;
+        }
+        stats_.writes.inc();
+        break;
+      case ReqType::Dummy:
+        panic("dummy requests are scheduler-internal, not access()-ed");
+    }
+    q.push(std::move(req));
+}
+
+TransactionQueue &
+MemoryController::queue(DomainId domain)
+{
+    return queues_.at(domain);
+}
+
+const TransactionQueue &
+MemoryController::queue(DomainId domain) const
+{
+    return queues_.at(domain);
+}
+
+std::deque<std::unique_ptr<MemRequest>> &
+MemoryController::prefetchQueue(DomainId d)
+{
+    return prefetchQueues_.at(d);
+}
+
+void
+MemoryController::finishRequest(std::unique_ptr<MemRequest> req,
+                                Cycle completeAt)
+{
+    completions_.push(PendingCompletion{
+        completeAt, completionSeq_++,
+        std::shared_ptr<MemRequest>(std::move(req))});
+}
+
+void
+MemoryController::noteBurst(bool dummy)
+{
+    if (dummy)
+        stats_.dummyBursts.inc();
+    else
+        stats_.realBursts.inc();
+}
+
+void
+MemoryController::tick(Cycle now)
+{
+    panic_if(!sched_, "MemoryController ticked without a scheduler");
+
+    // Deliver completions due this cycle before scheduling, so cores
+    // observe data at the earliest consistent time.
+    while (!completions_.empty() && completions_.top().at <= now) {
+        auto pc = completions_.top();
+        completions_.pop();
+        MemRequest &req = *pc.req;
+        req.completed = pc.at;
+        if (req.type == ReqType::Read) {
+            const double lat =
+                static_cast<double>(req.completed - req.arrival);
+            stats_.readLatency.sample(lat);
+            stats_.readLatencyHist.sample(lat);
+        }
+        if (req.client)
+            req.client->memResponse(req);
+    }
+
+    sched_->tick(now);
+    dram_.tick(now);
+}
+
+void
+MemoryController::registerStats(StatGroup &group) const
+{
+    group.add("demand_reads", &stats_.demandReads,
+              "demand reads accepted");
+    group.add("writes", &stats_.writes, "writebacks accepted");
+    group.add("prefetches", &stats_.prefetches, "prefetch reads accepted");
+    group.add("dummies", &stats_.dummies, "dummy operations inserted");
+    group.add("forwarded", &stats_.forwarded, "store-to-load forwards");
+    group.add("merged_writes", &stats_.mergedWrites, "write merges");
+    group.add("read_latency", &stats_.readLatency,
+              "mean demand-read latency (memory cycles)");
+    group.add("real_bursts", &stats_.realBursts, "real data bursts");
+    group.add("dummy_bursts", &stats_.dummyBursts, "dummy data bursts");
+}
+
+double
+MemoryController::effectiveBandwidth(Cycle elapsed) const
+{
+    if (elapsed == 0)
+        return 0.0;
+    const double realCycles = static_cast<double>(
+        stats_.realBursts.value() * dram_.timing().burst);
+    return realCycles / static_cast<double>(elapsed);
+}
+
+} // namespace memsec::mem

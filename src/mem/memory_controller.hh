@@ -1,0 +1,162 @@
+/**
+ * @file
+ * The memory-controller shell: per-domain transaction queues, a
+ * pluggable scheduling policy, the DRAM device model, and the
+ * completion path back to the cores.
+ *
+ * The controller is policy-free; all ordering decisions live in the
+ * Scheduler strategy object (src/sched). This mirrors the paper's
+ * observation that only the transaction scheduler changes between the
+ * baseline and FS designs.
+ */
+
+#ifndef MEMSEC_MEM_MEMORY_CONTROLLER_HH
+#define MEMSEC_MEM_MEMORY_CONTROLLER_HH
+
+#include <deque>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "dram/dram_system.hh"
+#include "mem/address_map.hh"
+#include "mem/request.hh"
+#include "mem/transaction_queue.hh"
+#include "sim/simulator.hh"
+#include "sim/types.hh"
+#include "stats/stats.hh"
+
+namespace memsec::sched {
+class Scheduler;
+}
+
+namespace memsec::mem {
+
+/** Controller-wide statistics. */
+struct ControllerStats
+{
+    Counter demandReads;     ///< demand reads accepted
+    Counter writes;          ///< writebacks accepted
+    Counter prefetches;      ///< prefetch reads accepted
+    Counter dummies;         ///< dummy operations issued by the scheduler
+    Counter forwarded;       ///< reads served by store-to-load forwarding
+    Counter mergedWrites;    ///< writes merged with a queued write
+    Counter mergedWithPrefetch; ///< demand reads riding a queued prefetch
+    Counter realBursts;      ///< data bursts carrying real data
+    Counter dummyBursts;     ///< data bursts carrying dummy data
+    Average readLatency;     ///< demand-read latency, memory cycles
+    Histogram readLatencyHist;
+};
+
+/** One channel's memory controller. */
+class MemoryController : public Component
+{
+  public:
+    struct Params
+    {
+        dram::TimingParams timing;
+        dram::Geometry geo;
+        unsigned numDomains = 8;
+        size_t queueCapacity = 32;
+    };
+
+    MemoryController(std::string name, const Params &params,
+                     const AddressMap &map);
+    ~MemoryController() override;
+
+    /** Install the scheduling policy; must happen before ticking. */
+    void setScheduler(std::unique_ptr<sched::Scheduler> sched);
+
+    // ---- core-facing interface ----
+
+    /** True if a new request of this type from `domain` can be
+     *  queued this cycle (reads and writes budget separately). */
+    bool canAccept(DomainId domain, ReqType type = ReqType::Read) const;
+
+    /**
+     * Accept a transaction. Decodes the address, performs store-to-
+     * load forwarding and write merging, then enqueues. now = current
+     * memory cycle.
+     */
+    void access(std::unique_ptr<MemRequest> req, Cycle now);
+
+    // ---- scheduler-facing interface ----
+
+    TransactionQueue &queue(DomainId domain);
+    const TransactionQueue &queue(DomainId domain) const;
+
+    /**
+     * Per-domain prefetch candidate queue (Section 5.2: "a few-entry
+     * prefetch queue beside each transaction queue"). Bounded; the
+     * oldest candidate is dropped on overflow. FS consumes these in
+     * dummy slots; the baseline converts them to transactions when
+     * the queue has spare service.
+     */
+    std::deque<std::unique_ptr<MemRequest>> &prefetchQueue(DomainId d);
+    unsigned numDomains() const
+    {
+        return static_cast<unsigned>(queues_.size());
+    }
+
+    dram::DramSystem &dram() { return dram_; }
+    const dram::DramSystem &dram() const { return dram_; }
+    const AddressMap &addressMap() const { return map_; }
+
+    /**
+     * Hand a request whose final CAS has issued to the completion
+     * pipeline. completeAt is normally the data-burst end; secure
+     * schedulers may defer it (e.g. en-masse return at interval end).
+     */
+    void finishRequest(std::unique_ptr<MemRequest> req, Cycle completeAt);
+
+    /** Count a data burst for bandwidth stats. */
+    void noteBurst(bool dummy);
+
+    /** Count a dummy operation. */
+    void noteDummy() { stats_.dummies.inc(); }
+
+    // ---- simulation ----
+
+    void tick(Cycle now) override;
+
+    const ControllerStats &stats() const { return stats_; }
+    sched::Scheduler &scheduler();
+
+    /** Register this controller's stats into a group. */
+    void registerStats(StatGroup &group) const;
+
+    /** Effective (real-data) bus utilisation over elapsed cycles. */
+    double effectiveBandwidth(Cycle elapsed) const;
+
+  private:
+    struct PendingCompletion
+    {
+        Cycle at;
+        uint64_t seq; ///< tie-break to keep completion order stable
+        std::shared_ptr<MemRequest> req;
+        bool operator>(const PendingCompletion &o) const
+        {
+            return at != o.at ? at > o.at : seq > o.seq;
+        }
+    };
+
+    static constexpr size_t kPrefetchQueueCap = 8;
+
+    const AddressMap &map_;
+    dram::DramSystem dram_;
+    // deque: TransactionQueue is move-only and constructed in place.
+    std::deque<TransactionQueue> queues_;
+    std::vector<std::deque<std::unique_ptr<MemRequest>>> prefetchQueues_;
+    std::unique_ptr<sched::Scheduler> sched_;
+    std::priority_queue<PendingCompletion,
+                        std::vector<PendingCompletion>,
+                        std::greater<PendingCompletion>>
+        completions_;
+    uint64_t completionSeq_ = 0;
+    ReqId reqIdSeq_ = 0;
+    ControllerStats stats_;
+};
+
+} // namespace memsec::mem
+
+#endif // MEMSEC_MEM_MEMORY_CONTROLLER_HH

@@ -1,0 +1,311 @@
+#include "sched/frfcfs.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace memsec::sched {
+
+using mem::MemRequest;
+using mem::ReqType;
+using dram::CmdType;
+using dram::Command;
+
+FrFcfsEngine::FrFcfsEngine(mem::MemoryController &mc, const Options &opt)
+    : mc_(mc), dram_(mc.dram()), opt_(opt)
+{
+}
+
+void
+FrFcfsEngine::updateDrainMode(const std::vector<DomainId> &domains)
+{
+    size_t writes = 0;
+    size_t reads = 0;
+    for (DomainId d : domains) {
+        writes += mc_.queue(d).writeCount();
+        reads += mc_.queue(d).readCount();
+    }
+    if (drainingWrites_) {
+        if (writes <= opt_.writeLoWatermark)
+            drainingWrites_ = false;
+    } else if (writes >= opt_.writeHiWatermark ||
+               (reads == 0 && writes > 0)) {
+        drainingWrites_ = true;
+    }
+}
+
+bool
+FrFcfsEngine::tick(Cycle now, const std::vector<DomainId> &domains,
+                   const TurnGate &gate)
+{
+    updateDrainMode(domains);
+    const bool wantWrites = drainingWrites_;
+
+    // Type-aware turn-end gates (see TurnGate): each bound keeps the
+    // command's shared-state footprint inside the current turn.
+    const auto &tp = dram_.timing();
+    bool mayAct = true;
+    bool mayCasRead = true;
+    bool mayCasWrite = true;
+    bool inDeadTime = false;
+    if (gate.turnEnd != kNoCycle) {
+        const Cycle tE = gate.turnEnd;
+        // Reads: burst plus a rank switch must end by tE.
+        mayCasRead = now + tp.cas + tp.burst + tp.rtrs <= tE;
+        if (gate.sharedBanks) {
+            // Writes must also reach precharged state by tE.
+            mayCasWrite =
+                now + tp.cwd + tp.burst + tp.wr + tp.rp <= tE;
+            // An ACT must allow tRAS + tRP before tE.
+            mayAct = now + tp.ras + tp.rp <= tE;
+        } else {
+            // Private banks: rows persist, but the write-to-read
+            // turnaround and the tFAW window must not spill.
+            mayCasWrite = now + tp.wr2rd() <= tE;
+            mayAct = now + (tp.faw - 3 * tp.rrd) + 1 <= tE;
+        }
+        if (gate.deadTime > 0)
+            mayAct = mayAct && now + gate.deadTime <= tE;
+        inDeadTime = !mayAct;
+    }
+
+    // Single pass over the queues: find the oldest ready row-hit CAS,
+    // the oldest ACT for a closed bank, and the oldest PRE candidate
+    // for a conflicting open row. Also remember which open rows still
+    // have pending hits so PRE never closes a useful row.
+    MemRequest *casCand = nullptr;
+    MemRequest *actCand = nullptr;
+    MemRequest *preCand = nullptr;
+    // (rank,bank) pairs whose open row has at least one pending hit.
+    std::vector<std::pair<unsigned, unsigned>> usefulRows;
+
+    auto older = [](MemRequest *a, MemRequest *b) {
+        return !b || a->arrival < b->arrival ||
+               (a->arrival == b->arrival && a->id < b->id);
+    };
+    // Rank affinity: back-to-back bursts from one rank are gapless,
+    // while switching ranks costs tRTRS — prefer CAS candidates on
+    // the rank that last owned the data bus.
+    const unsigned affineRank = dram_.buses().lastDataRank();
+    auto betterCas = [&](MemRequest *a, MemRequest *b) {
+        if (!b)
+            return true;
+        const bool aAff = a->loc.rank == affineRank;
+        const bool bAff = b->loc.rank == affineRank;
+        if (aAff != bAff)
+            return aAff;
+        return older(a, b);
+    };
+
+    for (DomainId d : domains) {
+        const mem::TransactionQueue &q = mc_.queue(d);
+        for (size_t i = 0; i < q.size(); ++i) {
+            MemRequest *r = const_cast<MemRequest *>(q.at(i));
+            const bool isWrite = r->type == ReqType::Write;
+            if (isWrite != wantWrites)
+                continue;
+            if (r->loc.rank == gate.avoidRank)
+                continue;
+            const dram::Bank &bk = dram_.rank(r->loc.rank).bank(r->loc.bank);
+            if (bk.isOpen() && bk.openRow() == r->loc.row) {
+                usefulRows.emplace_back(r->loc.rank, r->loc.bank);
+                if (isWrite ? !mayCasWrite : !mayCasRead)
+                    continue;
+                Command cas{isWrite ? CmdType::Wr : CmdType::Rd,
+                            r->loc.rank, r->loc.bank, r->loc.row, r->id,
+                            false};
+                if (dram_.canIssue(cas, now) && betterCas(r, casCand))
+                    casCand = r;
+            } else if (!bk.isOpen()) {
+                if (!mayAct)
+                    continue;
+                Command act{CmdType::Act, r->loc.rank, r->loc.bank,
+                            r->loc.row, r->id, false};
+                if (dram_.canIssue(act, now) && older(r, actCand))
+                    actCand = r;
+            } else {
+                if (!mayAct)
+                    continue;
+                Command pre{CmdType::Pre, r->loc.rank, r->loc.bank,
+                            bk.openRow(), r->id, false};
+                if (dram_.canIssue(pre, now) && older(r, preCand))
+                    preCand = r;
+            }
+        }
+    }
+
+    if (casCand) {
+        issueFor(casCand, true, now);
+        return true;
+    }
+    if (actCand) {
+        issueFor(actCand, false, now);
+        return true;
+    }
+    if (preCand) {
+        // Only close a row nobody still wants.
+        const auto key = std::make_pair(preCand->loc.rank,
+                                        preCand->loc.bank);
+        if (std::find(usefulRows.begin(), usefulRows.end(), key) ==
+            usefulRows.end()) {
+            const dram::Bank &bk =
+                dram_.rank(preCand->loc.rank).bank(preCand->loc.bank);
+            Command pre{CmdType::Pre, preCand->loc.rank, preCand->loc.bank,
+                        bk.openRow(), preCand->id, false};
+            dram_.issue(pre, now);
+            ++rowConflicts_;
+            return true;
+        }
+    }
+
+    if (inDeadTime && gate.sharedBanks &&
+        now + tp.rp <= gate.turnEnd) {
+        // Dead time with shared banks: close any open rows so the
+        // next turn starts from a precharged state (TP cleanup).
+        for (unsigned r = 0; r < dram_.numRanks(); ++r) {
+            for (unsigned b = 0; b < dram_.rank(r).numBanks(); ++b) {
+                const dram::Bank &bk = dram_.rank(r).bank(b);
+                if (!bk.isOpen())
+                    continue;
+                Command pre{CmdType::Pre, r, b, bk.openRow(), 0, false};
+                if (dram_.canIssue(pre, now)) {
+                    dram_.issue(pre, now);
+                    return true;
+                }
+            }
+        }
+    }
+
+    if (opt_.allowPrefetchPromote && !inDeadTime) {
+        // Update the utilisation window every 1024 cycles.
+        if (now - utilWindowStart_ >= 1024) {
+            const uint64_t busy = dram_.buses().dataBusyCycles();
+            prefetchUtilOk_ =
+                busy - utilWindowBusy_ < (now - utilWindowStart_) / 2;
+            utilWindowBusy_ = busy;
+            utilWindowStart_ = now;
+        }
+        if (prefetchUtilOk_)
+            promotePrefetches(domains, now);
+    }
+    return false;
+}
+
+bool
+FrFcfsEngine::issueFor(MemRequest *req, bool isCas, Cycle now)
+{
+    if (!isCas) {
+        Command act{CmdType::Act, req->loc.rank, req->loc.bank,
+                    req->loc.row, req->id, false};
+        dram_.issue(act, now);
+        if (req->firstCommand == kNoCycle)
+            req->firstCommand = now;
+        return true;
+    }
+
+    const bool isWrite = req->type == ReqType::Write;
+    Command cas{isWrite ? CmdType::Wr : CmdType::Rd, req->loc.rank,
+                req->loc.bank, req->loc.row, req->id, false};
+    const dram::IssueResult res = dram_.issue(cas, now);
+    if (req->firstCommand == kNoCycle) {
+        req->firstCommand = now;
+        ++rowHits_;
+    } else {
+        ++rowMisses_;
+    }
+    mc_.noteBurst(false);
+    auto owned = mc_.queue(req->domain).take(req);
+    mc_.finishRequest(std::move(owned), res.dataEnd);
+    return true;
+}
+
+void
+FrFcfsEngine::promotePrefetches(const std::vector<DomainId> &domains,
+                                Cycle now)
+{
+    (void)now;
+    for (DomainId d : domains) {
+        auto &pq = mc_.prefetchQueue(d);
+        if (pq.empty())
+            continue;
+        mem::TransactionQueue &q = mc_.queue(d);
+        // Throttle: prefetches only ride along when the domain has
+        // little demand waiting, so they never add queueing delay.
+        if (q.readCount() > 2)
+            continue;
+        q.push(std::move(pq.front()));
+        pq.pop_front();
+    }
+}
+
+FrFcfsScheduler::FrFcfsScheduler(mem::MemoryController &mc,
+                                 bool enablePrefetch, bool refresh)
+    : Scheduler(mc),
+      engine_(mc, FrFcfsEngine::Options{24, 8, enablePrefetch}),
+      refreshEnabled_(refresh)
+{
+    for (DomainId d = 0; d < mc.numDomains(); ++d)
+        allDomains_.push_back(d);
+    // Stagger the per-rank refresh deadlines across tREFI.
+    const auto &tp = dram_.timing();
+    for (unsigned r = 0; r < dram_.numRanks(); ++r)
+        nextRefresh_.push_back(tp.refi * (r + 1) / dram_.numRanks());
+}
+
+bool
+FrFcfsScheduler::serviceRefresh(Cycle now, unsigned &avoidRank)
+{
+    for (unsigned r = 0; r < dram_.numRanks(); ++r) {
+        if (now < nextRefresh_[r])
+            continue;
+        Command ref{CmdType::Ref, r, 0, 0, 0, false};
+        if (dram_.canIssue(ref, now)) {
+            dram_.issue(ref, now);
+            nextRefresh_[r] += dram_.timing().refi;
+            refreshes_.inc();
+            return true;
+        }
+        // Drain: close this rank's open rows so REF becomes legal.
+        avoidRank = r;
+        for (unsigned b = 0; b < dram_.rank(r).numBanks(); ++b) {
+            const dram::Bank &bk = dram_.rank(r).bank(b);
+            if (!bk.isOpen())
+                continue;
+            Command pre{CmdType::Pre, r, b, bk.openRow(), 0, false};
+            if (dram_.canIssue(pre, now)) {
+                dram_.issue(pre, now);
+                return true;
+            }
+        }
+        return false; // waiting on tRAS/tWR; rank stays avoided
+    }
+    return false;
+}
+
+void
+FrFcfsScheduler::tick(Cycle now)
+{
+    FrFcfsEngine::TurnGate gate;
+    if (refreshEnabled_ && serviceRefresh(now, gate.avoidRank))
+        return;
+    engine_.tick(now, allDomains_, gate);
+}
+
+void
+FrFcfsScheduler::registerStats(StatGroup &group) const
+{
+    group.addFormula(
+        "row_hits",
+        [this] { return static_cast<double>(engine_.rowHits()); },
+        "CAS issued to an already-open row");
+    group.addFormula(
+        "row_misses",
+        [this] { return static_cast<double>(engine_.rowMisses()); },
+        "CAS that needed its own activate");
+    group.addFormula(
+        "row_conflicts",
+        [this] { return static_cast<double>(engine_.rowConflicts()); },
+        "precharges forced by a conflicting open row");
+}
+
+} // namespace memsec::sched

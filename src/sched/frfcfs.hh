@@ -1,0 +1,140 @@
+/**
+ * @file
+ * FR-FCFS+ engine and the non-secure baseline scheduler.
+ *
+ * The engine implements first-ready, first-come-first-served
+ * scheduling with open-page row management, watermark-based write
+ * draining, and optional prefetch promotion. It is reusable: the
+ * baseline runs it over all domains with no time horizon; Temporal
+ * Partitioning runs it over the single active domain with a
+ * turn-end horizon (the dead time).
+ */
+
+#ifndef MEMSEC_SCHED_FRFCFS_HH
+#define MEMSEC_SCHED_FRFCFS_HH
+
+#include <vector>
+
+#include "sched/scheduler.hh"
+
+namespace memsec::sched {
+
+/**
+ * One cycle of FR-FCFS decision-making over a set of domains.
+ * Stateless between calls except for the read/write drain mode.
+ */
+class FrFcfsEngine
+{
+  public:
+    struct Options
+    {
+        size_t writeHiWatermark = 12; ///< enter drain mode at this many
+        size_t writeLoWatermark = 4;  ///< leave drain mode at this many
+        bool allowPrefetchPromote = false;
+    };
+
+    FrFcfsEngine(mem::MemoryController &mc, const Options &opt);
+
+    /**
+     * Turn-end gating for Temporal Partitioning: every command's
+     * side effects on shared state (data bus occupancy, rank CAS
+     * turnaround windows, tRRD/tFAW, row state for shared banks)
+     * must be clean by `turnEnd` so the next domain's service cannot
+     * depend on this one's behaviour. Pass turnEnd == kNoCycle for
+     * unrestricted operation (the non-secure baseline).
+     */
+    struct TurnGate
+    {
+        Cycle turnEnd = kNoCycle;
+        /** Extra margin on transaction starts (the configured TP
+         *  "dead time"); the effective ACT gate is the larger of
+         *  this and the timing-derived bound. */
+        unsigned deadTime = 0;
+        /** Banks shared between domains (no spatial partitioning):
+         *  rows must also be precharged by turn end. */
+        bool sharedBanks = false;
+        /** Rank being drained for refresh: no new commands to it. */
+        unsigned avoidRank = ~0u;
+    };
+
+    /**
+     * Try to issue one command at `now` for domains in `domains`,
+     * honouring the turn gate. Returns true if a command was issued.
+     */
+    bool tick(Cycle now, const std::vector<DomainId> &domains,
+              const TurnGate &gate);
+
+    /** Ungated tick (the non-secure baseline). */
+    bool
+    tick(Cycle now, const std::vector<DomainId> &domains)
+    {
+        return tick(now, domains, TurnGate{});
+    }
+
+    /** Forget the read/write drain mode (TP calls this at turn
+     *  boundaries so one domain's drain state never carries into
+     *  another domain's turn — that would be an information leak). */
+    void resetDrainState() { drainingWrites_ = false; }
+
+    uint64_t rowHits() const { return rowHits_; }
+    uint64_t rowMisses() const { return rowMisses_; }
+    uint64_t rowConflicts() const { return rowConflicts_; }
+
+  private:
+    struct Candidate
+    {
+        mem::MemRequest *req = nullptr;
+        enum class Action { None, Cas, Act, Pre } action = Action::None;
+    };
+
+    bool issueFor(mem::MemRequest *req, bool isCas, Cycle now);
+    void updateDrainMode(const std::vector<DomainId> &domains);
+    void promotePrefetches(const std::vector<DomainId> &domains,
+                           Cycle now);
+
+    mem::MemoryController &mc_;
+    dram::DramSystem &dram_;
+    Options opt_;
+    bool drainingWrites_ = false;
+    // Feedback-directed prefetch throttle: promotion is paused while
+    // the data bus runs hot (prefetch waste would displace demand).
+    Cycle utilWindowStart_ = 0;
+    uint64_t utilWindowBusy_ = 0;
+    bool prefetchUtilOk_ = true;
+    uint64_t rowHits_ = 0;
+    uint64_t rowMisses_ = 0;
+    uint64_t rowConflicts_ = 0;
+};
+
+/** The optimised non-secure baseline (stand-in for the MSC winner). */
+class FrFcfsScheduler : public Scheduler
+{
+  public:
+    explicit FrFcfsScheduler(mem::MemoryController &mc,
+                             bool enablePrefetch = false,
+                             bool refresh = false);
+
+    void tick(Cycle now) override;
+    std::string name() const override { return "frfcfs"; }
+    void registerStats(StatGroup &group) const override;
+
+    const FrFcfsEngine &engine() const { return engine_; }
+
+    /** Refreshes issued so far (0 when refresh is disabled). */
+    uint64_t refreshes() const { return refreshes_.value(); }
+
+  private:
+    /** Progress the per-rank refresh state machine; returns true if
+     *  a command (REF or a draining PRE) was issued this cycle. */
+    bool serviceRefresh(Cycle now, unsigned &avoidRank);
+
+    FrFcfsEngine engine_;
+    std::vector<DomainId> allDomains_;
+    bool refreshEnabled_;
+    std::vector<Cycle> nextRefresh_;
+    Counter refreshes_;
+};
+
+} // namespace memsec::sched
+
+#endif // MEMSEC_SCHED_FRFCFS_HH

@@ -1,0 +1,464 @@
+#include "sched/fs.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace memsec::sched {
+
+using mem::MemRequest;
+using mem::ReqType;
+using dram::CmdType;
+using dram::Command;
+
+const char *
+fsModeName(FsMode m)
+{
+    switch (m) {
+      case FsMode::RankPart: return "fs-rank";
+      case FsMode::BankPart: return "fs-bank";
+      case FsMode::NoPart: return "fs-nopart";
+      case FsMode::TripleAlt: return "fs-triple";
+    }
+    return "???";
+}
+
+namespace {
+
+core::PartitionLevel
+levelOf(FsMode m)
+{
+    switch (m) {
+      case FsMode::RankPart: return core::PartitionLevel::Rank;
+      case FsMode::BankPart:
+      case FsMode::TripleAlt: return core::PartitionLevel::Bank;
+      case FsMode::NoPart: return core::PartitionLevel::None;
+    }
+    panic("bad FS mode");
+}
+
+} // namespace
+
+FsScheduler::FsScheduler(mem::MemoryController &mc, const Params &params)
+    : Scheduler(mc), params_(params)
+{
+    const core::PipelineSolver solver(dram_.timing());
+    sol_ = solver.solveBest(levelOf(params.mode));
+    fatal_if(!sol_.feasible, "no feasible FS pipeline for mode {}",
+             fsModeName(params.mode));
+    l_ = sol_.l;
+
+    const auto &off = sol_.offsets;
+    const int minOff = std::min({off.actRead, off.actWrite, off.casRead,
+                                 off.casWrite, 0});
+    lead_ = static_cast<Cycle>(-minOff);
+
+    const unsigned n = mc.numDomains();
+    groups_ = params.mode == FsMode::TripleAlt ? solver.alternationFactor()
+                                               : 1;
+    fatal_if(params.mode == FsMode::TripleAlt &&
+                 mc.addressMap().partition() != mem::Partition::None,
+             "triple alternation is the no-OS-support design point; "
+             "use an unpartitioned address map");
+    fatal_if(params.powerDown && params.mode != FsMode::RankPart,
+             "the power-down optimisation requires rank partitioning "
+             "(a shared rank's idleness would leak other domains' "
+             "state)");
+
+    // Build the slot table from the SLA weights (default: one slot
+    // per domain per frame), interleaving domains round-robin.
+    std::vector<unsigned> weights = params.slotWeights;
+    if (weights.empty())
+        weights.assign(n, 1);
+    fatal_if(weights.size() != n, "slotWeights size {} != domains {}",
+             weights.size(), n);
+    std::vector<unsigned> remaining = weights;
+    bool any = true;
+    while (any) {
+        any = false;
+        for (DomainId d = 0; d < n; ++d) {
+            if (remaining[d] > 0) {
+                --remaining[d];
+                slotTable_.push_back(d);
+                any = true;
+            }
+        }
+    }
+    fatal_if(slotTable_.empty(), "slot table is empty");
+
+    // Bank-group rotation (slot % groups) must visit every group for
+    // every domain; pad the frame with a phantom slot when the frame
+    // length is a multiple of the group count.
+    if (groups_ > 1 && slotTable_.size() % groups_ == 0)
+        slotTable_.push_back(kPhantom);
+    slotsPerFrame_ = slotTable_.size();
+
+    const auto &geo = dram_.geometry();
+    plannedBankFree_.assign(
+        static_cast<size_t>(geo.ranksPerChannel) * geo.banksPerRank, 0);
+    lastRow_.assign(plannedBankFree_.size(), ~0u);
+    rankPlan_.assign(geo.ranksPerChannel, RankPlan{});
+    rankDownUntil_.assign(geo.ranksPerChannel, 0);
+    pdCreditCycles_.assign(geo.ranksPerChannel, 0);
+    dummyRr_.assign(n, 0);
+    for (DomainId d = 0; d < n; ++d)
+        domainRng_.emplace_back(params.rngSeed * 0x9E3779B9u + d);
+
+    if (params_.refresh) {
+        const auto &tp = dram_.timing();
+        // No slot may have commands or auto-precharge activity inside
+        // the epoch: quiet-down begins one worst-case transaction
+        // footprint before the REF burst.
+        refreshMargin_ = tp.actToActWrA() + lead_;
+        // One REF command per rank back-to-back, then tRFC.
+        refreshPause_ = dram_.numRanks() + tp.rfc;
+        nextRefresh_ = tp.refi;
+        fatal_if(tp.refi < refreshMargin_ + refreshPause_ + frameLength(),
+                 "tREFI too short for an FS refresh epoch");
+    }
+}
+
+std::string
+FsScheduler::name() const
+{
+    return fsModeName(params_.mode);
+}
+
+bool
+FsScheduler::bankFree(unsigned rank, unsigned bank, Cycle actAt) const
+{
+    const unsigned nb = dram_.geometry().banksPerRank;
+    const Cycle free = plannedBankFree_[static_cast<size_t>(rank) * nb +
+                                        bank];
+    return actAt >= free;
+}
+
+bool
+FsScheduler::rankFree(unsigned rank, Cycle actAt, Cycle casAt,
+                      bool write) const
+{
+    const auto &tp = dram_.timing();
+    const RankPlan &rp = rankPlan_[rank];
+    if (actAt < rp.nextAct)
+        return false;
+    if (rp.acts.size() >= 4 && actAt < rp.acts.front() + tp.faw)
+        return false;
+    if (casAt < (write ? rp.nextWrite : rp.nextRead))
+        return false;
+    return true;
+}
+
+void
+FsScheduler::reserveRank(unsigned rank, Cycle actAt, Cycle casAt,
+                         bool write)
+{
+    const auto &tp = dram_.timing();
+    RankPlan &rp = rankPlan_[rank];
+    rp.nextAct = actAt + tp.rrd;
+    rp.acts.push_back(actAt);
+    while (rp.acts.size() > 4)
+        rp.acts.pop_front();
+    if (write) {
+        rp.nextWrite = std::max(rp.nextWrite, casAt + tp.ccd);
+        rp.nextRead = std::max(rp.nextRead, casAt + tp.wr2rd());
+    } else {
+        rp.nextRead = std::max(rp.nextRead, casAt + tp.ccd);
+        rp.nextWrite = std::max(rp.nextWrite, casAt + tp.rd2wr());
+    }
+}
+
+void
+FsScheduler::reserveBank(unsigned rank, unsigned bank, Cycle actAt,
+                         Cycle casAt, bool write)
+{
+    const auto &tp = dram_.timing();
+    const Cycle preDone =
+        write ? casAt + tp.cwd + tp.burst + tp.wr + tp.rp
+              : std::max(casAt + tp.rtp + tp.rp, actAt + tp.rc);
+    const Cycle readyAt = std::max(actAt + tp.rc, preDone);
+    const unsigned nb = dram_.geometry().banksPerRank;
+    plannedBankFree_[static_cast<size_t>(rank) * nb + bank] = readyAt;
+}
+
+void
+FsScheduler::plan(uint64_t slot, std::unique_ptr<MemRequest> req,
+                  bool write, bool dummy, Cycle ref)
+{
+    (void)slot;
+    const auto &off = sol_.offsets;
+    PlannedOp op;
+    op.write = write;
+    op.dummy = dummy;
+    op.actAt = ref + (write ? off.actWrite : off.actRead);
+    op.casAt = ref + (write ? off.casWrite : off.casRead);
+    op.suppressCas = dummy && params_.suppressDummies;
+
+    const unsigned rank = req->loc.rank;
+    const unsigned bank = req->loc.bank;
+    const unsigned nb = dram_.geometry().banksPerRank;
+    unsigned &last = lastRow_[static_cast<size_t>(rank) * nb + bank];
+    if (params_.rowBufferBoost && req->loc.row == last) {
+        op.suppressAct = true;
+        boostedActs_.inc();
+    } else {
+        op.suppressAct = op.suppressCas;
+    }
+    last = req->loc.row;
+
+    reserveBank(rank, bank, op.actAt, op.casAt, write);
+    reserveRank(rank, op.actAt, op.casAt, write);
+    op.req = std::move(req);
+    planned_.push_back(std::move(op));
+}
+
+void
+FsScheduler::frameBoundary(uint64_t frame, Cycle now)
+{
+    if (!params_.powerDown)
+        return;
+    const auto &tp = dram_.timing();
+    const Cycle q = frameLength();
+    const Cycle frameEnd = (frame + 1) * q + lead_;
+    if (q <= tp.xp + tp.cke)
+        return;
+
+    // A rank whose owning domains have nothing queued at the frame
+    // start is powered down for the whole frame (Section 5.2, energy
+    // optimisation 3). Under rank partitioning this depends only on
+    // the owner's own state, so it leaks nothing.
+    std::vector<bool> used(dram_.numRanks(), false);
+    for (DomainId d = 0; d < mc_.numDomains(); ++d) {
+        const mem::TransactionQueue &qd = mc_.queue(d);
+        for (size_t i = 0; i < qd.size(); ++i)
+            used[qd.at(i)->loc.rank] = true;
+        for (const auto &p : mc_.prefetchQueue(d))
+            used[p->loc.rank] = true;
+    }
+    for (const auto &op : planned_) {
+        if (op.req)
+            used[op.req->loc.rank] = true;
+    }
+    for (unsigned r = 0; r < dram_.numRanks(); ++r) {
+        if (!used[r] && rankDownUntil_[r] <= now) {
+            rankDownUntil_[r] = frameEnd;
+            pdCreditCycles_[r] += q - tp.xp - tp.cke;
+        }
+    }
+}
+
+void
+FsScheduler::decideSlot(uint64_t slot, Cycle now)
+{
+    const uint64_t frame = slot / slotsPerFrame_;
+    const uint64_t idx = slot % slotsPerFrame_;
+    if (idx == 0)
+        frameBoundary(frame, now);
+
+    if (nextRefresh_ != kNoCycle) {
+        // The whole-epoch window [nextRefresh_ - margin, +pause) is a
+        // deterministic, domain-independent blackout.
+        // One-sided: the epoch rolls over only after its pause, so
+        // every slot decided during it sees the armed blackout.
+        const Cycle ref = slot * l_ + lead_;
+        if (ref + refreshMargin_ > nextRefresh_) {
+            skippedSlots_.inc();
+            return;
+        }
+    }
+
+    const DomainId domain = slotTable_[idx];
+    if (domain == kPhantom) {
+        skippedSlots_.inc();
+        return;
+    }
+
+    const Cycle ref = slot * l_ + lead_;
+    const auto &off = sol_.offsets;
+    const unsigned group = groups_ > 1
+                               ? static_cast<unsigned>(slot % groups_)
+                               : 0;
+
+    auto eligible = [&](const MemRequest &r) {
+        if (groups_ > 1 && r.loc.bank % groups_ != group)
+            return false;
+        const bool w = r.type == ReqType::Write;
+        const Cycle act = ref + (w ? off.actWrite : off.actRead);
+        const Cycle cas = ref + (w ? off.casWrite : off.casRead);
+        if (rankDownUntil_[r.loc.rank] > now)
+            return false;
+        return bankFree(r.loc.rank, r.loc.bank, act) &&
+               rankFree(r.loc.rank, act, cas, w);
+    };
+
+    // 1. A real transaction from this domain's queue, oldest first.
+    mem::TransactionQueue &q = mc_.queue(domain);
+    if (MemRequest *r = q.findOldest(eligible)) {
+        if (r != q.head())
+            hazardDeferrals_.inc();
+        const bool w = r->type == ReqType::Write;
+        auto owned = q.take(r);
+        owned->firstCommand = ref + (w ? off.actWrite : off.actRead);
+        realOps_.inc();
+        plan(slot, std::move(owned), w, false, ref);
+        return;
+    }
+    if (!q.empty())
+        hazardDeferrals_.inc();
+
+    // 2. A prefetch, if the optimisation is enabled (Section 5.2).
+    if (params_.prefetchInDummies) {
+        auto &pq = mc_.prefetchQueue(domain);
+        for (auto it = pq.begin(); it != pq.end(); ++it) {
+            if (eligible(**it)) {
+                auto owned = std::move(*it);
+                pq.erase(it);
+                owned->firstCommand = ref + off.actRead;
+                prefetchOps_.inc();
+                plan(slot, std::move(owned), false, false, ref);
+                return;
+            }
+        }
+    }
+
+    // 3. A dummy read to an idle bank the domain owns — or nothing at
+    //    all if the rank is powered down for this frame.
+    const auto &ranks = mc_.addressMap().ranksOf(domain);
+    const auto &banks = mc_.addressMap().banksOf(domain);
+    const size_t combos = ranks.size() * banks.size();
+    for (size_t tries = 0; tries < combos; ++tries) {
+        const size_t cursor = (dummyRr_[domain] + tries) % combos;
+        const unsigned bank = banks[cursor % banks.size()];
+        const unsigned rank = ranks[cursor / banks.size()];
+        if (groups_ > 1 && bank % groups_ != group)
+            continue;
+        if (rankDownUntil_[rank] > now) {
+            // Powered-down rank: the slot is deliberately left empty.
+            skippedSlots_.inc();
+            return;
+        }
+        if (!bankFree(rank, bank, ref + off.actRead) ||
+            !rankFree(rank, ref + off.actRead, ref + off.casRead,
+                      false))
+            continue;
+        dummyRr_[domain] = cursor + 1;
+        auto dummy = std::make_unique<MemRequest>();
+        dummy->type = ReqType::Dummy;
+        dummy->domain = domain;
+        dummy->arrival = now;
+        dummy->loc.rank = rank;
+        dummy->loc.bank = bank;
+        dummy->loc.row = params_.rowBufferBoost
+                             ? lastRow_[static_cast<size_t>(rank) *
+                                            dram_.geometry().banksPerRank +
+                                        bank]
+                             : static_cast<unsigned>(
+                                   domainRng_[domain].below(
+                                       dram_.geometry().rowsPerBank));
+        if (dummy->loc.row == ~0u)
+            dummy->loc.row = 0;
+        dummyOps_.inc();
+        mc_.noteDummy();
+        plan(slot, std::move(dummy), false, true, ref);
+        return;
+    }
+    // Only reachable at very low thread counts, where rank-level
+    // turnaround windows can exclude every placement; the slot is
+    // deterministically skipped.
+    skippedSlots_.inc();
+}
+
+void
+FsScheduler::issueDue(Cycle now)
+{
+    for (auto &op : planned_) {
+        if (!op.actIssued && op.actAt == now) {
+            panic_if(!op.req, "planned op lost its request");
+            Command act{CmdType::Act, op.req->loc.rank, op.req->loc.bank,
+                        op.req->loc.row, op.req->id, op.suppressAct};
+            dram_.issue(act, now);
+            op.actIssued = true;
+            return; // one command per cycle
+        }
+        if (op.actIssued && op.req && op.casAt == now) {
+            const CmdType type = op.write ? CmdType::WrA : CmdType::RdA;
+            Command cas{type, op.req->loc.rank, op.req->loc.bank,
+                        op.req->loc.row, op.req->id, op.suppressCas};
+            const dram::IssueResult res = dram_.issue(cas, now);
+            mc_.noteBurst(op.dummy);
+            mc_.finishRequest(std::move(op.req), res.dataEnd);
+            return;
+        }
+        if (op.actAt > now && op.casAt > now)
+            break;
+    }
+}
+
+void
+FsScheduler::tick(Cycle now)
+{
+    if (nextRefresh_ != kNoCycle && now >= nextRefresh_) {
+        // Issue one REF per cycle until every rank is refreshed; the
+        // epoch only rolls over once the last rank's tRFC elapsed, so
+        // the slot blackout below stays armed throughout.
+        if (refreshRankCursor_ < dram_.numRanks()) {
+            dram_.issue(Command{CmdType::Ref, refreshRankCursor_, 0, 0,
+                                0, false},
+                        now);
+            ++refreshRankCursor_;
+            return;
+        }
+        if (now >= nextRefresh_ + refreshPause_) {
+            nextRefresh_ += dram_.timing().refi;
+            refreshRankCursor_ = 0;
+        }
+    }
+    if (now % l_ == 0)
+        decideSlot(now / l_, now);
+    issueDue(now);
+    while (!planned_.empty() && !planned_.front().req)
+        planned_.pop_front();
+}
+
+void
+FsScheduler::finalize(Cycle now)
+{
+    (void)now;
+    // Move power-down credit cycles from precharge standby to
+    // power-down in the energy books (the commands themselves were
+    // never simulated; Section 5.2 argues the command bus has free
+    // cycles for PDE/PDX in every interval).
+    for (unsigned r = 0; r < dram_.numRanks(); ++r) {
+        auto &e = dram_.rank(r).energy();
+        const uint64_t credit =
+            std::min(pdCreditCycles_[r], e.cyclesPrecharge);
+        e.cyclesPrecharge -= credit;
+        e.cyclesPowerDown += credit;
+        pdCreditCycles_[r] = 0;
+    }
+}
+
+void
+FsScheduler::registerStats(StatGroup &group) const
+{
+    group.add("real_ops", &realOps_, "slots serving real transactions");
+    group.add("dummy_ops", &dummyOps_, "slots serving dummy operations");
+    group.add("prefetch_ops", &prefetchOps_,
+              "slots serving prefetch operations");
+    group.add("skipped_slots", &skippedSlots_,
+              "phantom or powered-down slots");
+    group.add("hazard_deferrals", &hazardDeferrals_,
+              "head-of-queue passed over for a safe transaction");
+    group.add("boosted_acts", &boostedActs_,
+              "activates suppressed by the row-buffer boost");
+    group.addFormula(
+        "dummy_fraction",
+        [this] {
+            const double total = static_cast<double>(
+                realOps_.value() + dummyOps_.value() +
+                prefetchOps_.value());
+            return total > 0 ? dummyOps_.value() / total : 0.0;
+        },
+        "fraction of issued slots that were dummies");
+}
+
+} // namespace memsec::sched

@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Fixed-Service (FS) scheduler family — the paper's contribution.
+ *
+ * Every security domain is shaped to one closed-row transaction per
+ * assigned slot; slots recur every l cycles (from the pipeline
+ * solver) and cycle round-robin over domains, so the frame length is
+ * Q = slots * l. A domain with nothing pending gets a dummy operation
+ * (or a prefetch, or a power-down, depending on the enabled
+ * optimisations). Because the slot template is fixed, every command
+ * lands in a precomputed conflict-free cycle; the DRAM model's
+ * independent TimingChecker verifies this on every run.
+ *
+ * Modes:
+ *  - RankPart:  l = 7 (fixed periodic data), adjacent slots in
+ *               different ranks (Section 3.1)
+ *  - BankPart:  l = 15 (fixed periodic RAS), adjacent slots in
+ *               different banks (Section 4.2)
+ *  - NoPart:    l = 43, any slot may reuse any bank (Section 4.3)
+ *  - TripleAlt: l = 15 with rotating bank-id-mod-3 groups; same-group
+ *               slots are >= 3*l >= 45 cycles apart, satisfying the
+ *               43-cycle same-bank reuse bound (Section 4.3)
+ */
+
+#ifndef MEMSEC_SCHED_FS_HH
+#define MEMSEC_SCHED_FS_HH
+
+#include <deque>
+#include <vector>
+
+#include "core/pipeline_solver.hh"
+#include "sched/scheduler.hh"
+#include "util/random.hh"
+
+namespace memsec::sched {
+
+/** Spatial-partitioning mode of the FS pipeline. */
+enum class FsMode : uint8_t { RankPart, BankPart, NoPart, TripleAlt };
+
+const char *fsModeName(FsMode m);
+
+/** Slot-table Fixed-Service scheduler. */
+class FsScheduler : public Scheduler
+{
+  public:
+    struct Params
+    {
+        FsMode mode = FsMode::RankPart;
+        bool prefetchInDummies = false; ///< Section 5.2 prefetch slots
+        bool suppressDummies = false;   ///< energy optimisation 1
+        bool rowBufferBoost = false;    ///< energy optimisation 2
+        bool powerDown = false;         ///< energy optimisation 3 (RP only)
+        /** Issue slots per domain per frame (SLA weights); empty means
+         *  one slot each. */
+        std::vector<unsigned> slotWeights;
+        uint64_t rngSeed = 0x5eedf00d;
+        /**
+         * Deterministic refresh epochs: every tREFI the pipeline
+         * pauses at a wall-clock-fixed point, refreshes every rank
+         * back-to-back, and resumes. The schedule depends on nothing
+         * any domain does, so non-interference is preserved (the
+         * paper's analysis ignores refresh; this is the extension a
+         * deployable controller needs).
+         */
+        bool refresh = false;
+    };
+
+    FsScheduler(mem::MemoryController &mc, const Params &params);
+
+    void tick(Cycle now) override;
+    std::string name() const override;
+    void registerStats(StatGroup &group) const override;
+
+    /** Apply deferred energy accounting (power-down credits). */
+    void finalize(Cycle now) override;
+
+    unsigned slotSpacing() const { return l_; }
+    Cycle frameLength() const { return slotsPerFrame_ * l_; }
+    const core::PipelineSolution &solution() const { return sol_; }
+
+    uint64_t realOps() const { return realOps_.value(); }
+    uint64_t dummyOps() const { return dummyOps_.value(); }
+    uint64_t prefetchOps() const { return prefetchOps_.value(); }
+
+  private:
+    struct PlannedOp
+    {
+        std::unique_ptr<mem::MemRequest> req; ///< null after CAS issue
+        bool write = false;
+        bool dummy = false;
+        bool suppressAct = false;
+        bool suppressCas = false;
+        Cycle actAt = 0;
+        Cycle casAt = 0;
+        bool actIssued = false;
+    };
+
+    /** Pick and plan the operation for slot `slot` (decided at now). */
+    void decideSlot(uint64_t slot, Cycle now);
+
+    /** True if an op on (rank,bank) may plan its ACT at actAt. */
+    bool bankFree(unsigned rank, unsigned bank, Cycle actAt) const;
+
+    /**
+     * True if rank-level constraints (tRRD, tFAW, CAS turnaround)
+     * admit an op with the given command cycles. The solver already
+     * guarantees these *between* slots of one frame; this guards the
+     * low-thread-count case where a domain's consecutive slots are
+     * closer than the turnaround times (Section 7's sensitivity
+     * discussion).
+     */
+    bool rankFree(unsigned rank, Cycle actAt, Cycle casAt,
+                  bool write) const;
+
+    /** Record the planned op's bank-reuse horizon. */
+    void reserveBank(unsigned rank, unsigned bank, Cycle actAt,
+                     Cycle casAt, bool write);
+
+    /** Record the planned op's rank-level footprint. */
+    void reserveRank(unsigned rank, Cycle actAt, Cycle casAt,
+                     bool write);
+
+    /** Plan the op's commands. */
+    void plan(uint64_t slot, std::unique_ptr<mem::MemRequest> req,
+              bool write, bool dummy, Cycle ref);
+
+    void issueDue(Cycle now);
+    void frameBoundary(uint64_t frame, Cycle now);
+
+    Params params_;
+    core::PipelineSolution sol_;
+    unsigned l_ = 0;
+    Cycle lead_ = 0;
+    unsigned groups_ = 1;              ///< alternation factor (1 or 3)
+    uint64_t slotsPerFrame_ = 0;       ///< incl. a phantom pad slot if
+                                       ///< needed for group rotation
+    std::vector<DomainId> slotTable_;  ///< slot index -> domain (or ~0)
+    static constexpr DomainId kPhantom = ~0u;
+
+    std::deque<PlannedOp> planned_;
+    /** Earliest cycle a new ACT may be planned per (rank, bank),
+     *  covering planned-but-unissued auto-precharges. */
+    std::vector<Cycle> plannedBankFree_;
+
+    /** Planned rank-level windows, mirroring dram::Rank. */
+    struct RankPlan
+    {
+        Cycle nextRead = 0;
+        Cycle nextWrite = 0;
+        Cycle nextAct = 0;
+        std::deque<Cycle> acts; ///< recent planned ACTs (tFAW)
+    };
+    std::vector<RankPlan> rankPlan_;
+    /** Last row used per (rank, bank), for the row-buffer boost. */
+    std::vector<unsigned> lastRow_;
+
+    std::vector<Rng> domainRng_;
+    std::vector<size_t> dummyRr_; ///< per-domain dummy placement cursor
+
+    /** Rank is (logically) powered down until this cycle (opt 3). */
+    std::vector<Cycle> rankDownUntil_;
+    std::vector<uint64_t> pdCreditCycles_;
+
+    /** Next refresh-epoch start (kNoCycle when refresh disabled). */
+    Cycle nextRefresh_ = kNoCycle;
+    /** Quiet margin before the epoch and pause length after it. */
+    Cycle refreshMargin_ = 0;
+    Cycle refreshPause_ = 0;
+    unsigned refreshRankCursor_ = 0;
+
+    Counter realOps_;
+    Counter dummyOps_;
+    Counter prefetchOps_;
+    Counter skippedSlots_;
+    Counter hazardDeferrals_;
+    Counter boostedActs_;
+};
+
+} // namespace memsec::sched
+
+#endif // MEMSEC_SCHED_FS_HH

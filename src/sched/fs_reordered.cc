@@ -1,0 +1,223 @@
+#include "sched/fs_reordered.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace memsec::sched {
+
+using mem::MemRequest;
+using mem::ReqType;
+using dram::CmdType;
+using dram::Command;
+
+FsReorderedScheduler::FsReorderedScheduler(mem::MemoryController &mc,
+                                           const Params &params)
+    : Scheduler(mc), params_(params)
+{
+    const core::PipelineSolver solver(dram_.timing());
+    sol_ = solver.solveReordered(mc.numDomains());
+    off_ = solver.offsets(core::PeriodicRef::Data);
+    q_ = sol_.q;
+
+    const int minOff = std::min({off_.actRead, off_.actWrite,
+                                 off_.casRead, off_.casWrite, 0});
+    lead_ = static_cast<Cycle>(-minOff);
+
+    const auto &geo = dram_.geometry();
+    plannedBankFree_.assign(
+        static_cast<size_t>(geo.ranksPerChannel) * geo.banksPerRank, 0);
+    dummyRr_.assign(mc.numDomains(), 0);
+    for (DomainId d = 0; d < mc.numDomains(); ++d)
+        domainRng_.emplace_back(params.rngSeed * 0x517cc1b7u + d);
+}
+
+bool
+FsReorderedScheduler::bankFree(unsigned rank, unsigned bank,
+                               Cycle actAt) const
+{
+    const unsigned nb = dram_.geometry().banksPerRank;
+    return actAt >=
+           plannedBankFree_[static_cast<size_t>(rank) * nb + bank];
+}
+
+void
+FsReorderedScheduler::reserveBank(unsigned rank, unsigned bank,
+                                  Cycle actAt, Cycle casAt, bool write)
+{
+    const auto &tp = dram_.timing();
+    const Cycle preDone =
+        write ? casAt + tp.cwd + tp.burst + tp.wr + tp.rp
+              : std::max(casAt + tp.rtp + tp.rp, actAt + tp.rc);
+    const unsigned nb = dram_.geometry().banksPerRank;
+    plannedBankFree_[static_cast<size_t>(rank) * nb + bank] =
+        std::max(actAt + tp.rc, preDone);
+}
+
+std::unique_ptr<MemRequest>
+FsReorderedScheduler::makeDummy(DomainId domain, bool write, Cycle actAt,
+                                Cycle now)
+{
+    const auto &ranks = mc_.addressMap().ranksOf(domain);
+    const auto &banks = mc_.addressMap().banksOf(domain);
+    const size_t combos = ranks.size() * banks.size();
+    for (size_t tries = 0; tries < combos; ++tries) {
+        const size_t cursor = (dummyRr_[domain] + tries) % combos;
+        const unsigned bank = banks[cursor % banks.size()];
+        const unsigned rank = ranks[cursor / banks.size()];
+        if (!bankFree(rank, bank, actAt))
+            continue;
+        dummyRr_[domain] = cursor + 1;
+        auto dummy = std::make_unique<MemRequest>();
+        dummy->type = write ? ReqType::Write : ReqType::Dummy;
+        dummy->domain = domain;
+        dummy->arrival = now;
+        dummy->loc.rank = rank;
+        dummy->loc.bank = bank;
+        dummy->loc.row = static_cast<unsigned>(
+            domainRng_[domain].below(dram_.geometry().rowsPerBank));
+        return dummy;
+    }
+    panic("reordered FS: no dummy placement for domain {}", domain);
+}
+
+void
+FsReorderedScheduler::decideInterval(uint64_t interval, Cycle now)
+{
+    const unsigned n = mc_.numDomains();
+    const Cycle base = interval * q_ + lead_;
+    const Cycle nextBase = base + q_;
+
+    // Tentative pick per domain: the head of its queue (the shaped
+    // one-transaction-per-interval injection); read/write typing of
+    // the pick fixes the slot order.
+    struct Pick
+    {
+        DomainId domain;
+        bool write;
+    };
+    std::vector<Pick> reads;
+    std::vector<Pick> writes;
+    for (DomainId d = 0; d < n; ++d) {
+        const MemRequest *head = mc_.queue(d).head();
+        const bool w = head && head->type == ReqType::Write;
+        if (w)
+            writes.push_back({d, true});
+        else
+            reads.push_back({d, false});
+    }
+
+    // Assign data slots: reads first, then writes (Section 4.2).
+    std::vector<Pick> order = reads;
+    order.insert(order.end(), writes.begin(), writes.end());
+
+    // Eligibility is judged at the interval's EARLIEST possible act
+    // cycle, not the op's actual slot position: the position depends
+    // on the other domains' read/write mix, so a position-sensitive
+    // pick would leak it. Under bank partitioning plannedBankFree of
+    // a domain's banks is a function of that domain's own history
+    // only, so this predicate is leak-free.
+    const Cycle earliestAct =
+        base + std::min(off_.actRead, off_.actWrite);
+
+    for (unsigned i = 0; i < order.size(); ++i) {
+        const Pick &p = order[i];
+        const Cycle data = base + static_cast<Cycle>(i) * sol_.spacing;
+        const Cycle actAt =
+            data + (p.write ? off_.actWrite : off_.actRead);
+        const Cycle casAt =
+            data + (p.write ? off_.casWrite : off_.casRead);
+
+        // Oldest safe same-type transaction from the domain; falling
+        // back to a same-type dummy keeps the read/write split (and
+        // hence the whole command template) unchanged.
+        mem::TransactionQueue &q = mc_.queue(p.domain);
+        MemRequest *r = q.findOldest([&](const MemRequest &cand) {
+            return (cand.type == ReqType::Write) == p.write &&
+                   bankFree(cand.loc.rank, cand.loc.bank, earliestAct);
+        });
+
+        PlannedOp op;
+        op.write = p.write;
+        op.actAt = actAt;
+        op.casAt = casAt;
+        if (r) {
+            if (r != q.head())
+                hazardDeferrals_.inc();
+            op.req = q.take(r);
+            op.req->firstCommand = actAt;
+            op.dummy = false;
+            realOps_.inc();
+        } else {
+            if (!q.empty())
+                hazardDeferrals_.inc();
+            op.req = makeDummy(p.domain, p.write, earliestAct, now);
+            op.dummy = true;
+            dummyOps_.inc();
+            mc_.noteDummy();
+        }
+        // Reads return en masse at the end of the interval so the
+        // read/write reordering cannot modulate observed latency.
+        op.completeAt =
+            p.write ? casAt + dram_.timing().cwd + dram_.timing().burst
+                    : nextBase;
+        // The bank reservation must be position-independent too (the
+        // actual position depends on the other domains' mix), so it
+        // assumes the op sat in the interval's LAST slot. Together
+        // with the earliest-slot eligibility test this brackets every
+        // real placement.
+        const Cycle worstData =
+            base + static_cast<Cycle>(n - 1) * sol_.spacing;
+        reserveBank(op.req->loc.rank, op.req->loc.bank,
+                    worstData + (p.write ? off_.actWrite : off_.actRead),
+                    worstData + (p.write ? off_.casWrite : off_.casRead),
+                    p.write);
+        planned_.push_back(std::move(op));
+    }
+}
+
+void
+FsReorderedScheduler::issueDue(Cycle now)
+{
+    for (auto &op : planned_) {
+        if (!op.actIssued && op.actAt == now) {
+            Command act{CmdType::Act, op.req->loc.rank, op.req->loc.bank,
+                        op.req->loc.row, op.req->id, false};
+            dram_.issue(act, now);
+            op.actIssued = true;
+            return;
+        }
+        if (op.actIssued && op.req && op.casAt == now) {
+            const CmdType type = op.write ? CmdType::WrA : CmdType::RdA;
+            Command cas{type, op.req->loc.rank, op.req->loc.bank,
+                        op.req->loc.row, op.req->id, false};
+            dram_.issue(cas, now);
+            mc_.noteBurst(op.dummy);
+            mc_.finishRequest(std::move(op.req), op.completeAt);
+            return;
+        }
+        if (op.actAt > now && op.casAt > now)
+            break;
+    }
+}
+
+void
+FsReorderedScheduler::tick(Cycle now)
+{
+    if (now % q_ == 0)
+        decideInterval(now / q_, now);
+    issueDue(now);
+    while (!planned_.empty() && !planned_.front().req)
+        planned_.pop_front();
+}
+
+void
+FsReorderedScheduler::registerStats(StatGroup &group) const
+{
+    group.add("real_ops", &realOps_, "slots serving real transactions");
+    group.add("dummy_ops", &dummyOps_, "slots serving dummy operations");
+    group.add("hazard_deferrals", &hazardDeferrals_,
+              "head-of-queue passed over for a safe transaction");
+}
+
+} // namespace memsec::sched

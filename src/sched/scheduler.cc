@@ -1,0 +1,7 @@
+#include "sched/scheduler.hh"
+
+// Scheduler is header-only today; this translation unit anchors the
+// vtable so every policy links against one definition.
+
+namespace memsec::sched {
+} // namespace memsec::sched

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Scheduling-policy strategy interface.
+ *
+ * A Scheduler owns all transaction-ordering decisions of one memory
+ * controller; it is ticked once per memory cycle and may issue at most
+ * one DRAM command per tick (the command bus carries one command per
+ * cycle). Concrete policies: FR-FCFS+ (non-secure baseline), Temporal
+ * Partitioning (prior work), and the Fixed-Service family (this
+ * paper).
+ */
+
+#ifndef MEMSEC_SCHED_SCHEDULER_HH
+#define MEMSEC_SCHED_SCHEDULER_HH
+
+#include <string>
+
+#include "mem/memory_controller.hh"
+#include "sim/types.hh"
+#include "stats/stats.hh"
+
+namespace memsec::sched {
+
+/** Abstract scheduling policy. */
+class Scheduler
+{
+  public:
+    explicit Scheduler(mem::MemoryController &mc)
+        : mc_(mc), dram_(mc.dram())
+    {
+    }
+    virtual ~Scheduler() = default;
+
+    /** Advance one memory cycle; may issue at most one command. */
+    virtual void tick(Cycle now) = 0;
+
+    /** Policy name for reports. */
+    virtual std::string name() const = 0;
+
+    /** Hook called once after the measured run (e.g. to settle
+     *  deferred energy accounting). */
+    virtual void finalize(Cycle now) { (void)now; }
+
+    /** Export policy-specific statistics. */
+    virtual void registerStats(StatGroup &group) const { (void)group; }
+
+  protected:
+    mem::MemoryController &mc_;
+    dram::DramSystem &dram_;
+};
+
+} // namespace memsec::sched
+
+#endif // MEMSEC_SCHED_SCHEDULER_HH

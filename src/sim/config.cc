@@ -1,0 +1,232 @@
+#include "sim/config.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace memsec {
+
+namespace {
+
+std::string
+trim(const std::string &s)
+{
+    size_t b = 0;
+    size_t e = s.size();
+    while (b < e && std::isspace(static_cast<unsigned char>(s[b])))
+        ++b;
+    while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])))
+        --e;
+    return s.substr(b, e - b);
+}
+
+} // namespace
+
+Config &
+Config::set(const std::string &key, const std::string &value)
+{
+    values_[key] = value;
+    return *this;
+}
+
+Config &
+Config::set(const std::string &key, const char *value)
+{
+    values_[key] = value;
+    return *this;
+}
+
+Config &
+Config::set(const std::string &key, int64_t value)
+{
+    values_[key] = std::to_string(value);
+    return *this;
+}
+
+Config &
+Config::set(const std::string &key, uint64_t value)
+{
+    values_[key] = std::to_string(value);
+    return *this;
+}
+
+Config &
+Config::set(const std::string &key, int value)
+{
+    return set(key, static_cast<int64_t>(value));
+}
+
+Config &
+Config::set(const std::string &key, unsigned value)
+{
+    return set(key, static_cast<uint64_t>(value));
+}
+
+Config &
+Config::set(const std::string &key, double value)
+{
+    std::ostringstream os;
+    os << value;
+    values_[key] = os.str();
+    return *this;
+}
+
+Config &
+Config::set(const std::string &key, bool value)
+{
+    values_[key] = value ? "true" : "false";
+    return *this;
+}
+
+bool
+Config::has(const std::string &key) const
+{
+    return values_.count(key) != 0;
+}
+
+void
+Config::erase(const std::string &key)
+{
+    values_.erase(key);
+}
+
+std::string
+Config::getString(const std::string &key, const std::string &dflt) const
+{
+    auto it = values_.find(key);
+    return it == values_.end() ? dflt : it->second;
+}
+
+int64_t
+Config::getInt(const std::string &key, int64_t dflt) const
+{
+    auto it = values_.find(key);
+    if (it == values_.end())
+        return dflt;
+    char *end = nullptr;
+    int64_t v = std::strtoll(it->second.c_str(), &end, 0);
+    fatal_if(end == it->second.c_str() || *end != '\0',
+             "config key '{}' has non-integer value '{}'", key, it->second);
+    return v;
+}
+
+uint64_t
+Config::getUint(const std::string &key, uint64_t dflt) const
+{
+    auto it = values_.find(key);
+    if (it == values_.end())
+        return dflt;
+    char *end = nullptr;
+    uint64_t v = std::strtoull(it->second.c_str(), &end, 0);
+    fatal_if(end == it->second.c_str() || *end != '\0',
+             "config key '{}' has non-integer value '{}'", key, it->second);
+    return v;
+}
+
+double
+Config::getDouble(const std::string &key, double dflt) const
+{
+    auto it = values_.find(key);
+    if (it == values_.end())
+        return dflt;
+    char *end = nullptr;
+    double v = std::strtod(it->second.c_str(), &end);
+    fatal_if(end == it->second.c_str() || *end != '\0',
+             "config key '{}' has non-numeric value '{}'", key, it->second);
+    return v;
+}
+
+bool
+Config::getBool(const std::string &key, bool dflt) const
+{
+    auto it = values_.find(key);
+    if (it == values_.end())
+        return dflt;
+    std::string v = it->second;
+    std::transform(v.begin(), v.end(), v.begin(),
+                   [](unsigned char c) { return std::tolower(c); });
+    if (v == "true" || v == "1" || v == "yes" || v == "on")
+        return true;
+    if (v == "false" || v == "0" || v == "no" || v == "off")
+        return false;
+    fatal("config key '{}' has non-boolean value '{}'", key, it->second);
+}
+
+std::vector<std::string>
+Config::keys() const
+{
+    std::vector<std::string> out;
+    out.reserve(values_.size());
+    for (const auto &kv : values_)
+        out.push_back(kv.first);
+    return out;
+}
+
+void
+Config::merge(const Config &other)
+{
+    for (const auto &kv : other.values_)
+        values_[kv.first] = kv.second;
+}
+
+Config
+Config::parseIni(const std::string &text)
+{
+    Config cfg;
+    std::istringstream in(text);
+    std::string line;
+    std::string section;
+    int lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        auto hash = line.find_first_of("#;");
+        if (hash != std::string::npos)
+            line = line.substr(0, hash);
+        line = trim(line);
+        if (line.empty())
+            continue;
+        if (line.front() == '[') {
+            fatal_if(line.back() != ']',
+                     "config line {}: unterminated section '{}'",
+                     lineno, line);
+            section = trim(line.substr(1, line.size() - 2));
+            continue;
+        }
+        auto eq = line.find('=');
+        fatal_if(eq == std::string::npos,
+                 "config line {}: expected 'key = value', got '{}'",
+                 lineno, line);
+        std::string key = trim(line.substr(0, eq));
+        std::string value = trim(line.substr(eq + 1));
+        fatal_if(key.empty(), "config line {}: empty key", lineno);
+        if (!section.empty())
+            key = section + "." + key;
+        cfg.set(key, value);
+    }
+    return cfg;
+}
+
+Config
+Config::loadFile(const std::string &path)
+{
+    std::ifstream in(path);
+    fatal_if(!in, "cannot open config file '{}'", path);
+    std::ostringstream os;
+    os << in.rdbuf();
+    return parseIni(os.str());
+}
+
+std::string
+Config::toString() const
+{
+    std::ostringstream os;
+    for (const auto &kv : values_)
+        os << kv.first << " = " << kv.second << "\n";
+    return os.str();
+}
+
+} // namespace memsec

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Typed key/value configuration store.
+ *
+ * Experiments are assembled from a flat Config: keys are dotted names
+ * ("dram.ranks", "sched.policy"). Values are stored as strings and
+ * converted on read; unknown keys fall back to the supplied default so
+ * benches only set what they vary. An INI-style parser is provided so
+ * the example programs can load configs from files.
+ */
+
+#ifndef MEMSEC_SIM_CONFIG_HH
+#define MEMSEC_SIM_CONFIG_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace memsec {
+
+/** Flat string-keyed configuration with typed accessors. */
+class Config
+{
+  public:
+    Config() = default;
+
+    /** Set (or overwrite) a key. */
+    Config &set(const std::string &key, const std::string &value);
+    Config &set(const std::string &key, const char *value);
+    Config &set(const std::string &key, int64_t value);
+    Config &set(const std::string &key, uint64_t value);
+    Config &set(const std::string &key, int value);
+    Config &set(const std::string &key, unsigned value);
+    Config &set(const std::string &key, double value);
+    Config &set(const std::string &key, bool value);
+
+    /** True if key is present. */
+    bool has(const std::string &key) const;
+
+    /** Remove a key if present. */
+    void erase(const std::string &key);
+
+    /** Typed getters; return dflt when the key is absent. */
+    std::string getString(const std::string &key,
+                          const std::string &dflt = "") const;
+    int64_t getInt(const std::string &key, int64_t dflt = 0) const;
+    uint64_t getUint(const std::string &key, uint64_t dflt = 0) const;
+    double getDouble(const std::string &key, double dflt = 0.0) const;
+    bool getBool(const std::string &key, bool dflt = false) const;
+
+    /** All keys in sorted order (for dumping). */
+    std::vector<std::string> keys() const;
+
+    /** Merge other into this; other's values win on conflict. */
+    void merge(const Config &other);
+
+    /**
+     * Parse INI-style text: "key = value" lines, optional [section]
+     * headers that prefix subsequent keys with "section.", '#' or ';'
+     * comments. Malformed lines are a fatal error.
+     */
+    static Config parseIni(const std::string &text);
+
+    /** Load parseIni() from a file; fatal if unreadable. */
+    static Config loadFile(const std::string &path);
+
+    /** Render as sorted "key = value" lines. */
+    std::string toString() const;
+
+  private:
+    std::map<std::string, std::string> values_;
+};
+
+} // namespace memsec
+
+#endif // MEMSEC_SIM_CONFIG_HH

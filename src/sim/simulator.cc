@@ -1,0 +1,38 @@
+#include "sim/simulator.hh"
+
+#include "util/logging.hh"
+
+namespace memsec {
+
+void
+Simulator::add(Component *c)
+{
+    panic_if(c == nullptr, "Simulator::add(nullptr)");
+    components_.push_back(c);
+}
+
+void
+Simulator::run(Cycle n)
+{
+    const Cycle end = now_ + n;
+    while (now_ < end) {
+        for (Component *c : components_)
+            c->tick(now_);
+        ++now_;
+    }
+}
+
+Cycle
+Simulator::runUntil(const std::function<bool()> &pred, Cycle maxCycles)
+{
+    const Cycle start = now_;
+    const Cycle end = now_ + maxCycles;
+    while (now_ < end && !pred()) {
+        for (Component *c : components_)
+            c->tick(now_);
+        ++now_;
+    }
+    return now_ - start;
+}
+
+} // namespace memsec

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Cycle-driven simulation kernel.
+ *
+ * The simulator owns a list of components and advances a global DRAM
+ * bus clock. Each component is ticked once per memory cycle; CPU-side
+ * components internally iterate their CPU-clock sub-cycles. A simple
+ * tick loop (rather than an event queue) is the right tool here: the
+ * memory controller does work nearly every cycle, so event-queue
+ * overhead would dominate without reducing work.
+ */
+
+#ifndef MEMSEC_SIM_SIMULATOR_HH
+#define MEMSEC_SIM_SIMULATOR_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace memsec {
+
+/**
+ * Base class for everything that participates in the tick loop.
+ * Components are ticked in registration order each memory cycle.
+ */
+class Component
+{
+  public:
+    explicit Component(std::string name) : name_(std::move(name)) {}
+    virtual ~Component() = default;
+
+    /** Advance this component by one DRAM bus cycle. */
+    virtual void tick(Cycle now) = 0;
+
+    /** Component instance name (for stats and diagnostics). */
+    const std::string &name() const { return name_; }
+
+  private:
+    std::string name_;
+};
+
+/**
+ * The global tick loop. Does not own the components; the harness does.
+ */
+class Simulator
+{
+  public:
+    Simulator() = default;
+
+    /** Register a component; ticked in registration order. */
+    void add(Component *c);
+
+    /** Current time in memory cycles. */
+    Cycle now() const { return now_; }
+
+    /** Advance the simulation by exactly n memory cycles. */
+    void run(Cycle n);
+
+    /**
+     * Advance until pred() returns true (checked once per cycle) or
+     * maxCycles elapse. Returns the number of cycles actually run.
+     */
+    Cycle runUntil(const std::function<bool()> &pred, Cycle maxCycles);
+
+  private:
+    std::vector<Component *> components_;
+    Cycle now_ = 0;
+};
+
+} // namespace memsec
+
+#endif // MEMSEC_SIM_SIMULATOR_HH

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Fundamental simulation types and clock-ratio constants.
+ *
+ * The master clock of the simulator is the DRAM bus clock (800 MHz for
+ * DDR3-1600). CPU cores run at an integer multiple of it (4x = 3.2 GHz
+ * in the paper's Table 1 configuration).
+ */
+
+#ifndef MEMSEC_SIM_TYPES_HH
+#define MEMSEC_SIM_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace memsec {
+
+/** Absolute time in DRAM bus cycles. */
+using Cycle = uint64_t;
+
+/** Absolute time in CPU cycles (cpuClockMultiplier x DRAM cycles). */
+using CpuCycle = uint64_t;
+
+/** Sentinel for "no cycle / not yet scheduled". */
+constexpr Cycle kNoCycle = std::numeric_limits<Cycle>::max();
+
+/** Identifier of a security domain (== hardware thread in this model). */
+using DomainId = uint32_t;
+
+/** Physical byte address. */
+using Addr = uint64_t;
+
+/** Unique id assigned to each memory request. */
+using ReqId = uint64_t;
+
+/** CPU cycles per DRAM bus cycle for the default configuration. */
+constexpr unsigned kDefaultCpuMult = 4;
+
+/** Cache line size in bytes (64B throughout, as in the paper). */
+constexpr unsigned kLineBytes = 64;
+
+} // namespace memsec
+
+#endif // MEMSEC_SIM_TYPES_HH

@@ -1,0 +1,189 @@
+#include "stats/stats.hh"
+
+#include <cmath>
+#include <iomanip>
+#include <limits>
+#include <ostream>
+
+#include "util/logging.hh"
+
+namespace memsec {
+
+void
+Average::sample(double v)
+{
+    if (count_ == 0) {
+        min_ = v;
+        max_ = v;
+    } else {
+        min_ = std::min(min_, v);
+        max_ = std::max(max_, v);
+    }
+    sum_ += v;
+    ++count_;
+}
+
+double
+Average::mean() const
+{
+    return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+}
+
+double
+Average::min() const
+{
+    return count_ ? min_ : 0.0;
+}
+
+double
+Average::max() const
+{
+    return count_ ? max_ : 0.0;
+}
+
+void
+Average::reset()
+{
+    sum_ = 0.0;
+    count_ = 0;
+    min_ = 0.0;
+    max_ = 0.0;
+}
+
+void
+Histogram::init(double lo, double binWidth, size_t nbins)
+{
+    panic_if(binWidth <= 0.0, "Histogram bin width must be positive");
+    panic_if(nbins == 0, "Histogram needs at least one bin");
+    lo_ = lo;
+    width_ = binWidth;
+    bins_.assign(nbins, 0);
+    underflow_ = overflow_ = samples_ = 0;
+    sum_ = 0.0;
+}
+
+void
+Histogram::sample(double v, uint64_t weight)
+{
+    panic_if(bins_.empty(), "Histogram::sample before init");
+    samples_ += weight;
+    sum_ += v * static_cast<double>(weight);
+    if (v < lo_) {
+        underflow_ += weight;
+        return;
+    }
+    size_t idx = static_cast<size_t>((v - lo_) / width_);
+    if (idx >= bins_.size()) {
+        overflow_ += weight;
+        return;
+    }
+    bins_[idx] += weight;
+}
+
+double
+Histogram::mean() const
+{
+    return samples_ ? sum_ / static_cast<double>(samples_) : 0.0;
+}
+
+double
+Histogram::percentile(double p) const
+{
+    panic_if(p < 0.0 || p > 1.0, "percentile p out of range: {}", p);
+    if (samples_ == 0)
+        return 0.0;
+    const uint64_t target = static_cast<uint64_t>(
+        std::ceil(p * static_cast<double>(samples_)));
+    uint64_t seen = underflow_;
+    if (seen >= target)
+        return lo_;
+    for (size_t i = 0; i < bins_.size(); ++i) {
+        seen += bins_[i];
+        if (seen >= target)
+            return lo_ + width_ * static_cast<double>(i + 1);
+    }
+    return lo_ + width_ * static_cast<double>(bins_.size());
+}
+
+void
+Histogram::reset()
+{
+    for (auto &b : bins_)
+        b = 0;
+    underflow_ = overflow_ = samples_ = 0;
+    sum_ = 0.0;
+}
+
+StatGroup::StatGroup(std::string name) : name_(std::move(name))
+{
+}
+
+void
+StatGroup::add(const std::string &name, const Counter *c,
+               const std::string &desc)
+{
+    entries_.push_back({name, desc,
+                        [c] { return static_cast<double>(c->value()); },
+                        nullptr});
+}
+
+void
+StatGroup::add(const std::string &name, const Scalar *s,
+               const std::string &desc)
+{
+    entries_.push_back({name, desc, [s] { return s->value(); }, nullptr});
+}
+
+void
+StatGroup::add(const std::string &name, const Average *a,
+               const std::string &desc)
+{
+    entries_.push_back({name, desc, [a] { return a->mean(); }, nullptr});
+}
+
+void
+StatGroup::add(const std::string &name, const Histogram *h,
+               const std::string &desc)
+{
+    entries_.push_back({name, desc, [h] { return h->mean(); }, h});
+}
+
+void
+StatGroup::addFormula(const std::string &name, std::function<double()> fn,
+                      const std::string &desc)
+{
+    entries_.push_back({name, desc, std::move(fn), nullptr});
+}
+
+void
+StatGroup::adopt(const std::string &prefix, const StatGroup &other)
+{
+    for (const auto &e : other.entries_) {
+        entries_.push_back(
+            {prefix + "." + e.name, e.desc, e.value, e.hist});
+    }
+}
+
+void
+StatGroup::dump(std::ostream &os) const
+{
+    for (const auto &e : entries_) {
+        os << std::left << std::setw(44) << e.name << " "
+           << std::setw(16) << e.value();
+        if (!e.desc.empty())
+            os << " # " << e.desc;
+        os << "\n";
+    }
+}
+
+double
+StatGroup::lookup(const std::string &name) const
+{
+    for (const auto &e : entries_) {
+        if (e.name == name)
+            return e.value();
+    }
+    return std::numeric_limits<double>::quiet_NaN();
+}
+
+} // namespace memsec

@@ -1,0 +1,49 @@
+#include "util/logging.hh"
+
+#include <iostream>
+#include <stdexcept>
+
+namespace memsec {
+
+namespace {
+bool quietFlag = false;
+}
+
+void
+setQuiet(bool quiet)
+{
+    quietFlag = quiet;
+}
+
+bool
+isQuiet()
+{
+    return quietFlag;
+}
+
+namespace detail {
+
+void
+log(LogLevel level, const std::string &msg)
+{
+    if (quietFlag && (level == LogLevel::Inform || level == LogLevel::Warn))
+        return;
+    const char *tag = level == LogLevel::Warn ? "warn: " : "info: ";
+    std::cerr << tag << msg << "\n";
+}
+
+void
+logAndDie(LogLevel level, const std::string &msg, const char *file, int line)
+{
+    const char *tag = level == LogLevel::Panic ? "panic" : "fatal";
+    std::cerr << tag << ": " << msg << " (" << file << ":" << line << ")\n";
+    if (level == LogLevel::Panic) {
+        // Throw instead of abort() so gtest death/exception tests can
+        // observe invariant violations without killing the test binary.
+        throw std::logic_error(msg);
+    }
+    std::exit(1);
+}
+
+} // namespace detail
+} // namespace memsec

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Status and error reporting helpers in the gem5 tradition.
+ *
+ * panic()  — an internal invariant was violated (simulator bug); aborts.
+ * fatal()  — the user asked for something impossible (bad config); exits.
+ * warn()   — something is suspicious but the run can continue.
+ * inform() — plain status output.
+ */
+
+#ifndef MEMSEC_UTIL_LOGGING_HH
+#define MEMSEC_UTIL_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace memsec {
+
+/** Severity levels used by the logging backend. */
+enum class LogLevel { Inform, Warn, Fatal, Panic };
+
+namespace detail {
+
+/** Emit one formatted log line; terminates for Fatal/Panic. */
+[[noreturn]] void logAndDie(LogLevel level, const std::string &msg,
+                            const char *file, int line);
+void log(LogLevel level, const std::string &msg);
+
+/** Recursive "{}"-style formatter terminal case. */
+inline void
+formatInto(std::ostringstream &os, const char *fmt)
+{
+    os << fmt;
+}
+
+/** Recursive "{}"-style formatter: each {} consumes one argument. */
+template <typename T, typename... Rest>
+void
+formatInto(std::ostringstream &os, const char *fmt, const T &first,
+           const Rest &...rest)
+{
+    for (; *fmt; ++fmt) {
+        if (fmt[0] == '{' && fmt[1] == '}') {
+            os << first;
+            formatInto(os, fmt + 2, rest...);
+            return;
+        }
+        os << *fmt;
+    }
+}
+
+template <typename... Args>
+std::string
+format(const char *fmt, const Args &...args)
+{
+    std::ostringstream os;
+    formatInto(os, fmt, args...);
+    return os.str();
+}
+
+} // namespace detail
+
+/** Abort with a message; for conditions that indicate a simulator bug. */
+template <typename... Args>
+[[noreturn]] void
+panicImpl(const char *file, int line, const char *fmt, const Args &...args)
+{
+    detail::logAndDie(LogLevel::Panic, detail::format(fmt, args...),
+                      file, line);
+}
+
+/** Exit with a message; for conditions caused by user configuration. */
+template <typename... Args>
+[[noreturn]] void
+fatalImpl(const char *file, int line, const char *fmt, const Args &...args)
+{
+    detail::logAndDie(LogLevel::Fatal, detail::format(fmt, args...),
+                      file, line);
+}
+
+template <typename... Args>
+void
+warn(const char *fmt, const Args &...args)
+{
+    detail::log(LogLevel::Warn, detail::format(fmt, args...));
+}
+
+template <typename... Args>
+void
+inform(const char *fmt, const Args &...args)
+{
+    detail::log(LogLevel::Inform, detail::format(fmt, args...));
+}
+
+/** Silence inform()/warn() output (benches print their own tables). */
+void setQuiet(bool quiet);
+bool isQuiet();
+
+} // namespace memsec
+
+#define panic(...) \
+    ::memsec::panicImpl(__FILE__, __LINE__, __VA_ARGS__)
+#define fatal(...) \
+    ::memsec::fatalImpl(__FILE__, __LINE__, __VA_ARGS__)
+
+/** Assert a simulator invariant with a formatted explanation. */
+#define panic_if(cond, ...)                                        \
+    do {                                                           \
+        if (cond)                                                  \
+            ::memsec::panicImpl(__FILE__, __LINE__, __VA_ARGS__);  \
+    } while (0)
+
+#define fatal_if(cond, ...)                                        \
+    do {                                                           \
+        if (cond)                                                  \
+            ::memsec::fatalImpl(__FILE__, __LINE__, __VA_ARGS__);  \
+    } while (0)
+
+#endif // MEMSEC_UTIL_LOGGING_HH

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Minimal fixed-width text table printer used by the bench harnesses
+ * to emit paper-style result tables.
+ */
+
+#ifndef MEMSEC_UTIL_TABLE_HH
+#define MEMSEC_UTIL_TABLE_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace memsec {
+
+/**
+ * Accumulates rows of cells and prints them with aligned columns.
+ * Also supports CSV emission so figures can be re-plotted externally.
+ */
+class Table
+{
+  public:
+    /** Set the header row. */
+    void header(std::vector<std::string> cells);
+
+    /** Append a data row. */
+    void row(std::vector<std::string> cells);
+
+    /** Convenience: build a row from a label and doubles. */
+    void rowNumeric(const std::string &label,
+                    const std::vector<double> &values, int precision = 3);
+
+    /** Render with aligned columns. */
+    void print(std::ostream &os) const;
+
+    /** Render as CSV. */
+    void printCsv(std::ostream &os) const;
+
+    /** Format a double with fixed precision. */
+    static std::string num(double v, int precision = 3);
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace memsec
+
+#endif // MEMSEC_UTIL_TABLE_HH

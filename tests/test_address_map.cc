@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "mem/address_map.hh"
+#include "util/random.hh"
+
+using namespace memsec;
+using namespace memsec::mem;
+
+namespace {
+dram::Geometry
+geo()
+{
+    return dram::Geometry{};
+}
+} // namespace
+
+TEST(AddressMap, RankPartitionAssignsDisjointRanks)
+{
+    AddressMap m(geo(), Partition::Rank, Interleave::ClosePage, 8);
+    std::set<unsigned> seen;
+    for (DomainId d = 0; d < 8; ++d) {
+        const auto &ranks = m.ranksOf(d);
+        ASSERT_EQ(ranks.size(), 1u);
+        EXPECT_TRUE(seen.insert(ranks[0]).second);
+    }
+}
+
+TEST(AddressMap, RankPartitionWithFewerDomainsGetsMultipleRanks)
+{
+    AddressMap m(geo(), Partition::Rank, Interleave::ClosePage, 4);
+    for (DomainId d = 0; d < 4; ++d)
+        EXPECT_EQ(m.ranksOf(d).size(), 2u);
+}
+
+TEST(AddressMap, BankPartitionAssignsDisjointBanks)
+{
+    AddressMap m(geo(), Partition::Bank, Interleave::ClosePage, 8);
+    std::set<unsigned> seen;
+    for (DomainId d = 0; d < 8; ++d) {
+        const auto &banks = m.banksOf(d);
+        ASSERT_EQ(banks.size(), 1u);
+        EXPECT_TRUE(seen.insert(banks[0]).second);
+        EXPECT_EQ(m.ranksOf(d).size(), 8u);
+    }
+}
+
+TEST(AddressMap, DecodeConfinedToPartition)
+{
+    // Property: every decoded location must live inside the domain's
+    // allotted resources, for any address.
+    for (Partition p : {Partition::Rank, Partition::Bank}) {
+        AddressMap m(geo(), p, Interleave::ClosePage, 8);
+        Rng rng(99);
+        for (DomainId d = 0; d < 8; ++d) {
+            const auto &ranks = m.ranksOf(d);
+            const auto &banks = m.banksOf(d);
+            for (int i = 0; i < 500; ++i) {
+                const Addr a = rng.next() & 0x3FFFFFFFFFull;
+                const Decoded loc = m.decode(d, a);
+                EXPECT_NE(std::find(ranks.begin(), ranks.end(),
+                                    loc.rank),
+                          ranks.end());
+                EXPECT_NE(std::find(banks.begin(), banks.end(),
+                                    loc.bank),
+                          banks.end());
+                EXPECT_LT(loc.row, geo().rowsPerBank);
+                EXPECT_LT(loc.col, geo().colsPerRow);
+            }
+        }
+    }
+}
+
+TEST(AddressMap, OpenPageKeepsConsecutiveLinesInOneRow)
+{
+    AddressMap m(geo(), Partition::Rank, Interleave::OpenPage, 8);
+    const Decoded first = m.decode(0, 0);
+    for (unsigned i = 1; i < geo().colsPerRow; ++i) {
+        const Decoded loc = m.decode(0, i * kLineBytes);
+        EXPECT_EQ(loc.row, first.row);
+        EXPECT_EQ(loc.bank, first.bank);
+        EXPECT_EQ(loc.col, i);
+    }
+    // The next line moves on to another bank.
+    const Decoded next = m.decode(0, geo().colsPerRow * kLineBytes);
+    EXPECT_NE(next.bank, first.bank);
+}
+
+TEST(AddressMap, ClosePageStripesAcrossBanks)
+{
+    AddressMap m(geo(), Partition::Rank, Interleave::ClosePage, 8);
+    std::set<unsigned> banks;
+    for (unsigned i = 0; i < geo().banksPerRank; ++i)
+        banks.insert(m.decode(0, i * kLineBytes).bank);
+    EXPECT_EQ(banks.size(), geo().banksPerRank);
+}
+
+TEST(AddressMap, UnpartitionedDomainsDoNotAliasRows)
+{
+    AddressMap m(geo(), Partition::None, Interleave::ClosePage, 8);
+    const Decoded a = m.decode(0, 0);
+    const Decoded b = m.decode(1, 0);
+    // Same line offset from two domains must not land on the same
+    // physical row (the OS never maps two domains to one frame).
+    EXPECT_FALSE(a.rank == b.rank && a.bank == b.bank && a.row == b.row);
+}
+
+TEST(AddressMap, ChannelPartitionSeparatesChannels)
+{
+    dram::Geometry g = geo();
+    g.channels = 4;
+    AddressMap m(g, Partition::Channel, Interleave::ClosePage, 4);
+    std::set<unsigned> chans;
+    for (DomainId d = 0; d < 4; ++d)
+        chans.insert(m.channelOf(d));
+    EXPECT_EQ(chans.size(), 4u);
+}
+
+TEST(AddressMap, TooManyDomainsForRankPartitionFatal)
+{
+    EXPECT_EXIT(AddressMap(geo(), Partition::Rank,
+                           Interleave::ClosePage, 9),
+                ::testing::ExitedWithCode(1), "rank partitioning");
+}
+
+TEST(AddressMap, TooManyDomainsForChannelPartitionFatal)
+{
+    EXPECT_EXIT(AddressMap(geo(), Partition::Channel,
+                           Interleave::ClosePage, 2),
+                ::testing::ExitedWithCode(1), "channel partitioning");
+}
+
+TEST(AddressMap, AddressesWrapWithinDomainCapacity)
+{
+    AddressMap m(geo(), Partition::Rank, Interleave::ClosePage, 8);
+    const uint64_t cap = m.domainLineCapacity();
+    const Decoded a = m.decode(3, 5 * kLineBytes);
+    const Decoded b = m.decode(3, (cap + 5) * kLineBytes);
+    EXPECT_EQ(a.rank, b.rank);
+    EXPECT_EQ(a.bank, b.bank);
+    EXPECT_EQ(a.row, b.row);
+    EXPECT_EQ(a.col, b.col);
+}
+
+TEST(AddressMap, DecodeIsDeterministic)
+{
+    AddressMap m(geo(), Partition::Bank, Interleave::OpenPage, 4);
+    for (Addr a : {0ull, 4096ull, 123456789ull}) {
+        const Decoded x = m.decode(2, a);
+        const Decoded y = m.decode(2, a);
+        EXPECT_EQ(x.rank, y.rank);
+        EXPECT_EQ(x.bank, y.bank);
+        EXPECT_EQ(x.row, y.row);
+        EXPECT_EQ(x.col, y.col);
+    }
+}
+
+TEST(AddressMap, NamesForDiagnostics)
+{
+    EXPECT_STREQ(partitionName(Partition::Rank), "rank");
+    EXPECT_STREQ(partitionName(Partition::None), "none");
+    EXPECT_STREQ(interleaveName(Interleave::OpenPage), "open-page");
+}

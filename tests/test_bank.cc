@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "dram/bank.hh"
+
+using namespace memsec;
+using namespace memsec::dram;
+
+namespace {
+const TimingParams tp = TimingParams::ddr3_1600_4gb();
+}
+
+TEST(Bank, StartsClosed)
+{
+    Bank b;
+    EXPECT_FALSE(b.isOpen());
+    EXPECT_EQ(b.openRow(), Bank::kNoRow);
+    EXPECT_EQ(b.nextAct(), 0u);
+}
+
+TEST(Bank, ActivateOpensRowAndSetsWindows)
+{
+    Bank b;
+    b.doActivate(100, 42, tp);
+    EXPECT_TRUE(b.isOpen());
+    EXPECT_EQ(b.openRow(), 42u);
+    EXPECT_EQ(b.nextRead(), 100 + tp.rcd);
+    EXPECT_EQ(b.nextWrite(), 100 + tp.rcd);
+    EXPECT_EQ(b.nextPre(), 100 + tp.ras);
+    EXPECT_EQ(b.nextAct(), 100 + tp.rc);
+}
+
+TEST(Bank, ActivateWhileOpenPanics)
+{
+    Bank b;
+    b.doActivate(0, 1, tp);
+    EXPECT_THROW(b.doActivate(100, 2, tp), std::logic_error);
+}
+
+TEST(Bank, EarlyActivatePanics)
+{
+    Bank b;
+    b.doActivate(0, 1, tp);
+    b.doPrecharge(tp.ras, tp);
+    EXPECT_THROW(b.doActivate(tp.ras + tp.rp - 1, 2, tp),
+                 std::logic_error);
+}
+
+TEST(Bank, ReadWithAutoPrechargeClosesRow)
+{
+    Bank b;
+    b.doActivate(0, 5, tp);
+    b.doRead(tp.rcd, true, tp);
+    EXPECT_FALSE(b.isOpen());
+    // RDA next-ACT is bounded below by tRC for this part.
+    EXPECT_EQ(b.nextAct(), tp.rc);
+}
+
+TEST(Bank, WriteWithAutoPrechargeGivesFortyThree)
+{
+    Bank b;
+    b.doActivate(0, 5, tp);
+    b.doWrite(tp.rcd, true, tp);
+    EXPECT_FALSE(b.isOpen());
+    // The unpartitioned FS pipeline's binding constant.
+    EXPECT_EQ(b.nextAct(), 43u);
+}
+
+TEST(Bank, OpenPageReadKeepsRow)
+{
+    Bank b;
+    b.doActivate(0, 5, tp);
+    b.doRead(tp.rcd, false, tp);
+    EXPECT_TRUE(b.isOpen());
+    // tRTP pushes the earliest precharge out.
+    EXPECT_GE(b.nextPre(), tp.rcd + tp.rtp);
+}
+
+TEST(Bank, ReadOnClosedBankPanics)
+{
+    Bank b;
+    EXPECT_THROW(b.doRead(50, false, tp), std::logic_error);
+}
+
+TEST(Bank, EarlyReadPanics)
+{
+    Bank b;
+    b.doActivate(0, 5, tp);
+    EXPECT_THROW(b.doRead(tp.rcd - 1, false, tp), std::logic_error);
+}
+
+TEST(Bank, PrechargeBeforeTRasPanics)
+{
+    Bank b;
+    b.doActivate(0, 5, tp);
+    EXPECT_THROW(b.doPrecharge(tp.ras - 1, tp), std::logic_error);
+}
+
+TEST(Bank, WriteRecoveryDelaysPrecharge)
+{
+    Bank b;
+    b.doActivate(0, 5, tp);
+    b.doWrite(tp.rcd, false, tp);
+    // PRE must wait tCWD + tBURST + tWR after the write CAS.
+    EXPECT_EQ(b.nextPre(), tp.rcd + tp.cwd + tp.burst + tp.wr);
+}
+
+TEST(Bank, BlockUntilPushesAllWindows)
+{
+    Bank b;
+    b.blockUntil(500);
+    EXPECT_EQ(b.nextAct(), 500u);
+    EXPECT_EQ(b.nextRead(), 500u);
+    EXPECT_EQ(b.nextWrite(), 500u);
+    EXPECT_EQ(b.nextPre(), 500u);
+}
+
+TEST(Bank, ResetRestoresPowerOnState)
+{
+    Bank b;
+    b.doActivate(0, 5, tp);
+    b.reset();
+    EXPECT_FALSE(b.isOpen());
+    EXPECT_EQ(b.nextAct(), 0u);
+}

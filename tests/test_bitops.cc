@@ -1,0 +1,60 @@
+#include <gtest/gtest.h>
+
+#include "util/bitops.hh"
+
+using namespace memsec;
+
+TEST(Bitops, IsPowerOf2)
+{
+    EXPECT_FALSE(isPowerOf2(0));
+    EXPECT_TRUE(isPowerOf2(1));
+    EXPECT_TRUE(isPowerOf2(2));
+    EXPECT_FALSE(isPowerOf2(3));
+    EXPECT_TRUE(isPowerOf2(1ull << 63));
+    EXPECT_FALSE(isPowerOf2((1ull << 63) + 1));
+}
+
+TEST(Bitops, FloorLog2)
+{
+    EXPECT_EQ(floorLog2(1), 0u);
+    EXPECT_EQ(floorLog2(2), 1u);
+    EXPECT_EQ(floorLog2(3), 1u);
+    EXPECT_EQ(floorLog2(1024), 10u);
+    EXPECT_EQ(floorLog2(1025), 10u);
+    EXPECT_EQ(floorLog2(~0ull), 63u);
+}
+
+TEST(Bitops, CeilLog2)
+{
+    EXPECT_EQ(ceilLog2(1), 0u);
+    EXPECT_EQ(ceilLog2(2), 1u);
+    EXPECT_EQ(ceilLog2(3), 2u);
+    EXPECT_EQ(ceilLog2(1024), 10u);
+    EXPECT_EQ(ceilLog2(1025), 11u);
+}
+
+TEST(Bitops, BitsExtraction)
+{
+    EXPECT_EQ(bits(0xABCD, 0, 4), 0xDu);
+    EXPECT_EQ(bits(0xABCD, 4, 4), 0xCu);
+    EXPECT_EQ(bits(0xABCD, 8, 8), 0xABu);
+    EXPECT_EQ(bits(0xFFFFFFFFFFFFFFFFull, 0, 64), ~0ull);
+}
+
+TEST(Bitops, InsertBits)
+{
+    EXPECT_EQ(insertBits(0, 4, 4, 0xC), 0xC0ull);
+    EXPECT_EQ(insertBits(0xD, 4, 4, 0xC), 0xCDull);
+    // Values wider than the field are masked.
+    EXPECT_EQ(insertBits(0, 0, 4, 0x1F), 0xFull);
+}
+
+TEST(Bitops, BitsRoundTrip)
+{
+    for (unsigned lo : {0u, 3u, 17u, 40u}) {
+        for (unsigned w : {1u, 5u, 12u}) {
+            const uint64_t v = 0x15u & ((1ull << w) - 1);
+            EXPECT_EQ(bits(insertBits(0, lo, w, v), lo, w), v);
+        }
+    }
+}

@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include "cache/cache.hh"
+
+using namespace memsec;
+using namespace memsec::cache;
+
+TEST(Cache, MissThenFillThenHit)
+{
+    Cache c(64 * 1024, 8);
+    EXPECT_FALSE(c.access(0x1000, false).hit);
+    c.fill(0x1000, false);
+    EXPECT_TRUE(c.access(0x1000, false).hit);
+    EXPECT_EQ(c.hits().value(), 1u);
+    EXPECT_EQ(c.misses().value(), 1u);
+}
+
+TEST(Cache, GeometryDerived)
+{
+    Cache c(64 * 1024, 8);
+    EXPECT_EQ(c.numSets(), 128u); // 1024 lines / 8 ways
+    EXPECT_EQ(c.ways(), 8u);
+}
+
+TEST(Cache, LruEvictsOldest)
+{
+    Cache c(8 * kLineBytes, 8); // one set, 8 ways
+    for (Addr i = 0; i < 8; ++i)
+        c.fill(i * kLineBytes, false);
+    // Touch line 0 so line 1 is LRU.
+    c.access(0, false);
+    const FillResult fr = c.fill(8 * kLineBytes, false);
+    EXPECT_FALSE(fr.evictedDirty);
+    EXPECT_TRUE(c.contains(0));
+    EXPECT_FALSE(c.contains(1 * kLineBytes));
+}
+
+TEST(Cache, DirtyEvictionYieldsWritebackAddress)
+{
+    Cache c(8 * kLineBytes, 8);
+    for (Addr i = 0; i < 8; ++i)
+        c.fill(i * kLineBytes, false);
+    c.access(2 * kLineBytes, true); // dirty line 2
+    // Evict down to line 2 (touch everything else first).
+    for (Addr i = 0; i < 8; ++i) {
+        if (i != 2)
+            c.access(i * kLineBytes, false);
+    }
+    const FillResult fr = c.fill(100 * kLineBytes, false);
+    EXPECT_TRUE(fr.evictedDirty);
+    EXPECT_EQ(fr.writebackAddr, 2 * kLineBytes);
+}
+
+TEST(Cache, StoreMarksDirty)
+{
+    Cache c(8 * kLineBytes, 8);
+    c.fill(0, false);
+    c.access(0, true);
+    for (Addr i = 1; i < 8; ++i)
+        c.fill(i * kLineBytes, false);
+    const FillResult fr = c.fill(9 * kLineBytes, false);
+    EXPECT_TRUE(fr.evictedDirty);
+    EXPECT_EQ(fr.writebackAddr, 0u);
+}
+
+TEST(Cache, FillDirtyFlag)
+{
+    Cache c(8 * kLineBytes, 8);
+    c.fill(0, true);
+    for (Addr i = 1; i < 8; ++i)
+        c.fill(i * kLineBytes, false);
+    EXPECT_TRUE(c.fill(9 * kLineBytes, false).evictedDirty);
+}
+
+TEST(Cache, DoubleFillMergesDirty)
+{
+    Cache c(8 * kLineBytes, 8);
+    c.fill(0, false);
+    const FillResult fr = c.fill(0, true); // already present
+    EXPECT_FALSE(fr.evictedDirty);
+    for (Addr i = 1; i < 8; ++i)
+        c.fill(i * kLineBytes, false);
+    EXPECT_TRUE(c.fill(9 * kLineBytes, false).evictedDirty);
+}
+
+TEST(Cache, PrefetchedFlagConsumedOnFirstHit)
+{
+    Cache c(8 * kLineBytes, 8);
+    c.fill(0, false, true);
+    const AccessResult first = c.access(0, false);
+    EXPECT_TRUE(first.hit);
+    EXPECT_TRUE(first.prefetchHit);
+    const AccessResult second = c.access(0, false);
+    EXPECT_TRUE(second.hit);
+    EXPECT_FALSE(second.prefetchHit);
+}
+
+TEST(Cache, MarkDirtyOnResidentLine)
+{
+    Cache c(8 * kLineBytes, 8);
+    c.fill(0, false);
+    c.markDirty(0);
+    for (Addr i = 1; i < 8; ++i)
+        c.fill(i * kLineBytes, false);
+    EXPECT_TRUE(c.fill(9 * kLineBytes, false).evictedDirty);
+}
+
+TEST(Cache, SetIndexingSeparatesSets)
+{
+    Cache c(64 * 1024, 8); // 128 sets
+    // Same tag bits, different sets: both resident.
+    c.fill(0, false);
+    c.fill(kLineBytes, false);
+    EXPECT_TRUE(c.contains(0));
+    EXPECT_TRUE(c.contains(kLineBytes));
+}
+
+TEST(Cache, InvalidGeometryFatal)
+{
+    EXPECT_EXIT(Cache(100, 8), ::testing::ExitedWithCode(1), "");
+    EXPECT_EXIT(Cache(64 * 1024, 0), ::testing::ExitedWithCode(1), "");
+}

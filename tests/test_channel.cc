@@ -1,0 +1,72 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "dram/channel.hh"
+
+using namespace memsec;
+using namespace memsec::dram;
+
+namespace {
+const TimingParams tp = TimingParams::ddr3_1600_4gb();
+}
+
+TEST(Channel, OneCommandPerCycle)
+{
+    ChannelBuses ch(tp);
+    EXPECT_TRUE(ch.cmdBusFree(5));
+    ch.useCmdBus(5);
+    EXPECT_FALSE(ch.cmdBusFree(5));
+    EXPECT_TRUE(ch.cmdBusFree(6));
+    EXPECT_THROW(ch.useCmdBus(5), std::logic_error);
+}
+
+TEST(Channel, CommandTimeMonotone)
+{
+    ChannelBuses ch(tp);
+    ch.useCmdBus(10);
+    EXPECT_THROW(ch.useCmdBus(9), std::logic_error);
+}
+
+TEST(Channel, SameRankBurstsGapless)
+{
+    ChannelBuses ch(tp);
+    ch.reserveData(100, 3);
+    // Same rank can follow immediately after the burst.
+    EXPECT_EQ(ch.earliestDataStart(3), 100 + tp.burst);
+    ch.reserveData(104, 3);
+}
+
+TEST(Channel, RankSwitchNeedsTrtrs)
+{
+    ChannelBuses ch(tp);
+    ch.reserveData(100, 3);
+    EXPECT_EQ(ch.earliestDataStart(4), 100 + tp.burst + tp.rtrs);
+    EXPECT_FALSE(ch.dataBusFree(104, 4));
+    EXPECT_TRUE(ch.dataBusFree(106, 4));
+    EXPECT_THROW(ch.reserveData(105, 4), std::logic_error);
+}
+
+TEST(Channel, OverlapPanics)
+{
+    ChannelBuses ch(tp);
+    ch.reserveData(100, 0);
+    EXPECT_THROW(ch.reserveData(102, 0), std::logic_error);
+}
+
+TEST(Channel, FirstBurstUnconstrained)
+{
+    ChannelBuses ch(tp);
+    EXPECT_EQ(ch.earliestDataStart(7), 0u);
+}
+
+TEST(Channel, UtilisationCounters)
+{
+    ChannelBuses ch(tp);
+    ch.reserveData(0, 0);
+    ch.reserveData(10, 1);
+    EXPECT_EQ(ch.dataBusyCycles(), 2ull * tp.burst);
+    ch.useCmdBus(0);
+    ch.useCmdBus(1);
+    EXPECT_EQ(ch.commandCount(), 2u);
+}

@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "sim/config.hh"
+
+using namespace memsec;
+
+TEST(Config, SetGetRoundTrip)
+{
+    Config c;
+    c.set("s", "hello").set("i", int64_t{-5}).set("u", uint64_t{7});
+    c.set("d", 2.5).set("b", true);
+    EXPECT_EQ(c.getString("s"), "hello");
+    EXPECT_EQ(c.getInt("i"), -5);
+    EXPECT_EQ(c.getUint("u"), 7u);
+    EXPECT_DOUBLE_EQ(c.getDouble("d"), 2.5);
+    EXPECT_TRUE(c.getBool("b"));
+}
+
+TEST(Config, DefaultsWhenAbsent)
+{
+    Config c;
+    EXPECT_EQ(c.getString("nope", "dflt"), "dflt");
+    EXPECT_EQ(c.getInt("nope", 42), 42);
+    EXPECT_EQ(c.getUint("nope", 9u), 9u);
+    EXPECT_DOUBLE_EQ(c.getDouble("nope", 1.5), 1.5);
+    EXPECT_TRUE(c.getBool("nope", true));
+}
+
+TEST(Config, HasAndErase)
+{
+    Config c;
+    c.set("k", 1);
+    EXPECT_TRUE(c.has("k"));
+    c.erase("k");
+    EXPECT_FALSE(c.has("k"));
+}
+
+TEST(Config, BoolSpellings)
+{
+    Config c;
+    for (const char *v : {"true", "1", "yes", "on", "TRUE", "Yes"}) {
+        c.set("b", v);
+        EXPECT_TRUE(c.getBool("b")) << v;
+    }
+    for (const char *v : {"false", "0", "no", "off", "False"}) {
+        c.set("b", v);
+        EXPECT_FALSE(c.getBool("b")) << v;
+    }
+}
+
+TEST(Config, MergeOverwrites)
+{
+    Config a;
+    a.set("x", 1).set("y", 2);
+    Config b;
+    b.set("y", 3).set("z", 4);
+    a.merge(b);
+    EXPECT_EQ(a.getInt("x"), 1);
+    EXPECT_EQ(a.getInt("y"), 3);
+    EXPECT_EQ(a.getInt("z"), 4);
+}
+
+TEST(Config, ParseIniBasics)
+{
+    const Config c = Config::parseIni(
+        "# comment\n"
+        "top = 1\n"
+        "[dram]\n"
+        "ranks = 8  ; trailing comment\n"
+        "banks = 8\n"
+        "[core]\n"
+        "rob = 64\n");
+    EXPECT_EQ(c.getInt("top"), 1);
+    EXPECT_EQ(c.getInt("dram.ranks"), 8);
+    EXPECT_EQ(c.getInt("dram.banks"), 8);
+    EXPECT_EQ(c.getInt("core.rob"), 64);
+}
+
+TEST(Config, ParseIniMalformedLineFatal)
+{
+    EXPECT_EXIT(Config::parseIni("this is not a kv line\n"),
+                ::testing::ExitedWithCode(1), "expected");
+}
+
+TEST(Config, NonNumericValueFatal)
+{
+    Config c;
+    c.set("k", "abc");
+    EXPECT_EXIT(c.getInt("k"), ::testing::ExitedWithCode(1),
+                "non-integer");
+}
+
+TEST(Config, KeysSorted)
+{
+    Config c;
+    c.set("b", 1).set("a", 2).set("c", 3);
+    const auto k = c.keys();
+    ASSERT_EQ(k.size(), 3u);
+    EXPECT_EQ(k[0], "a");
+    EXPECT_EQ(k[2], "c");
+}
+
+TEST(Config, ToStringRoundTrip)
+{
+    Config c;
+    c.set("x", 5).set("name", "v");
+    const Config c2 = Config::parseIni(c.toString());
+    EXPECT_EQ(c2.getInt("x"), 5);
+    EXPECT_EQ(c2.getString("name"), "v");
+}
+
+TEST(Config, LoadFileRoundTrip)
+{
+    const std::string path = ::testing::TempDir() + "memsec_cfg.ini";
+    {
+        std::ofstream out(path);
+        out << "cores = 32\n[dram]\nchannels = 4\n";
+    }
+    const Config c = Config::loadFile(path);
+    EXPECT_EQ(c.getUint("cores"), 32u);
+    EXPECT_EQ(c.getUint("dram.channels"), 4u);
+}
+
+TEST(Config, LoadMissingFileFatal)
+{
+    EXPECT_EXIT(Config::loadFile("/nonexistent/nope.ini"),
+                ::testing::ExitedWithCode(1), "cannot open");
+}
+
+TEST(Config, ShippedTargetConfigParses)
+{
+    // The example config shipped in the repository must stay valid.
+    const Config c =
+        Config::loadFile(std::string(MEMSEC_SOURCE_DIR) +
+                         "/examples/configs/target32.ini");
+    EXPECT_EQ(c.getUint("cores"), 32u);
+    EXPECT_EQ(c.getUint("dram.channels"), 4u);
+    EXPECT_GT(c.getUint("sim.measure"), 0u);
+}

@@ -1,0 +1,200 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "cpu/core_model.hh"
+#include "cpu/workload.hh"
+#include "sched/frfcfs.hh"
+#include "sim/simulator.hh"
+
+using namespace memsec;
+using namespace memsec::cpu;
+
+namespace {
+
+struct Rig
+{
+    explicit Rig(const WorkloadProfile &prof,
+                 CoreModel::Params cp = CoreModel::Params{})
+        : map(dram::Geometry{}, mem::Partition::None,
+              mem::Interleave::ClosePage, 1)
+    {
+        mem::MemoryController::Params p;
+        p.numDomains = 1;
+        p.queueCapacity = 16;
+        mc = std::make_unique<mem::MemoryController>("mc", p, map);
+        mc->setScheduler(std::make_unique<sched::FrFcfsScheduler>(
+            *mc, cp.prefetchEnabled));
+        core = std::make_unique<CoreModel>("c0", 0, cp, prof, 42, *mc);
+        sim.add(core.get());
+        sim.add(mc.get());
+    }
+
+    mem::AddressMap map;
+    std::unique_ptr<mem::MemoryController> mc;
+    std::unique_ptr<CoreModel> core;
+    Simulator sim;
+};
+
+WorkloadProfile
+computeBound()
+{
+    WorkloadProfile p;
+    p.name = "compute";
+    p.memRatio = 0.001; // one mem op per ~1000 instructions
+    p.storeFraction = 0.0;
+    p.footprintLines = 64;
+    p.reuseFraction = 0.99;
+    p.streamFraction = 0.0;
+    return p;
+}
+
+WorkloadProfile
+memoryBound()
+{
+    WorkloadProfile p;
+    p.name = "membound";
+    p.memRatio = 1.0; // every instruction is a memory op
+    p.storeFraction = 0.0;
+    p.footprintLines = 1 << 22; // never fits
+    p.reuseFraction = 0.0;
+    p.streamFraction = 0.0;
+    p.mshrs = 1; // fully serialised misses
+    return p;
+}
+
+} // namespace
+
+TEST(CoreModel, ComputeBoundReachesRetireWidth)
+{
+    Rig rig(computeBound());
+    rig.sim.run(20000);
+    // 4-wide retirement with (almost) no memory stalls.
+    EXPECT_GT(rig.core->ipc(), 3.5);
+}
+
+TEST(CoreModel, SerialisedMissesBoundedByLatency)
+{
+    Rig rig(memoryBound());
+    rig.sim.run(20000);
+    // One outstanding miss at a time, ~30+ memory cycles each
+    // (~120+ CPU cycles): IPC far below 0.1.
+    EXPECT_LT(rig.core->ipc(), 0.1);
+    EXPECT_GT(rig.core->retired(), 0u);
+}
+
+TEST(CoreModel, MlpScalesThroughput)
+{
+    WorkloadProfile narrow = memoryBound();
+    WorkloadProfile wide = memoryBound();
+    wide.mshrs = 16;
+    Rig a(narrow);
+    Rig b(wide);
+    a.sim.run(20000);
+    b.sim.run(20000);
+    EXPECT_GT(b.core->ipc(), a.core->ipc() * 2.0);
+}
+
+TEST(CoreModel, WritebacksFlowToController)
+{
+    WorkloadProfile p = memoryBound();
+    p.storeFraction = 0.5;
+    p.mshrs = 8;
+    p.footprintLines = 1 << 16;
+    Rig rig(p);
+    rig.sim.run(50000);
+    EXPECT_GT(rig.mc->stats().writes.value(), 0u);
+}
+
+TEST(CoreModel, FunctionalWarmupFillsLlc)
+{
+    WorkloadProfile p = computeBound();
+    p.footprintLines = 1024;
+    p.reuseFraction = 0.0;
+    p.memRatio = 0.5;
+    CoreModel::Params cp;
+    cp.functionalWarmupRecords = 10000;
+    Rig rig(p, cp);
+    const uint64_t warmMisses = rig.core->llc().misses().value();
+    EXPECT_GE(warmMisses, 1024u); // cold fill happened pre-timing
+    rig.sim.run(5000);
+    // Steady state: footprint resident, nearly everything hits.
+    EXPECT_LT(rig.core->llc().misses().value() - warmMisses, 100u);
+}
+
+TEST(CoreModel, ProgressCheckpointsMonotone)
+{
+    WorkloadProfile p = computeBound();
+    CoreModel::Params cp;
+    cp.progressInterval = 1000;
+    Rig rig(p, cp);
+    rig.sim.run(5000);
+    const auto &prog = rig.core->timeline().progress;
+    ASSERT_GT(prog.size(), 3u);
+    for (size_t i = 1; i < prog.size(); ++i)
+        EXPECT_GT(prog[i], prog[i - 1]);
+}
+
+TEST(CoreModel, TimelineCapturesServiceEvents)
+{
+    WorkloadProfile p = memoryBound();
+    p.mshrs = 4;
+    CoreModel::Params cp;
+    cp.captureTimeline = true;
+    Rig rig(p, cp);
+    rig.sim.run(10000);
+    const auto &svc = rig.core->timeline().service;
+    ASSERT_GT(svc.size(), 10u);
+    for (const auto &e : svc)
+        EXPECT_GE(e.completed, e.arrival);
+}
+
+TEST(CoreModel, BeginMeasurementResetsIpcWindow)
+{
+    Rig rig(computeBound());
+    rig.sim.run(1000);
+    rig.core->beginMeasurement();
+    const double ipcAtStart = rig.core->ipc();
+    EXPECT_DOUBLE_EQ(ipcAtStart, 0.0);
+    rig.sim.run(1000);
+    EXPECT_GT(rig.core->ipc(), 3.0);
+}
+
+TEST(CoreModel, StatsRegistered)
+{
+    Rig rig(computeBound());
+    rig.sim.run(2000);
+    StatGroup g;
+    rig.core->registerStats(g);
+    EXPECT_GT(g.lookup("loads"), 0.0);
+    EXPECT_GE(g.lookup("ipc"), 0.0);
+}
+
+TEST(CoreModel, PrefetcherReducesDemandLatencyOnStreams)
+{
+    // A compute-bound sequential stream: inter-miss distance exceeds
+    // the memory latency, so a timely prefetcher converts nearly
+    // every miss into a hit while an unassisted core stalls its
+    // (small) ROB on every one.
+    WorkloadProfile p;
+    p.name = "stream";
+    p.memRatio = 0.005;
+    p.storeFraction = 0.0;
+    p.footprintLines = 1 << 20;
+    p.streamFraction = 1.0;
+    p.numStreams = 1;
+    p.strideLines = 1;
+    p.reuseFraction = 0.0;
+    p.mshrs = 8;
+
+    CoreModel::Params off;
+    CoreModel::Params on;
+    on.prefetchEnabled = true;
+    Rig a(p, off);
+    Rig b(p, on);
+    a.sim.run(50000);
+    b.sim.run(50000);
+    EXPECT_GT(b.core->prefetchIssued(), 0u);
+    EXPECT_GT(b.core->prefetchUseful(), 0u);
+    EXPECT_GT(b.core->ipc(), a.core->ipc());
+}

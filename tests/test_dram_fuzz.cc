@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Randomised double-entry validation of the DRAM model.
+ *
+ * A random agent repeatedly picks an arbitrary command and issues it
+ * whenever the fast-path bookkeeping (canIssue) admits it. The
+ * independent TimingChecker audits every issued command, so any
+ * disagreement between the two implementations of the JEDEC rules —
+ * fast path too permissive — panics. A second pass asserts the fast
+ * path is not overly conservative either: after long-enough idleness
+ * every bank must accept an ACT again.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dram/dram_system.hh"
+#include "util/random.hh"
+
+using namespace memsec;
+using namespace memsec::dram;
+
+namespace {
+
+class DramFuzz : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+Command
+randomCommand(Rng &rng, const Geometry &geo)
+{
+    static const CmdType kinds[] = {
+        CmdType::Act,     CmdType::Act, CmdType::Rd,  CmdType::RdA,
+        CmdType::Wr,      CmdType::WrA, CmdType::Pre, CmdType::Ref,
+        CmdType::PdEnter, CmdType::PdExit,
+    };
+    Command c;
+    c.type = kinds[rng.below(std::size(kinds))];
+    c.rank = static_cast<unsigned>(rng.below(geo.ranksPerChannel));
+    c.bank = static_cast<unsigned>(rng.below(geo.banksPerRank));
+    c.row = static_cast<unsigned>(rng.below(64));
+    return c;
+}
+
+} // namespace
+
+TEST_P(DramFuzz, RandomLegalStreamNeverTripsTheAuditor)
+{
+    const Geometry geo;
+    DramSystem sys(TimingParams::ddr3_1600_4gb(), geo);
+    Rng rng(GetParam());
+
+    uint64_t issued = 0;
+    for (Cycle t = 0; t < 30000; ++t) {
+        // A few attempts per cycle; at most one can issue (cmd bus).
+        for (int attempt = 0; attempt < 4; ++attempt) {
+            Command c = randomCommand(rng, geo);
+            // Column commands must target the open row to be legal;
+            // steer half the attempts at it.
+            if (isColumn(c.type)) {
+                const Bank &bk = sys.rank(c.rank).bank(c.bank);
+                if (bk.isOpen() && rng.chance(0.8))
+                    c.row = bk.openRow();
+            }
+            if (sys.canIssue(c, t)) {
+                // Must not throw: fast path and auditor agree.
+                ASSERT_NO_THROW(sys.issue(c, t)) << c.toString()
+                                                 << " at " << t;
+                ++issued;
+                break;
+            }
+        }
+        sys.tick(t);
+    }
+    // The stream must have made real progress.
+    EXPECT_GT(issued, 2000u);
+    EXPECT_EQ(sys.checker().observed(), issued);
+    EXPECT_TRUE(sys.checker().violations().empty());
+}
+
+TEST_P(DramFuzz, FastPathNotOverlyConservative)
+{
+    const Geometry geo;
+    DramSystem sys(TimingParams::ddr3_1600_4gb(), geo);
+    Rng rng(GetParam() ^ 0xDEAD);
+
+    Cycle t = 0;
+    for (int round = 0; round < 200; ++round) {
+        const unsigned rank =
+            static_cast<unsigned>(rng.below(geo.ranksPerChannel));
+        const unsigned bank =
+            static_cast<unsigned>(rng.below(geo.banksPerRank));
+        const unsigned row = static_cast<unsigned>(rng.below(1024));
+
+        // A full read transaction must always be issuable within a
+        // bounded wait (tRFC is the longest stall in the system).
+        Command act{CmdType::Act, rank, bank, row, 0, false};
+        Cycle waited = 0;
+        while (!sys.canIssue(act, t)) {
+            ++t;
+            ASSERT_LT(++waited, 600u) << "ACT starved";
+        }
+        sys.issue(act, t);
+
+        Command rd{CmdType::RdA, rank, bank, row, 0, false};
+        waited = 0;
+        while (!sys.canIssue(rd, ++t))
+            ASSERT_LT(++waited, 600u) << "RDA starved";
+        sys.issue(rd, t);
+        t += rng.below(8);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DramFuzz,
+                         ::testing::Values(1ull, 7ull, 42ull, 1337ull,
+                                           0xABCDEFull));

@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "dram/dram_system.hh"
+
+using namespace memsec;
+using namespace memsec::dram;
+
+namespace {
+
+class DramSystemTest : public ::testing::Test
+{
+  protected:
+    DramSystemTest()
+        : sys(TimingParams::ddr3_1600_4gb(), Geometry{})
+    {
+    }
+
+    Command
+    mk(CmdType t, unsigned rank, unsigned bank, unsigned row = 0)
+    {
+        return Command{t, rank, bank, row, 0, false};
+    }
+
+    DramSystem sys;
+};
+
+} // namespace
+
+TEST_F(DramSystemTest, ReadTransactionReturnsDataWindow)
+{
+    const auto &tp = sys.timing();
+    sys.issue(mk(CmdType::Act, 0, 0, 9), 0);
+    const IssueResult r = sys.issue(mk(CmdType::RdA, 0, 0, 9), tp.rcd);
+    EXPECT_EQ(r.dataStart, tp.rcd + tp.cas);
+    EXPECT_EQ(r.dataEnd, tp.rcd + tp.cas + tp.burst);
+}
+
+TEST_F(DramSystemTest, WriteTransactionDataWindow)
+{
+    const auto &tp = sys.timing();
+    sys.issue(mk(CmdType::Act, 0, 0, 9), 0);
+    const IssueResult r = sys.issue(mk(CmdType::WrA, 0, 0, 9), tp.rcd);
+    EXPECT_EQ(r.dataStart, tp.rcd + tp.cwd);
+    EXPECT_EQ(r.dataEnd, tp.rcd + tp.cwd + tp.burst);
+}
+
+TEST_F(DramSystemTest, CanIssueReportsBlockingRule)
+{
+    std::string why;
+    EXPECT_FALSE(sys.canIssue(mk(CmdType::Rd, 0, 0, 9), 0, &why));
+    EXPECT_EQ(why, "row not open");
+
+    sys.issue(mk(CmdType::Act, 0, 0, 9), 0);
+    EXPECT_FALSE(sys.canIssue(mk(CmdType::Act, 0, 1, 9), 2, &why));
+    EXPECT_EQ(why, "rank tRRD/tFAW");
+}
+
+TEST_F(DramSystemTest, IllegalIssuePanics)
+{
+    EXPECT_THROW(sys.issue(mk(CmdType::Rd, 0, 0, 9), 0),
+                 std::logic_error);
+}
+
+TEST_F(DramSystemTest, CommandBusSharedAcrossRanks)
+{
+    sys.issue(mk(CmdType::Act, 0, 0, 9), 0);
+    std::string why;
+    EXPECT_FALSE(sys.canIssue(mk(CmdType::Act, 5, 0, 9), 0, &why));
+    EXPECT_EQ(why, "command bus busy");
+    EXPECT_TRUE(sys.canIssue(mk(CmdType::Act, 5, 0, 9), 1, &why));
+}
+
+TEST_F(DramSystemTest, EnergyCountersTrackCommands)
+{
+    const auto &tp = sys.timing();
+    sys.issue(mk(CmdType::Act, 2, 3, 9), 0);
+    sys.issue(mk(CmdType::RdA, 2, 3, 9), tp.rcd);
+    EXPECT_EQ(sys.rank(2).energy().activates, 1u);
+    EXPECT_EQ(sys.rank(2).energy().reads, 1u);
+    EXPECT_EQ(sys.rank(2).energy().writes, 0u);
+}
+
+TEST_F(DramSystemTest, SuppressedCommandsNotCharged)
+{
+    const auto &tp = sys.timing();
+    Command a = mk(CmdType::Act, 1, 0, 9);
+    a.suppressed = true;
+    sys.issue(a, 0);
+    Command r = mk(CmdType::RdA, 1, 0, 9);
+    r.suppressed = true;
+    sys.issue(r, tp.rcd);
+    EXPECT_EQ(sys.rank(1).energy().activates, 0u);
+    EXPECT_EQ(sys.rank(1).energy().reads, 0u);
+    EXPECT_EQ(sys.rank(1).energy().suppressedActs, 1u);
+    EXPECT_EQ(sys.rank(1).energy().suppressedCas, 1u);
+}
+
+TEST_F(DramSystemTest, CheckerSeesEveryCommand)
+{
+    const auto &tp = sys.timing();
+    sys.issue(mk(CmdType::Act, 0, 0, 9), 0);
+    sys.issue(mk(CmdType::RdA, 0, 0, 9), tp.rcd);
+    EXPECT_EQ(sys.checker().observed(), 2u);
+    EXPECT_EQ(sys.commandsIssued(), 2u);
+}
+
+TEST_F(DramSystemTest, RefreshBlocksRank)
+{
+    const auto &tp = sys.timing();
+    sys.issue(mk(CmdType::Ref, 4, 0), 0);
+    std::string why;
+    EXPECT_FALSE(sys.canIssue(mk(CmdType::Act, 4, 0, 1), tp.rfc - 1,
+                              &why));
+    EXPECT_EQ(why, "rank refreshing");
+    EXPECT_TRUE(sys.canIssue(mk(CmdType::Act, 4, 0, 1), tp.rfc, &why));
+}
+
+TEST_F(DramSystemTest, PowerDownRoundTrip)
+{
+    const auto &tp = sys.timing();
+    sys.issue(mk(CmdType::PdEnter, 3, 0), 0);
+    EXPECT_TRUE(sys.rank(3).isPoweredDown());
+    std::string why;
+    EXPECT_FALSE(sys.canIssue(mk(CmdType::Act, 3, 0, 1), 2, &why));
+    sys.issue(mk(CmdType::PdExit, 3, 0), tp.cke);
+    EXPECT_FALSE(sys.rank(3).isPoweredDown());
+    EXPECT_FALSE(sys.canIssue(mk(CmdType::Act, 3, 0, 1),
+                              tp.cke + tp.xp - 1, &why));
+    EXPECT_TRUE(
+        sys.canIssue(mk(CmdType::Act, 3, 0, 1), tp.cke + tp.xp, &why));
+}
+
+TEST_F(DramSystemTest, TickAccumulatesEnergyResidency)
+{
+    for (Cycle t = 0; t < 100; ++t)
+        sys.tick(t);
+    EXPECT_EQ(sys.rank(0).energy().cyclesPrecharge, 100u);
+}
+
+TEST_F(DramSystemTest, DataBusUtilisationCounted)
+{
+    const auto &tp = sys.timing();
+    sys.issue(mk(CmdType::Act, 0, 0, 9), 0);
+    sys.issue(mk(CmdType::RdA, 0, 0, 9), tp.rcd);
+    EXPECT_EQ(sys.buses().dataBusyCycles(), tp.burst);
+}

@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include "energy/power_model.hh"
+
+using namespace memsec;
+using namespace memsec::energy;
+
+namespace {
+
+PowerModel
+model()
+{
+    return PowerModel(DeviceParams::ddr3_1600_4gb(),
+                      dram::TimingParams::ddr3_1600_4gb());
+}
+
+} // namespace
+
+TEST(Energy, ZeroCountersZeroEnergy)
+{
+    dram::RankEnergyCounters c;
+    EXPECT_DOUBLE_EQ(model().rankEnergy(c).totalNj(), 0.0);
+}
+
+TEST(Energy, BackgroundScalesWithCycles)
+{
+    dram::RankEnergyCounters a;
+    a.cyclesPrecharge = 1000;
+    dram::RankEnergyCounters b;
+    b.cyclesPrecharge = 2000;
+    const auto ea = model().rankEnergy(a);
+    const auto eb = model().rankEnergy(b);
+    EXPECT_NEAR(eb.backgroundNj, 2.0 * ea.backgroundNj, 1e-9);
+}
+
+TEST(Energy, ActiveStandbyCostsMoreThanPrecharge)
+{
+    dram::RankEnergyCounters a;
+    a.cyclesActive = 1000;
+    dram::RankEnergyCounters p;
+    p.cyclesPrecharge = 1000;
+    EXPECT_GT(model().rankEnergy(a).backgroundNj,
+              model().rankEnergy(p).backgroundNj);
+}
+
+TEST(Energy, PowerDownCheaperThanPrechargeStandby)
+{
+    dram::RankEnergyCounters pd;
+    pd.cyclesPowerDown = 1000;
+    dram::RankEnergyCounters ps;
+    ps.cyclesPrecharge = 1000;
+    EXPECT_LT(model().rankEnergy(pd).backgroundNj,
+              model().rankEnergy(ps).backgroundNj * 0.5);
+}
+
+TEST(Energy, ActivateEnergyPositiveAndLinear)
+{
+    dram::RankEnergyCounters c;
+    c.activates = 10;
+    const double e10 = model().rankEnergy(c).activateNj;
+    EXPECT_GT(e10, 0.0);
+    c.activates = 20;
+    EXPECT_NEAR(model().rankEnergy(c).activateNj, 2.0 * e10, 1e-9);
+}
+
+TEST(Energy, SuppressedOpsCostNothing)
+{
+    dram::RankEnergyCounters c;
+    c.suppressedActs = 100;
+    c.suppressedCas = 100;
+    EXPECT_DOUBLE_EQ(model().rankEnergy(c).totalNj(), 0.0);
+}
+
+TEST(Energy, ReadWriteBurstEnergy)
+{
+    dram::RankEnergyCounters c;
+    c.reads = 100;
+    const double er = model().rankEnergy(c).readWriteNj;
+    EXPECT_GT(er, 0.0);
+    c.reads = 0;
+    c.writes = 100;
+    const double ew = model().rankEnergy(c).readWriteNj;
+    // IDD4W > IDD4R for this part.
+    EXPECT_GT(ew, er);
+}
+
+TEST(Energy, RefreshEnergyCounted)
+{
+    dram::RankEnergyCounters c;
+    c.refreshes = 5;
+    EXPECT_GT(model().rankEnergy(c).refreshNj, 0.0);
+}
+
+TEST(Energy, BreakdownSumsToTotal)
+{
+    dram::RankEnergyCounters c;
+    c.activates = 50;
+    c.reads = 40;
+    c.writes = 10;
+    c.refreshes = 2;
+    c.cyclesActive = 500;
+    c.cyclesPrecharge = 400;
+    c.cyclesPowerDown = 100;
+    const auto e = model().rankEnergy(c);
+    EXPECT_NEAR(e.totalNj(), e.backgroundNj + e.activateNj +
+                                 e.readWriteNj + e.refreshNj,
+                1e-9);
+}
+
+TEST(Energy, BreakdownAccumulation)
+{
+    dram::RankEnergyCounters c;
+    c.activates = 10;
+    c.cyclesActive = 100;
+    EnergyBreakdown sum;
+    sum += model().rankEnergy(c);
+    sum += model().rankEnergy(c);
+    EXPECT_NEAR(sum.totalNj(), 2.0 * model().rankEnergy(c).totalNj(),
+                1e-9);
+}
+
+TEST(Energy, SanityMagnitudeOfActivate)
+{
+    // A DDR3 activate/precharge pair is on the order of a few nJ per
+    // rank (datasheet ballpark); catch unit mistakes of 1000x.
+    dram::RankEnergyCounters c;
+    c.activates = 1;
+    const double nj = model().rankEnergy(c).activateNj;
+    EXPECT_GT(nj, 0.1);
+    EXPECT_LT(nj, 100.0);
+}

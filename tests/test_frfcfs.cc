@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "mem/memory_controller.hh"
+#include "sched/frfcfs.hh"
+
+using namespace memsec;
+using namespace memsec::mem;
+using namespace memsec::sched;
+
+namespace {
+
+class FrFcfsTest : public ::testing::Test, public MemClient
+{
+  protected:
+    FrFcfsTest()
+        : map(dram::Geometry{}, Partition::None, Interleave::OpenPage, 2)
+    {
+        MemoryController::Params p;
+        p.numDomains = 2;
+        p.queueCapacity = 16;
+        mc = std::make_unique<MemoryController>("mc", p, map);
+        auto sched = std::make_unique<FrFcfsScheduler>(*mc);
+        schedPtr = sched.get();
+        mc->setScheduler(std::move(sched));
+    }
+
+    void memResponse(const MemRequest &req) override
+    {
+        done.push_back({req.id, req.completed});
+    }
+
+    void
+    inject(DomainId d, ReqType t, Addr a, Cycle now, ReqId id)
+    {
+        auto r = std::make_unique<MemRequest>();
+        r->id = id;
+        r->domain = d;
+        r->type = t;
+        r->addr = a;
+        r->client = this;
+        mc->access(std::move(r), now);
+    }
+
+    void
+    runTo(Cycle end)
+    {
+        for (; now < end; ++now)
+            mc->tick(now);
+    }
+
+    AddressMap map;
+    std::unique_ptr<MemoryController> mc;
+    FrFcfsScheduler *schedPtr = nullptr;
+    std::vector<std::pair<ReqId, Cycle>> done;
+    Cycle now = 0;
+};
+
+} // namespace
+
+TEST_F(FrFcfsTest, SingleReadMinimalLatency)
+{
+    inject(0, ReqType::Read, 0x1000, 0, 1);
+    runTo(100);
+    ASSERT_EQ(done.size(), 1u);
+    const auto &tp = mc->dram().timing();
+    // ACT at 0, CAS at tRCD, data ends tCAS + tBURST later.
+    EXPECT_EQ(done[0].second, tp.rcd + tp.cas + tp.burst);
+}
+
+TEST_F(FrFcfsTest, RowHitServedBeforeOlderMiss)
+{
+    // Two same-row reads and one conflicting-row read, same bank.
+    inject(0, ReqType::Read, 0, 0, 1);
+    runTo(12); // ACT for req 1 issued, row open
+    // Same row (consecutive line) vs different row of the same bank.
+    inject(0, ReqType::Read, 64, 12, 2);
+    runTo(60);
+    EXPECT_EQ(schedPtr->engine().rowHits(), 1u);
+}
+
+TEST_F(FrFcfsTest, OpenPageKeepsRowForHits)
+{
+    inject(0, ReqType::Read, 0, 0, 1);
+    inject(0, ReqType::Read, 64, 0, 2);
+    inject(0, ReqType::Read, 128, 0, 3);
+    runTo(120);
+    ASSERT_EQ(done.size(), 3u);
+    // One activate serves all three CASes.
+    EXPECT_EQ(mc->dram().rank(0).energy().activates, 1u);
+}
+
+TEST_F(FrFcfsTest, WritesDrainWhenNoReads)
+{
+    inject(0, ReqType::Write, 0x2000, 0, 1);
+    runTo(100);
+    EXPECT_EQ(mc->queue(0).size(), 0u);
+    EXPECT_EQ(mc->stats().realBursts.value(), 1u);
+}
+
+TEST_F(FrFcfsTest, ReadsPrioritisedOverFewWrites)
+{
+    for (int i = 0; i < 4; ++i)
+        inject(0, ReqType::Write, 0x40000 + i * 8192ull, 0, 10 + i);
+    inject(1, ReqType::Read, 0x1000, 0, 1);
+    runTo(60);
+    // The read completed although the writes arrived first.
+    ASSERT_FALSE(done.empty());
+    EXPECT_EQ(done[0].first, 1u);
+}
+
+TEST_F(FrFcfsTest, ConflictingRowGetsPrecharged)
+{
+    inject(0, ReqType::Read, 0, 0, 1);
+    runTo(30);
+    // Different row, same bank: with open-page interleave a bank's
+    // row spans colsPerRow lines and banks stripe above that, so the
+    // same bank recurs every colsPerRow * nslots lines.
+    const Addr sameBankNextRow = 128ull * 64 * 64;
+    inject(0, ReqType::Read, sameBankNextRow, 30, 2);
+    runTo(150);
+    ASSERT_EQ(done.size(), 2u);
+    EXPECT_GE(schedPtr->engine().rowConflicts(), 1u);
+}
+
+TEST_F(FrFcfsTest, AllRequestsEventuallyComplete)
+{
+    for (int i = 0; i < 16; ++i) {
+        inject(i % 2, i % 3 == 0 ? ReqType::Write : ReqType::Read,
+               0x1000 + i * 4096ull, 0, 100 + i);
+    }
+    runTo(2000);
+    // Every request (reads and writes) responds to its client.
+    EXPECT_EQ(done.size(), 16u);
+    EXPECT_EQ(mc->queue(0).size(), 0u);
+    EXPECT_EQ(mc->queue(1).size(), 0u);
+}
+
+TEST_F(FrFcfsTest, StatsGroupHasRowCounters)
+{
+    StatGroup g;
+    schedPtr->registerStats(g);
+    EXPECT_GE(g.lookup("row_hits"), 0.0);
+    EXPECT_GE(g.lookup("row_conflicts"), 0.0);
+}

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Cross-cutting system properties checked over full-system runs:
+ * accounting consistency, determinism, and the relationships the
+ * paper's analysis predicts between schemes.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/experiment.hh"
+
+using namespace memsec;
+using namespace memsec::harness;
+
+namespace {
+
+Config
+cfg(const std::string &scheme, const std::string &workload,
+    unsigned cores = 8)
+{
+    Config c = defaultConfig();
+    c.merge(schemeConfig(scheme));
+    c.set("workload", workload);
+    c.set("cores", cores);
+    c.set("sim.warmup", 2000);
+    c.set("sim.measure", 40000);
+    return c;
+}
+
+double
+sumIpc(const ExperimentResult &r)
+{
+    double s = 0;
+    for (double v : r.ipc)
+        s += v;
+    return s;
+}
+
+} // namespace
+
+TEST(Properties, FsBandwidthSharedEquallyWhenSaturated)
+{
+    // Rate mode with the stationary saturating profile: per-core IPC
+    // must be (nearly) identical — FS gives every domain exactly one
+    // slot per frame. (The SPEC-like profiles are phased, so their
+    // cores sit in different phases over a short window.)
+    const auto r = runExperiment(cfg("fs_rp", "hog"));
+    double lo = 1e9;
+    double hi = 0.0;
+    for (double v : r.ipc) {
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+    }
+    // Allow some spread: each copy runs a different trace phase, so
+    // LLC behaviour (and hence demand) differs slightly.
+    EXPECT_LT((hi - lo) / hi, 0.15);
+}
+
+TEST(Properties, RankPartitioningBeatsBankBeatsNone)
+{
+    // Figure 3's ordering of the FS design points.
+    const double rp = sumIpc(runExperiment(cfg("fs_rp", "milc")));
+    const double rbp =
+        sumIpc(runExperiment(cfg("fs_reordered_bp", "milc")));
+    const double bp = sumIpc(runExperiment(cfg("fs_bp", "milc")));
+    const double np = sumIpc(runExperiment(cfg("fs_np", "milc")));
+    const double triple =
+        sumIpc(runExperiment(cfg("fs_np_triple", "milc")));
+    EXPECT_GT(rp, rbp);
+    EXPECT_GT(rbp, bp);
+    EXPECT_GT(bp, np);
+    EXPECT_GT(triple, np);
+}
+
+TEST(Properties, TripleAlternationRoughlyTriplesNoPartitioning)
+{
+    const double np =
+        sumIpc(runExperiment(cfg("fs_np", "libquantum")));
+    const double triple =
+        sumIpc(runExperiment(cfg("fs_np_triple", "libquantum")));
+    EXPECT_GT(triple, 1.8 * np);
+}
+
+TEST(Properties, LightWorkloadsLoseLessUnderFs)
+{
+    // xalancbmk barely uses memory: FS costs it far less than the
+    // memory-bound lbm (the per-workload spread in Figure 6).
+    const double baseX =
+        sumIpc(runExperiment(cfg("baseline", "xalancbmk")));
+    const double fsX =
+        sumIpc(runExperiment(cfg("fs_rp", "xalancbmk")));
+    const double baseL = sumIpc(runExperiment(cfg("baseline", "lbm")));
+    const double fsL = sumIpc(runExperiment(cfg("fs_rp", "lbm")));
+    EXPECT_GT(fsX / baseX, fsL / baseL);
+}
+
+TEST(Properties, DummyFractionTracksIntensity)
+{
+    const auto light = runExperiment(cfg("fs_rp", "xalancbmk"));
+    const auto heavy = runExperiment(cfg("fs_rp", "libquantum"));
+    EXPECT_GT(light.dummyFraction, heavy.dummyFraction + 0.1);
+    EXPECT_LT(heavy.dummyFraction, 0.2);
+}
+
+TEST(Properties, FsLatencyLowerThanTp)
+{
+    // Paper Section 7: best TP_BP mean latency ~683 cycles vs FS ~288.
+    const auto fs = runExperiment(cfg("fs_rp", "mcf"));
+    const auto tp = runExperiment(cfg("tp_bp", "mcf"));
+    EXPECT_LT(fs.meanReadLatency, tp.meanReadLatency);
+}
+
+TEST(Properties, SeedChangesWorkloadButNotStructure)
+{
+    Config a = cfg("fs_rp", "milc");
+    Config b = cfg("fs_rp", "milc");
+    b.set("seed", 1234);
+    const auto ra = runExperiment(a);
+    const auto rb = runExperiment(b);
+    // Different seeds shift IPC slightly but not wildly.
+    EXPECT_NEAR(sumIpc(ra), sumIpc(rb), 0.25 * sumIpc(ra));
+}
+
+TEST(Properties, EnergyBaselineCheapestFsBeatsTp)
+{
+    // Figure 8's ordering on a memory-intensive workload, normalised
+    // per serviced request is implied; totals over equal wall-clock:
+    // baseline < FS (more dummies) and FS < TP is on *energy* only
+    // after normalising by work. Here we check the paper's coarser
+    // claim: FS_RP energy is within ~2x of baseline while TP_BP
+    // serves far fewer requests for similar background energy.
+    const auto base = runExperiment(cfg("baseline", "milc"));
+    const auto fs = runExperiment(cfg("fs_rp", "milc"));
+    const auto tp = runExperiment(cfg("tp_bp", "milc"));
+    const double basePerReq =
+        base.energy.totalNj() / static_cast<double>(base.demandReads);
+    const double fsPerReq =
+        fs.energy.totalNj() / static_cast<double>(fs.demandReads);
+    const double tpPerReq =
+        tp.energy.totalNj() / static_cast<double>(tp.demandReads);
+    EXPECT_LT(basePerReq, fsPerReq);
+    EXPECT_LT(fsPerReq, tpPerReq);
+}
+
+TEST(Properties, AccountingConsistency)
+{
+    const auto r = runExperiment(cfg("fs_rp", "mix2"));
+    // Bandwidth fractions and dummy fraction are probabilities.
+    EXPECT_GE(r.dummyFraction, 0.0);
+    EXPECT_LE(r.dummyFraction, 1.0);
+    EXPECT_GE(r.effectiveBandwidth, 0.0);
+    // Demand reads were actually served.
+    EXPECT_GT(r.demandReads, 0u);
+}
+
+TEST(Properties, MorePagePolicySensitivityAtLowCoreCounts)
+{
+    // Section 1 claims page mapping policies matter for FS. At 2
+    // cores (Q = 14 < 43) open-page row-major mapping concentrates a
+    // thread's consecutive requests in one bank and forces deferrals;
+    // close-page striping avoids them.
+    Config open = cfg("fs_rp", "libquantum", 2);
+    open.set("map.interleave", "open");
+    Config close = cfg("fs_rp", "libquantum", 2);
+    close.set("map.interleave", "close");
+    const double openIpc = sumIpc(runExperiment(open));
+    const double closeIpc = sumIpc(runExperiment(close));
+    EXPECT_GT(closeIpc, openIpc);
+}

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Scheme x workload sweep. The independent TimingChecker panics on
+ * any JEDEC violation, so simply completing each run proves that
+ * every scheduler — including every FS pipeline — is conflict-free
+ * under realistic traffic. On top of that we assert the scheme's
+ * structural invariants (bandwidth ceilings, dummy behaviour).
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "harness/experiment.hh"
+
+using namespace memsec;
+using namespace memsec::harness;
+
+namespace {
+
+ExperimentResult
+run(const std::string &scheme, const std::string &workload,
+    unsigned cores = 8)
+{
+    Config c = defaultConfig();
+    c.merge(schemeConfig(scheme));
+    c.set("workload", workload);
+    c.set("cores", cores);
+    c.set("sim.warmup", 3000);
+    c.set("sim.measure", 30000);
+    return runExperiment(c);
+}
+
+} // namespace
+
+class SchemeWorkloadSweep
+    : public ::testing::TestWithParam<
+          std::tuple<std::string, std::string>>
+{
+};
+
+TEST_P(SchemeWorkloadSweep, RunsCleanAndWithinBandwidthCeiling)
+{
+    const auto [scheme, workload] = GetParam();
+    const ExperimentResult r = run(scheme, workload);
+
+    ASSERT_EQ(r.ipc.size(), 8u);
+    double total = 0.0;
+    for (double v : r.ipc) {
+        EXPECT_GE(v, 0.0);
+        EXPECT_LE(v, 4.0);
+        total += v;
+    }
+    EXPECT_GT(total, 0.0);
+    EXPECT_LE(r.effectiveBandwidth, 1.0);
+
+    // Scheme-specific theoretical ceilings (Sections 3-4).
+    if (scheme == "fs_rp") {
+        EXPECT_LE(r.effectiveBandwidth, 4.0 / 7 + 0.01);
+    } else if (scheme == "fs_bp") {
+        EXPECT_LE(r.effectiveBandwidth, 4.0 / 15 + 0.01);
+    } else if (scheme == "fs_reordered_bp") {
+        EXPECT_LE(r.effectiveBandwidth, 32.0 / 63 + 0.01);
+    } else if (scheme == "fs_np") {
+        EXPECT_LE(r.effectiveBandwidth, 4.0 / 43 + 0.01);
+    } else if (scheme == "fs_np_triple") {
+        EXPECT_LE(r.effectiveBandwidth, 4.0 / 15 + 0.01);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSchemes, SchemeWorkloadSweep,
+    ::testing::Combine(
+        ::testing::Values("baseline", "fs_rp", "fs_reordered_bp",
+                          "fs_bp", "fs_np", "fs_np_triple", "tp_bp",
+                          "tp_np"),
+        ::testing::Values("libquantum", "mcf", "xalancbmk", "mix1")),
+    [](const auto &info) {
+        return std::get<0>(info.param) + "_" +
+               std::get<1>(info.param);
+    });
+
+class EnergyOptSweep : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(EnergyOptSweep, OptimisationRunsClean)
+{
+    const ExperimentResult r = run(GetParam(), "zeusmp");
+    EXPECT_GT(r.energy.totalNj(), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(FsEnergyVariants, EnergyOptSweep,
+                         ::testing::Values("fs_rp_suppress",
+                                           "fs_rp_boost",
+                                           "fs_rp_powerdown",
+                                           "fs_rp_prefetch",
+                                           "baseline_prefetch"));
+
+TEST(IntegrationSchedulers, CoreCountScaling)
+{
+    // Figure 10's axis: the schemes must run at 2/4/8 cores.
+    for (unsigned cores : {2u, 4u, 8u}) {
+        for (const char *s : {"fs_rp", "fs_reordered_bp", "tp_bp"}) {
+            const auto r = run(s, "mcf", cores);
+            EXPECT_EQ(r.ipc.size(), cores) << s << "@" << cores;
+        }
+    }
+}
+
+TEST(IntegrationSchedulers, EnergyOrderingOnIdleWorkload)
+{
+    // With mostly-dummy traffic the energy optimisations must strictly
+    // reduce FS energy: suppress > boost > power-down, paper Figure 9.
+    const double fs = run("fs_rp", "idle").energy.totalNj();
+    const double sup = run("fs_rp_suppress", "idle").energy.totalNj();
+    const double pd =
+        run("fs_rp_powerdown", "idle").energy.totalNj();
+    EXPECT_LT(sup, fs);
+    EXPECT_LT(pd, sup);
+}
+
+TEST(IntegrationSchedulers, SecureSchemesSlowerThanBaselineOnAverage)
+{
+    // Sanity on the headline ordering for a memory-bound workload.
+    const auto base = run("baseline", "lbm");
+    const auto fsRp = run("fs_rp", "lbm");
+    const auto tpBp = run("tp_bp", "lbm");
+    auto sum = [](const ExperimentResult &r) {
+        double s = 0;
+        for (double v : r.ipc)
+            s += v;
+        return s;
+    };
+    EXPECT_GT(sum(base), sum(fsRp));
+    EXPECT_GT(sum(fsRp), sum(tpBp));
+}

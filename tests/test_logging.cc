@@ -1,0 +1,59 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "util/logging.hh"
+
+using namespace memsec;
+
+TEST(Logging, FormatSubstitutesPlaceholders)
+{
+    EXPECT_EQ(detail::format("a {} b {} c", 1, "x"), "a 1 b x c");
+    EXPECT_EQ(detail::format("no placeholders"), "no placeholders");
+    EXPECT_EQ(detail::format("{}{}", 1, 2), "12");
+}
+
+TEST(Logging, FormatExtraPlaceholdersKeptLiteral)
+{
+    EXPECT_EQ(detail::format("x {} y {}", 5), "x 5 y {}");
+}
+
+TEST(Logging, PanicThrowsLogicError)
+{
+    EXPECT_THROW(panic("boom {}", 42), std::logic_error);
+}
+
+TEST(Logging, PanicIfConditionTrue)
+{
+    EXPECT_THROW(panic_if(1 + 1 == 2, "always"), std::logic_error);
+    EXPECT_NO_THROW(panic_if(false, "never"));
+}
+
+TEST(Logging, PanicMessageContainsFormattedText)
+{
+    try {
+        panic("value was {}", 99);
+        FAIL() << "panic did not throw";
+    } catch (const std::logic_error &e) {
+        EXPECT_NE(std::string(e.what()).find("value was 99"),
+                  std::string::npos);
+    }
+}
+
+TEST(Logging, FatalExits)
+{
+    EXPECT_EXIT(fatal("bad config {}", "key"),
+                ::testing::ExitedWithCode(1), "bad config key");
+}
+
+TEST(Logging, QuietSuppressesNothingFatal)
+{
+    setQuiet(true);
+    EXPECT_TRUE(isQuiet());
+    // warn/inform are suppressed silently; panic must still throw.
+    warn("hidden {}", 1);
+    inform("hidden {}", 2);
+    EXPECT_THROW(panic("still fatal"), std::logic_error);
+    setQuiet(false);
+    EXPECT_FALSE(isQuiet());
+}

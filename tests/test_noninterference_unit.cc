@@ -1,0 +1,74 @@
+#include <gtest/gtest.h>
+
+#include "core/noninterference.hh"
+
+using namespace memsec;
+using namespace memsec::core;
+
+namespace {
+
+VictimTimeline
+sampleTimeline()
+{
+    VictimTimeline t;
+    t.recordService(10, 40);
+    t.recordService(70, 96);
+    t.progress = {100, 220, 350};
+    return t;
+}
+
+} // namespace
+
+TEST(Noninterference, IdenticalTimelinesPass)
+{
+    const auto a = sampleTimeline();
+    const auto b = sampleTimeline();
+    const AuditResult r = compareTimelines(a, b);
+    EXPECT_TRUE(r.identical);
+    EXPECT_TRUE(r.detail.empty());
+}
+
+TEST(Noninterference, ServiceDivergenceDetected)
+{
+    auto a = sampleTimeline();
+    auto b = sampleTimeline();
+    b.service[1].completed += 1;
+    const AuditResult r = compareTimelines(a, b);
+    EXPECT_FALSE(r.identical);
+    EXPECT_NE(r.detail.find("service event 1"), std::string::npos);
+}
+
+TEST(Noninterference, ServiceCountMismatchDetected)
+{
+    auto a = sampleTimeline();
+    auto b = sampleTimeline();
+    b.recordService(120, 150);
+    const AuditResult r = compareTimelines(a, b);
+    EXPECT_FALSE(r.identical);
+    EXPECT_NE(r.detail.find("counts differ"), std::string::npos);
+}
+
+TEST(Noninterference, ProgressDivergenceMeasured)
+{
+    auto a = sampleTimeline();
+    auto b = sampleTimeline();
+    b.progress[2] = 385; // 10% slower at the third checkpoint
+    const AuditResult r = compareTimelines(a, b);
+    EXPECT_FALSE(r.identical);
+    EXPECT_NEAR(r.maxProgressSkewPct, 10.0, 0.01);
+}
+
+TEST(Noninterference, OrdinalsAssignedSequentially)
+{
+    VictimTimeline t;
+    t.recordService(1, 2);
+    t.recordService(3, 4);
+    EXPECT_EQ(t.service[0].ordinal, 0u);
+    EXPECT_EQ(t.service[1].ordinal, 1u);
+}
+
+TEST(Noninterference, EmptyTimelinesIdentical)
+{
+    const AuditResult r = compareTimelines({}, {});
+    EXPECT_TRUE(r.identical);
+}

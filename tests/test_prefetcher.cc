@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "cpu/prefetcher.hh"
+#include "util/random.hh"
+
+using namespace memsec;
+using namespace memsec::cpu;
+
+TEST(Prefetcher, NoPrefetchesBeforePromotion)
+{
+    SandboxPrefetcher pf;
+    // Fewer misses than an evaluation period: nothing promoted yet.
+    for (int i = 0; i < 100; ++i)
+        EXPECT_TRUE(pf.onMiss(i * kLineBytes).empty());
+}
+
+TEST(Prefetcher, SequentialStreamPromotesPlusOne)
+{
+    SandboxPrefetcher pf;
+    for (int i = 0; i < 600; ++i)
+        pf.onMiss(i * kLineBytes);
+    const auto &active = pf.activeOffsets();
+    ASSERT_FALSE(active.empty());
+    EXPECT_NE(std::find(active.begin(), active.end(), 1), active.end());
+}
+
+TEST(Prefetcher, PromotedOffsetsGenerateCandidates)
+{
+    SandboxPrefetcher pf;
+    for (int i = 0; i < 600; ++i)
+        pf.onMiss(i * kLineBytes);
+    const auto out = pf.onMiss(1000 * kLineBytes);
+    ASSERT_FALSE(out.empty());
+    // +1 must be among the candidates.
+    EXPECT_NE(std::find(out.begin(), out.end(), 1001 * kLineBytes),
+              out.end());
+}
+
+TEST(Prefetcher, ReverseStreamPromotesMinusOne)
+{
+    SandboxPrefetcher pf;
+    for (int i = 2000; i > 1200; --i)
+        pf.onMiss(static_cast<Addr>(i) * kLineBytes);
+    const auto &active = pf.activeOffsets();
+    ASSERT_FALSE(active.empty());
+    EXPECT_NE(std::find(active.begin(), active.end(), -1),
+              active.end());
+}
+
+TEST(Prefetcher, RandomStreamPromotesNothing)
+{
+    SandboxPrefetcher pf;
+    Rng rng(5);
+    for (int i = 0; i < 2000; ++i)
+        pf.onMiss(rng.below(1 << 24) * kLineBytes);
+    EXPECT_TRUE(pf.activeOffsets().empty());
+}
+
+TEST(Prefetcher, StridedStreamPromotesStride)
+{
+    SandboxPrefetcher pf;
+    for (int i = 0; i < 600; ++i)
+        pf.onMiss(static_cast<Addr>(i) * 2 * kLineBytes);
+    const auto &active = pf.activeOffsets();
+    ASSERT_FALSE(active.empty());
+    EXPECT_NE(std::find(active.begin(), active.end(), 2), active.end());
+}
+
+TEST(Prefetcher, DegreeBoundsCandidates)
+{
+    SandboxPrefetcher::Params p;
+    p.degree = 2;
+    SandboxPrefetcher pf(p);
+    for (int i = 0; i < 600; ++i)
+        pf.onMiss(i * kLineBytes);
+    EXPECT_LE(pf.onMiss(5000 * kLineBytes).size(), 2u);
+}
+
+TEST(Prefetcher, NegativeAddressesSkipped)
+{
+    SandboxPrefetcher pf;
+    for (int i = 2000; i > 1200; --i)
+        pf.onMiss(static_cast<Addr>(i) * kLineBytes);
+    // Miss at line 0 with a promoted negative offset: no underflow.
+    const auto out = pf.onMiss(0);
+    for (Addr a : out)
+        EXPECT_LT(a, 1ull << 40);
+}
+
+TEST(Prefetcher, EmptyCandidateListFatal)
+{
+    SandboxPrefetcher::Params p;
+    p.candidateOffsets = {};
+    EXPECT_EXIT(SandboxPrefetcher pf(p),
+                ::testing::ExitedWithCode(1), "candidate offsets");
+}

@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "util/random.hh"
+
+using namespace memsec;
+
+TEST(Random, DeterministicForSameSeed)
+{
+    Rng a(42);
+    Rng b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Random, DifferentSeedsDiverge)
+{
+    Rng a(1);
+    Rng b(2);
+    int equal = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (a.next() == b.next())
+            ++equal;
+    }
+    EXPECT_LT(equal, 3);
+}
+
+TEST(Random, BelowStaysInRange)
+{
+    Rng r(7);
+    for (uint64_t bound : {1ull, 2ull, 10ull, 1000000007ull}) {
+        for (int i = 0; i < 200; ++i)
+            EXPECT_LT(r.below(bound), bound);
+    }
+}
+
+TEST(Random, BelowZeroPanics)
+{
+    Rng r(7);
+    EXPECT_THROW(r.below(0), std::logic_error);
+}
+
+TEST(Random, RangeInclusive)
+{
+    Rng r(9);
+    bool sawLo = false;
+    bool sawHi = false;
+    for (int i = 0; i < 2000; ++i) {
+        const uint64_t v = r.range(3, 6);
+        EXPECT_GE(v, 3u);
+        EXPECT_LE(v, 6u);
+        sawLo |= v == 3;
+        sawHi |= v == 6;
+    }
+    EXPECT_TRUE(sawLo);
+    EXPECT_TRUE(sawHi);
+}
+
+TEST(Random, UniformInUnitInterval)
+{
+    Rng r(11);
+    double sum = 0.0;
+    const int n = 10000;
+    for (int i = 0; i < n; ++i) {
+        const double u = r.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(Random, ChanceExtremes)
+{
+    Rng r(13);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(r.chance(0.0));
+        EXPECT_TRUE(r.chance(1.0));
+    }
+}
+
+TEST(Random, ChanceFrequency)
+{
+    Rng r(17);
+    int hits = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        hits += r.chance(0.3) ? 1 : 0;
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Random, GeometricMean)
+{
+    Rng r(19);
+    const double p = 0.25;
+    double sum = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        sum += static_cast<double>(r.geometric(p));
+    // Mean of geometric (failures before success) is (1-p)/p = 3.
+    EXPECT_NEAR(sum / n, 3.0, 0.15);
+}
+
+TEST(Random, GeometricPOneIsZero)
+{
+    Rng r(23);
+    for (int i = 0; i < 50; ++i)
+        EXPECT_EQ(r.geometric(1.0), 0u);
+}

@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "mem/request.hh"
+#include "sim/simulator.hh"
+
+using namespace memsec;
+
+namespace {
+
+class Probe : public Component
+{
+  public:
+    explicit Probe(std::string name, std::vector<int> *log, int id)
+        : Component(std::move(name)), log_(log), id_(id)
+    {
+    }
+
+    void
+    tick(Cycle now) override
+    {
+        lastTick = now;
+        ++ticks;
+        if (log_)
+            log_->push_back(id_);
+    }
+
+    Cycle lastTick = 0;
+    uint64_t ticks = 0;
+
+  private:
+    std::vector<int> *log_;
+    int id_;
+};
+
+} // namespace
+
+TEST(Simulator, RunAdvancesExactCycles)
+{
+    Simulator sim;
+    Probe p("p", nullptr, 0);
+    sim.add(&p);
+    sim.run(10);
+    EXPECT_EQ(sim.now(), 10u);
+    EXPECT_EQ(p.ticks, 10u);
+    EXPECT_EQ(p.lastTick, 9u);
+    sim.run(5);
+    EXPECT_EQ(sim.now(), 15u);
+    EXPECT_EQ(p.ticks, 15u);
+}
+
+TEST(Simulator, ComponentsTickInRegistrationOrder)
+{
+    Simulator sim;
+    std::vector<int> log;
+    Probe a("a", &log, 1);
+    Probe b("b", &log, 2);
+    sim.add(&a);
+    sim.add(&b);
+    sim.run(2);
+    ASSERT_EQ(log.size(), 4u);
+    EXPECT_EQ(log[0], 1);
+    EXPECT_EQ(log[1], 2);
+    EXPECT_EQ(log[2], 1);
+    EXPECT_EQ(log[3], 2);
+}
+
+TEST(Simulator, RunUntilStopsOnPredicate)
+{
+    Simulator sim;
+    Probe p("p", nullptr, 0);
+    sim.add(&p);
+    const Cycle ran =
+        sim.runUntil([&] { return p.ticks >= 7; }, 100);
+    EXPECT_EQ(ran, 7u);
+    EXPECT_EQ(sim.now(), 7u);
+}
+
+TEST(Simulator, RunUntilRespectsBudget)
+{
+    Simulator sim;
+    Probe p("p", nullptr, 0);
+    sim.add(&p);
+    const Cycle ran = sim.runUntil([] { return false; }, 25);
+    EXPECT_EQ(ran, 25u);
+}
+
+TEST(Simulator, AddNullPanics)
+{
+    Simulator sim;
+    EXPECT_THROW(sim.add(nullptr), std::logic_error);
+}
+
+TEST(Request, TypeNames)
+{
+    using mem::ReqType;
+    EXPECT_STREQ(mem::reqTypeName(ReqType::Read), "read");
+    EXPECT_STREQ(mem::reqTypeName(ReqType::Write), "write");
+    EXPECT_STREQ(mem::reqTypeName(ReqType::Prefetch), "prefetch");
+    EXPECT_STREQ(mem::reqTypeName(ReqType::Dummy), "dummy");
+}
+
+TEST(Request, IsReadClassification)
+{
+    mem::MemRequest r;
+    r.type = mem::ReqType::Read;
+    EXPECT_TRUE(r.isRead());
+    EXPECT_TRUE(r.isDemand());
+    r.type = mem::ReqType::Prefetch;
+    EXPECT_TRUE(r.isRead());
+    EXPECT_FALSE(r.isDemand());
+    r.type = mem::ReqType::Dummy;
+    EXPECT_TRUE(r.isRead());
+    r.type = mem::ReqType::Write;
+    EXPECT_FALSE(r.isRead());
+}
+
+TEST(Request, ToStringContainsLocation)
+{
+    mem::MemRequest r;
+    r.id = 7;
+    r.domain = 3;
+    r.addr = 0x1234;
+    r.loc.rank = 2;
+    r.loc.bank = 5;
+    const std::string s = r.toString();
+    EXPECT_NE(s.find("req7"), std::string::npos);
+    EXPECT_NE(s.find("dom3"), std::string::npos);
+    EXPECT_NE(s.find("r2"), std::string::npos);
+    EXPECT_NE(s.find("b5"), std::string::npos);
+}

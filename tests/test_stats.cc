@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "stats/stats.hh"
+
+using namespace memsec;
+
+TEST(Stats, CounterIncAndReset)
+{
+    Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    c.inc();
+    c.inc(4);
+    EXPECT_EQ(c.value(), 5u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Stats, AverageMeanMinMax)
+{
+    Average a;
+    EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+    a.sample(2.0);
+    a.sample(4.0);
+    a.sample(9.0);
+    EXPECT_DOUBLE_EQ(a.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(a.min(), 2.0);
+    EXPECT_DOUBLE_EQ(a.max(), 9.0);
+    EXPECT_EQ(a.count(), 3u);
+    EXPECT_DOUBLE_EQ(a.total(), 15.0);
+}
+
+TEST(Stats, HistogramBinning)
+{
+    Histogram h;
+    h.init(0.0, 10.0, 5);
+    h.sample(-1.0);       // underflow
+    h.sample(0.0);        // bin 0
+    h.sample(9.99);       // bin 0
+    h.sample(10.0);       // bin 1
+    h.sample(49.0);       // bin 4
+    h.sample(50.0);       // overflow
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.overflow(), 1u);
+    EXPECT_EQ(h.bins()[0], 2u);
+    EXPECT_EQ(h.bins()[1], 1u);
+    EXPECT_EQ(h.bins()[4], 1u);
+    EXPECT_EQ(h.totalSamples(), 6u);
+}
+
+TEST(Stats, HistogramWeightedSamples)
+{
+    Histogram h;
+    h.init(0.0, 1.0, 4);
+    h.sample(1.5, 10);
+    EXPECT_EQ(h.bins()[1], 10u);
+    EXPECT_EQ(h.totalSamples(), 10u);
+}
+
+TEST(Stats, HistogramPercentile)
+{
+    Histogram h;
+    h.init(0.0, 1.0, 100);
+    for (int i = 0; i < 100; ++i)
+        h.sample(i + 0.5);
+    EXPECT_NEAR(h.percentile(0.5), 50.0, 1.0);
+    EXPECT_NEAR(h.percentile(0.99), 99.0, 1.0);
+}
+
+TEST(Stats, HistogramMean)
+{
+    Histogram h;
+    h.init(0.0, 1.0, 10);
+    h.sample(2.0);
+    h.sample(4.0);
+    EXPECT_DOUBLE_EQ(h.mean(), 3.0);
+}
+
+TEST(Stats, GroupDumpAndLookup)
+{
+    Counter c;
+    c.inc(3);
+    Scalar s;
+    s.set(2.5);
+    StatGroup g("test");
+    g.add("count", &c, "a counter");
+    g.add("scalar", &s);
+    g.addFormula("twice", [&] { return 2.0 * s.value(); });
+
+    EXPECT_DOUBLE_EQ(g.lookup("count"), 3.0);
+    EXPECT_DOUBLE_EQ(g.lookup("scalar"), 2.5);
+    EXPECT_DOUBLE_EQ(g.lookup("twice"), 5.0);
+    EXPECT_TRUE(std::isnan(g.lookup("missing")));
+
+    std::ostringstream os;
+    g.dump(os);
+    EXPECT_NE(os.str().find("count"), std::string::npos);
+    EXPECT_NE(os.str().find("a counter"), std::string::npos);
+}
+
+TEST(Stats, GroupAdoptPrefixes)
+{
+    Counter c;
+    c.inc(7);
+    StatGroup child("child");
+    child.add("events", &c);
+    StatGroup parent("parent");
+    parent.adopt("core0", child);
+    EXPECT_DOUBLE_EQ(parent.lookup("core0.events"), 7.0);
+}
+
+TEST(Stats, FormulaEvaluatedAtDumpTime)
+{
+    Counter c;
+    StatGroup g;
+    g.addFormula("v", [&] { return static_cast<double>(c.value()); });
+    EXPECT_DOUBLE_EQ(g.lookup("v"), 0.0);
+    c.inc(9);
+    EXPECT_DOUBLE_EQ(g.lookup("v"), 9.0);
+}

@@ -1,0 +1,57 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/table.hh"
+
+using namespace memsec;
+
+TEST(Table, AlignsColumns)
+{
+    Table t;
+    t.header({"name", "value"});
+    t.row({"a", "1"});
+    t.row({"longer-name", "2"});
+    std::ostringstream os;
+    t.print(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("longer-name"), std::string::npos);
+    // Header separator line present.
+    EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(Table, CsvOutput)
+{
+    Table t;
+    t.header({"w", "x"});
+    t.row({"a", "1"});
+    std::ostringstream os;
+    t.printCsv(os);
+    EXPECT_EQ(os.str(), "w,x\na,1\n");
+}
+
+TEST(Table, NumericRows)
+{
+    Table t;
+    t.rowNumeric("r", {1.23456, 2.0}, 2);
+    std::ostringstream os;
+    t.printCsv(os);
+    EXPECT_EQ(os.str(), "r,1.23,2.00\n");
+}
+
+TEST(Table, NumFormatsPrecision)
+{
+    EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+    EXPECT_EQ(Table::num(2.0, 0), "2");
+}
+
+TEST(Table, RaggedRowsHandled)
+{
+    Table t;
+    t.header({"a"});
+    t.row({"1", "2", "3"});
+    std::ostringstream os;
+    t.print(os);
+    EXPECT_NE(os.str().find("3"), std::string::npos);
+}

@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include "dram/timing.hh"
+
+using namespace memsec::dram;
+
+TEST(Timing, Table1Values)
+{
+    // The paper's Table 1, verbatim.
+    const TimingParams t = TimingParams::ddr3_1600_4gb();
+    EXPECT_EQ(t.rc, 39u);
+    EXPECT_EQ(t.rcd, 11u);
+    EXPECT_EQ(t.ras, 28u);
+    EXPECT_EQ(t.faw, 24u);
+    EXPECT_EQ(t.wr, 12u);
+    EXPECT_EQ(t.rp, 11u);
+    EXPECT_EQ(t.rtrs, 2u);
+    EXPECT_EQ(t.cas, 11u);
+    EXPECT_EQ(t.rtp, 6u);
+    EXPECT_EQ(t.burst, 4u);
+    EXPECT_EQ(t.ccd, 4u);
+    EXPECT_EQ(t.wtr, 6u);
+    EXPECT_EQ(t.rrd, 5u);
+    EXPECT_EQ(t.rfc, 208u);  // 260 ns at 1.25 ns/cycle
+    EXPECT_EQ(t.refi, 6240u); // 7.8 us
+}
+
+TEST(Timing, DerivedTurnarounds)
+{
+    const TimingParams t = TimingParams::ddr3_1600_4gb();
+    // Section 4.2: Rd2Wr = tCAS + tBURST - tCWD = 10.
+    EXPECT_EQ(t.rd2wr(), 10u);
+    // Wr2Rd = tCWD + tBURST + tWTR = 15.
+    EXPECT_EQ(t.wr2rd(), 15u);
+    EXPECT_EQ(t.actToActWrA(), 43u);
+    EXPECT_EQ(t.actToActRdA(), 39u);
+}
+
+TEST(Timing, ValidatePassesForPresets)
+{
+    TimingParams::ddr3_1600_4gb().validate();
+    TimingParams::ddr3_2133().validate();
+    TimingParams::ddr4_2400().validate();
+}
+
+TEST(Timing, ValidateRejectsNonsense)
+{
+    TimingParams t = TimingParams::ddr3_1600_4gb();
+    t.burst = 0;
+    EXPECT_EXIT(t.validate(), ::testing::ExitedWithCode(1), "tBURST");
+
+    TimingParams t2 = TimingParams::ddr3_1600_4gb();
+    t2.ccd = 2; // below burst
+    EXPECT_EXIT(t2.validate(), ::testing::ExitedWithCode(1), "tCCD");
+
+    TimingParams t3 = TimingParams::ddr3_1600_4gb();
+    t3.cas = 3; // below cwd
+    EXPECT_EXIT(t3.validate(), ::testing::ExitedWithCode(1), "tCAS");
+}
+
+TEST(Timing, ToStringMentionsKeyParams)
+{
+    const std::string s = TimingParams::ddr3_1600_4gb().toString();
+    EXPECT_NE(s.find("tRC=39"), std::string::npos);
+    EXPECT_NE(s.find("tFAW=24"), std::string::npos);
+}
+
+TEST(Timing, GeometryDefaults)
+{
+    Geometry g;
+    g.validate();
+    EXPECT_EQ(g.ranksTotal(), 8u);
+    EXPECT_EQ(g.banksTotal(), 64u);
+    // 64 banks * 32768 rows * 128 lines = 256M lines = 16 GB.
+    EXPECT_EQ(g.lineCapacity(), 64ull * 32768 * 128);
+}
+
+TEST(Timing, GeometryRejectsNonPowerOf2)
+{
+    Geometry g;
+    g.banksPerRank = 6;
+    EXPECT_EXIT(g.validate(), ::testing::ExitedWithCode(1), "power");
+}
+
+TEST(Timing, GeometryRejectsZeroFields)
+{
+    Geometry g;
+    g.rowsPerBank = 0;
+    EXPECT_EXIT(g.validate(), ::testing::ExitedWithCode(1), "nonzero");
+}

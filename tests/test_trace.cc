@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include "cpu/trace.hh"
+#include "cpu/workload.hh"
+
+using namespace memsec;
+using namespace memsec::cpu;
+
+namespace {
+
+WorkloadProfile
+simpleProfile()
+{
+    WorkloadProfile p;
+    p.name = "test";
+    p.memRatio = 0.25;
+    p.storeFraction = 0.4;
+    p.footprintLines = 1 << 12;
+    p.streamFraction = 0.5;
+    p.numStreams = 2;
+    p.strideLines = 1;
+    p.reuseFraction = 0.0;
+    return p;
+}
+
+} // namespace
+
+TEST(Trace, DeterministicForSameSeed)
+{
+    SyntheticTraceGenerator a(simpleProfile(), 7);
+    SyntheticTraceGenerator b(simpleProfile(), 7);
+    for (int i = 0; i < 500; ++i) {
+        const TraceRecord ra = a.next();
+        const TraceRecord rb = b.next();
+        EXPECT_EQ(ra.gap, rb.gap);
+        EXPECT_EQ(ra.isStore, rb.isStore);
+        EXPECT_EQ(ra.addr, rb.addr);
+    }
+}
+
+TEST(Trace, DifferentSeedsDiverge)
+{
+    SyntheticTraceGenerator a(simpleProfile(), 1);
+    SyntheticTraceGenerator b(simpleProfile(), 2);
+    int same = 0;
+    for (int i = 0; i < 200; ++i) {
+        if (a.next().addr == b.next().addr)
+            ++same;
+    }
+    EXPECT_LT(same, 20);
+}
+
+TEST(Trace, GapMeanMatchesMemRatio)
+{
+    SyntheticTraceGenerator g(simpleProfile(), 3);
+    double sum = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        sum += g.next().gap;
+    // Geometric mean (1-p)/p = 3 for memRatio 0.25.
+    EXPECT_NEAR(sum / n, 3.0, 0.2);
+}
+
+TEST(Trace, StoreFractionApproximate)
+{
+    SyntheticTraceGenerator g(simpleProfile(), 5);
+    int stores = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        stores += g.next().isStore ? 1 : 0;
+    EXPECT_NEAR(static_cast<double>(stores) / n, 0.4, 0.02);
+}
+
+TEST(Trace, AddressesWithinFootprint)
+{
+    const WorkloadProfile p = simpleProfile();
+    SyntheticTraceGenerator g(p, 9);
+    for (int i = 0; i < 5000; ++i) {
+        const Addr a = g.next().addr;
+        EXPECT_LT(a / kLineBytes, p.footprintLines);
+        EXPECT_EQ(a % kLineBytes, 0u);
+    }
+}
+
+TEST(Trace, PureStreamIsSequentialPerStream)
+{
+    WorkloadProfile p = simpleProfile();
+    p.streamFraction = 1.0;
+    p.numStreams = 1;
+    p.reuseFraction = 0.0;
+    SyntheticTraceGenerator g(p, 11);
+    Addr prev = g.next().addr;
+    for (int i = 0; i < 100; ++i) {
+        const Addr cur = g.next().addr;
+        const Addr expect =
+            (prev / kLineBytes + 1) % p.footprintLines * kLineBytes;
+        EXPECT_EQ(cur, expect);
+        prev = cur;
+    }
+}
+
+TEST(Trace, ReuseDrawsFromRecentLines)
+{
+    WorkloadProfile p = simpleProfile();
+    p.reuseFraction = 1.0; // always reuse once history exists
+    SyntheticTraceGenerator g(p, 13);
+    // With reuse == 1 and an all-zero initial history, every address
+    // is line 0 forever.
+    for (int i = 0; i < 50; ++i)
+        EXPECT_EQ(g.next().addr, 0u);
+}
+
+TEST(Trace, InvalidProfileFatal)
+{
+    WorkloadProfile p = simpleProfile();
+    p.memRatio = 0.0;
+    EXPECT_EXIT(SyntheticTraceGenerator(p, 1),
+                ::testing::ExitedWithCode(1), "memRatio");
+    WorkloadProfile p2 = simpleProfile();
+    p2.footprintLines = 0;
+    EXPECT_EXIT(SyntheticTraceGenerator(p2, 1),
+                ::testing::ExitedWithCode(1), "footprint");
+}

@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "cpu/trace_file.hh"
+#include "cpu/workload.hh"
+#include "harness/experiment.hh"
+
+using namespace memsec;
+using namespace memsec::cpu;
+
+TEST(TraceFile, ParseBasicFormat)
+{
+    const auto recs = parseTrace("# comment\n"
+                                 "3 R 1000\n"
+                                 "0 W deadbeef\n"
+                                 "\n"
+                                 "12 R 40 # inline comment\n");
+    ASSERT_EQ(recs.size(), 3u);
+    EXPECT_EQ(recs[0].gap, 3u);
+    EXPECT_FALSE(recs[0].isStore);
+    EXPECT_EQ(recs[0].addr, 0x1000u);
+    EXPECT_TRUE(recs[1].isStore);
+    EXPECT_EQ(recs[1].addr, 0xdeadbeefu);
+    EXPECT_EQ(recs[2].gap, 12u);
+    EXPECT_EQ(recs[2].addr, 0x40u);
+}
+
+TEST(TraceFile, ParseRejectsBadKind)
+{
+    EXPECT_EXIT(parseTrace("1 X 40\n"), ::testing::ExitedWithCode(1),
+                "kind must be R or W");
+}
+
+TEST(TraceFile, ParseRejectsBadAddress)
+{
+    EXPECT_EXIT(parseTrace("1 R zzz\n"), ::testing::ExitedWithCode(1),
+                "bad address");
+}
+
+TEST(TraceFile, FormatParsesBackIdentically)
+{
+    std::vector<TraceRecord> recs = {
+        {5, false, 0x40}, {0, true, 0x1000}, {99, false, 0xabcdef00}};
+    const auto round = parseTrace(formatTrace(recs));
+    ASSERT_EQ(round.size(), recs.size());
+    for (size_t i = 0; i < recs.size(); ++i) {
+        EXPECT_EQ(round[i].gap, recs[i].gap);
+        EXPECT_EQ(round[i].isStore, recs[i].isStore);
+        EXPECT_EQ(round[i].addr, recs[i].addr);
+    }
+}
+
+TEST(TraceFile, GeneratorLoopsAtEof)
+{
+    FileTraceGenerator g({{1, false, 0x40}, {2, true, 0x80}});
+    EXPECT_EQ(g.next().addr, 0x40u);
+    EXPECT_EQ(g.next().addr, 0x80u);
+    EXPECT_EQ(g.next().addr, 0x40u); // wrapped
+    EXPECT_EQ(g.loops(), 1u);
+}
+
+TEST(TraceFile, RecordSyntheticAndReplay)
+{
+    const std::string path = ::testing::TempDir() + "memsec_trace.txt";
+    SyntheticTraceGenerator src(profileByName("milc"), 42);
+    recordTrace(src, 500, path);
+
+    // Replay matches a fresh instance of the same generator.
+    FileTraceGenerator replay(path);
+    EXPECT_EQ(replay.size(), 500u);
+    SyntheticTraceGenerator ref(profileByName("milc"), 42);
+    for (int i = 0; i < 500; ++i) {
+        const TraceRecord a = ref.next();
+        const TraceRecord b = replay.next();
+        EXPECT_EQ(a.gap, b.gap);
+        EXPECT_EQ(a.isStore, b.isStore);
+        EXPECT_EQ(a.addr, b.addr);
+    }
+}
+
+TEST(TraceFile, MissingFileFatal)
+{
+    EXPECT_EXIT(FileTraceGenerator("/no/such/trace.txt"),
+                ::testing::ExitedWithCode(1), "cannot open");
+}
+
+TEST(TraceFile, WorkloadMixAcceptsTraceEntries)
+{
+    const auto mix = workloadMix("trace:/tmp/foo.txt,mcf", 4);
+    ASSERT_EQ(mix.size(), 4u);
+    EXPECT_EQ(mix[0].name, "trace");
+    EXPECT_EQ(mix[0].tracePath, "/tmp/foo.txt");
+    EXPECT_EQ(mix[1].name, "mcf");
+    EXPECT_TRUE(mix[1].tracePath.empty());
+}
+
+TEST(TraceFile, EndToEndExperimentOnRecordedTrace)
+{
+    // Record a synthetic workload, then run a full experiment that
+    // replays it from disk on every core.
+    const std::string path = ::testing::TempDir() + "memsec_e2e.txt";
+    SyntheticTraceGenerator src(profileByName("zeusmp"), 7);
+    recordTrace(src, 20000, path);
+
+    Config c = harness::defaultConfig();
+    c.merge(harness::schemeConfig("fs_rp"));
+    c.set("workload", "trace:" + path);
+    c.set("cores", 4);
+    // No functional warmup: the 20k-record trace must generate cold
+    // misses during the measured run.
+    c.set("core.functional_warmup", 0);
+    c.set("sim.warmup", 1000);
+    c.set("sim.measure", 15000);
+    const auto r = harness::runExperiment(c);
+    ASSERT_EQ(r.ipc.size(), 4u);
+    for (double v : r.ipc)
+        EXPECT_GT(v, 0.0);
+    EXPECT_GT(r.demandReads, 0u);
+}

@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "mem/transaction_queue.hh"
+
+using namespace memsec;
+using namespace memsec::mem;
+
+namespace {
+
+std::unique_ptr<MemRequest>
+mk(ReqId id, ReqType type, Addr addr)
+{
+    auto r = std::make_unique<MemRequest>();
+    r->id = id;
+    r->type = type;
+    r->addr = addr;
+    return r;
+}
+
+} // namespace
+
+TEST(TransactionQueue, FifoOrder)
+{
+    TransactionQueue q(4, 4);
+    q.push(mk(1, ReqType::Read, 0x100));
+    q.push(mk(2, ReqType::Read, 0x200));
+    EXPECT_EQ(q.head()->id, 1u);
+    EXPECT_EQ(q.popOldest()->id, 1u);
+    EXPECT_EQ(q.popOldest()->id, 2u);
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(TransactionQueue, CapacityEnforcedPerType)
+{
+    TransactionQueue q(2, 2);
+    q.push(mk(1, ReqType::Read, 0));
+    q.push(mk(2, ReqType::Read, 64));
+    EXPECT_TRUE(q.full(ReqType::Read));
+    // Writes budget independently of reads.
+    EXPECT_FALSE(q.full(ReqType::Write));
+    q.push(mk(3, ReqType::Write, 128));
+    q.push(mk(4, ReqType::Write, 192));
+    EXPECT_TRUE(q.full(ReqType::Write));
+    EXPECT_THROW(q.push(mk(5, ReqType::Read, 256)), std::logic_error);
+    EXPECT_THROW(q.push(mk(6, ReqType::Write, 320)), std::logic_error);
+}
+
+TEST(TransactionQueue, ReadWriteCounts)
+{
+    TransactionQueue q(8, 8);
+    q.push(mk(1, ReqType::Read, 0));
+    q.push(mk(2, ReqType::Write, 64));
+    q.push(mk(3, ReqType::Prefetch, 128));
+    EXPECT_EQ(q.readCount(), 2u);
+    EXPECT_EQ(q.writeCount(), 1u);
+    q.popOldest();
+    EXPECT_EQ(q.readCount(), 1u);
+}
+
+TEST(TransactionQueue, FindOldestRespectsOrder)
+{
+    TransactionQueue q(8, 8);
+    q.push(mk(1, ReqType::Write, 0));
+    q.push(mk(2, ReqType::Read, 64));
+    q.push(mk(3, ReqType::Read, 128));
+    const MemRequest *r = q.findOldest(
+        [](const MemRequest &m) { return m.type == ReqType::Read; });
+    ASSERT_NE(r, nullptr);
+    EXPECT_EQ(r->id, 2u);
+}
+
+TEST(TransactionQueue, FindOldestNoMatch)
+{
+    TransactionQueue q(8, 8);
+    q.push(mk(1, ReqType::Write, 0));
+    EXPECT_EQ(q.findOldest([](const MemRequest &) { return false; }),
+              nullptr);
+}
+
+TEST(TransactionQueue, TakeRemovesSpecificEntry)
+{
+    TransactionQueue q(8, 8);
+    q.push(mk(1, ReqType::Read, 0));
+    q.push(mk(2, ReqType::Read, 64));
+    q.push(mk(3, ReqType::Read, 128));
+    const MemRequest *mid = q.at(1);
+    auto taken = q.take(mid);
+    EXPECT_EQ(taken->id, 2u);
+    EXPECT_EQ(q.size(), 2u);
+    EXPECT_EQ(q.at(0)->id, 1u);
+    EXPECT_EQ(q.at(1)->id, 3u);
+}
+
+TEST(TransactionQueue, TakeMissingPanics)
+{
+    TransactionQueue q(8, 8);
+    q.push(mk(1, ReqType::Read, 0));
+    MemRequest stray;
+    EXPECT_THROW(q.take(&stray), std::logic_error);
+}
+
+TEST(TransactionQueue, HasWriteToMatchesLine)
+{
+    TransactionQueue q(8, 8);
+    q.push(mk(1, ReqType::Write, 0x1000));
+    // Same 64B line, different byte offset.
+    EXPECT_TRUE(q.hasWriteTo(0x1020));
+    EXPECT_FALSE(q.hasWriteTo(0x1040));
+    // Reads do not count as writes.
+    q.push(mk(2, ReqType::Read, 0x2000));
+    EXPECT_FALSE(q.hasWriteTo(0x2000));
+    EXPECT_TRUE(q.hasEntryFor(0x2000));
+}
+
+TEST(TransactionQueue, ZeroCapacityPanics)
+{
+    EXPECT_THROW(TransactionQueue(0, 4), std::logic_error);
+    EXPECT_THROW(TransactionQueue(4, 0), std::logic_error);
+}
+
+TEST(TransactionQueue, PopEmptyPanics)
+{
+    TransactionQueue q(2, 2);
+    EXPECT_THROW(q.popOldest(), std::logic_error);
+}

@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "cpu/workload.hh"
+
+using namespace memsec;
+using namespace memsec::cpu;
+
+TEST(Workload, RegistryHasEvaluationSuite)
+{
+    for (const auto &name : evaluationSuite()) {
+        if (name == "mix1" || name == "mix2")
+            continue;
+        EXPECT_NO_FATAL_FAILURE(profileByName(name)) << name;
+    }
+}
+
+TEST(Workload, EvaluationSuiteMatchesPaperOrder)
+{
+    const auto suite = evaluationSuite();
+    ASSERT_EQ(suite.size(), 12u);
+    EXPECT_EQ(suite.front(), "mix1");
+    EXPECT_EQ(suite.back(), "xalancbmk");
+}
+
+TEST(Workload, UnknownProfileFatal)
+{
+    EXPECT_EXIT(profileByName("not-a-benchmark"),
+                ::testing::ExitedWithCode(1), "unknown workload");
+}
+
+TEST(Workload, RateModeReplicates)
+{
+    const auto mix = workloadMix("mcf", 8);
+    ASSERT_EQ(mix.size(), 8u);
+    for (const auto &p : mix)
+        EXPECT_EQ(p.name, "mcf");
+}
+
+TEST(Workload, Mix1Composition)
+{
+    // Section 6: two copies each of xalancbmk, soplex, mcf, omnetpp.
+    const auto mix = workloadMix("mix1", 8);
+    ASSERT_EQ(mix.size(), 8u);
+    std::multiset<std::string> names;
+    for (const auto &p : mix)
+        names.insert(p.name);
+    EXPECT_EQ(names.count("xalancbmk"), 2u);
+    EXPECT_EQ(names.count("soplex"), 2u);
+    EXPECT_EQ(names.count("mcf"), 2u);
+    EXPECT_EQ(names.count("omnetpp"), 2u);
+}
+
+TEST(Workload, Mix2Composition)
+{
+    const auto mix = workloadMix("mix2", 8);
+    std::multiset<std::string> names;
+    for (const auto &p : mix)
+        names.insert(p.name);
+    EXPECT_EQ(names.count("milc"), 2u);
+    EXPECT_EQ(names.count("lbm"), 2u);
+    EXPECT_EQ(names.count("xalancbmk"), 2u);
+    EXPECT_EQ(names.count("zeusmp"), 2u);
+}
+
+TEST(Workload, CommaListMix)
+{
+    const auto mix = workloadMix("mcf,idle", 4);
+    ASSERT_EQ(mix.size(), 4u);
+    EXPECT_EQ(mix[0].name, "mcf");
+    EXPECT_EQ(mix[1].name, "idle");
+    EXPECT_EQ(mix[2].name, "mcf");
+    EXPECT_EQ(mix[3].name, "idle");
+}
+
+TEST(Workload, FewerCoresTruncate)
+{
+    const auto mix = workloadMix("mix1", 2);
+    ASSERT_EQ(mix.size(), 2u);
+    EXPECT_EQ(mix[0].name, "xalancbmk");
+    EXPECT_EQ(mix[1].name, "soplex");
+}
+
+TEST(Workload, IntensityOrdering)
+{
+    // The suite's qualitative shape: the attacker profiles bracket
+    // the SPEC ones, and xalancbmk has the smallest footprint.
+    const auto idle = profileByName("idle");
+    const auto hog = profileByName("hog");
+    const auto xalanc = profileByName("xalancbmk");
+    const auto mcf = profileByName("mcf");
+    EXPECT_LT(idle.memRatio, 0.01);
+    EXPECT_GT(hog.memRatio, mcf.memRatio);
+    // xalancbmk sits just above the 8192-line LLC slice; mcf is far
+    // beyond it.
+    EXPECT_LT(xalanc.footprintLines, 2 * 8192u);
+    EXPECT_GT(mcf.footprintLines, 100 * 8192u);
+}
+
+TEST(Workload, LbmIsWriteHeavy)
+{
+    EXPECT_GT(profileByName("lbm").storeFraction, 0.4);
+}
+
+TEST(Workload, McfHasLowMlp)
+{
+    EXPECT_LT(profileByName("mcf").mshrs,
+              profileByName("libquantum").mshrs);
+}
+
+TEST(Workload, AllProfileNamesNonEmpty)
+{
+    const auto names = allProfileNames();
+    EXPECT_GE(names.size(), 14u);
+}
