@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_mapping"
+  "../bench/abl_mapping.pdb"
+  "CMakeFiles/abl_mapping.dir/abl_mapping.cc.o"
+  "CMakeFiles/abl_mapping.dir/abl_mapping.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_mapping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

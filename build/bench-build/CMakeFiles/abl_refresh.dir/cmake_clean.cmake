@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_refresh"
+  "../bench/abl_refresh.pdb"
+  "CMakeFiles/abl_refresh.dir/abl_refresh.cc.o"
+  "CMakeFiles/abl_refresh.dir/abl_refresh.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_refresh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_sla"
+  "../bench/abl_sla.pdb"
+  "CMakeFiles/abl_sla.dir/abl_sla.cc.o"
+  "CMakeFiles/abl_sla.dir/abl_sla.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_sla.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

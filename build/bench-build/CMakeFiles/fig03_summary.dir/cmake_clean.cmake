@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig03_summary"
+  "../bench/fig03_summary.pdb"
+  "CMakeFiles/fig03_summary.dir/fig03_summary.cc.o"
+  "CMakeFiles/fig03_summary.dir/fig03_summary.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_summary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

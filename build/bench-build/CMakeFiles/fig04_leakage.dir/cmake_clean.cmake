@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig04_leakage"
+  "../bench/fig04_leakage.pdb"
+  "CMakeFiles/fig04_leakage.dir/fig04_leakage.cc.o"
+  "CMakeFiles/fig04_leakage.dir/fig04_leakage.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_leakage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig05_tp_turns"
+  "../bench/fig05_tp_turns.pdb"
+  "CMakeFiles/fig05_tp_turns.dir/fig05_tp_turns.cc.o"
+  "CMakeFiles/fig05_tp_turns.dir/fig05_tp_turns.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_tp_turns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

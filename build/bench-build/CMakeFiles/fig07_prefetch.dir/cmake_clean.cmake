@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig07_prefetch"
+  "../bench/fig07_prefetch.pdb"
+  "CMakeFiles/fig07_prefetch.dir/fig07_prefetch.cc.o"
+  "CMakeFiles/fig07_prefetch.dir/fig07_prefetch.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_prefetch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

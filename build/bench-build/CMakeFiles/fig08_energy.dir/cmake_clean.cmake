@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig08_energy"
+  "../bench/fig08_energy.pdb"
+  "CMakeFiles/fig08_energy.dir/fig08_energy.cc.o"
+  "CMakeFiles/fig08_energy.dir/fig08_energy.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig09_energy_opts"
+  "../bench/fig09_energy_opts.pdb"
+  "CMakeFiles/fig09_energy_opts.dir/fig09_energy_opts.cc.o"
+  "CMakeFiles/fig09_energy_opts.dir/fig09_energy_opts.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_energy_opts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

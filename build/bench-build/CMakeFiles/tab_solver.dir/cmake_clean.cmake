@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tab_solver"
+  "../bench/tab_solver.pdb"
+  "CMakeFiles/tab_solver.dir/tab_solver.cc.o"
+  "CMakeFiles/tab_solver.dir/tab_solver.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/target_system"
+  "../bench/target_system.pdb"
+  "CMakeFiles/target_system.dir/target_system.cc.o"
+  "CMakeFiles/target_system.dir/target_system.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/target_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloud_sla.dir/cloud_sla.cpp.o"
+  "CMakeFiles/cloud_sla.dir/cloud_sla.cpp.o.d"
+  "cloud_sla"
+  "cloud_sla.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloud_sla.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/covert_channel.dir/covert_channel.cpp.o"
+  "CMakeFiles/covert_channel.dir/covert_channel.cpp.o.d"
+  "covert_channel"
+  "covert_channel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/covert_channel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,51 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cache/cache.cc" "src/CMakeFiles/memsec.dir/cache/cache.cc.o" "gcc" "src/CMakeFiles/memsec.dir/cache/cache.cc.o.d"
+  "/root/repo/src/core/noninterference.cc" "src/CMakeFiles/memsec.dir/core/noninterference.cc.o" "gcc" "src/CMakeFiles/memsec.dir/core/noninterference.cc.o.d"
+  "/root/repo/src/core/pipeline_solver.cc" "src/CMakeFiles/memsec.dir/core/pipeline_solver.cc.o" "gcc" "src/CMakeFiles/memsec.dir/core/pipeline_solver.cc.o.d"
+  "/root/repo/src/core/slot_schedule.cc" "src/CMakeFiles/memsec.dir/core/slot_schedule.cc.o" "gcc" "src/CMakeFiles/memsec.dir/core/slot_schedule.cc.o.d"
+  "/root/repo/src/cpu/core_model.cc" "src/CMakeFiles/memsec.dir/cpu/core_model.cc.o" "gcc" "src/CMakeFiles/memsec.dir/cpu/core_model.cc.o.d"
+  "/root/repo/src/cpu/prefetcher.cc" "src/CMakeFiles/memsec.dir/cpu/prefetcher.cc.o" "gcc" "src/CMakeFiles/memsec.dir/cpu/prefetcher.cc.o.d"
+  "/root/repo/src/cpu/trace.cc" "src/CMakeFiles/memsec.dir/cpu/trace.cc.o" "gcc" "src/CMakeFiles/memsec.dir/cpu/trace.cc.o.d"
+  "/root/repo/src/cpu/trace_file.cc" "src/CMakeFiles/memsec.dir/cpu/trace_file.cc.o" "gcc" "src/CMakeFiles/memsec.dir/cpu/trace_file.cc.o.d"
+  "/root/repo/src/cpu/workload.cc" "src/CMakeFiles/memsec.dir/cpu/workload.cc.o" "gcc" "src/CMakeFiles/memsec.dir/cpu/workload.cc.o.d"
+  "/root/repo/src/dram/bank.cc" "src/CMakeFiles/memsec.dir/dram/bank.cc.o" "gcc" "src/CMakeFiles/memsec.dir/dram/bank.cc.o.d"
+  "/root/repo/src/dram/channel.cc" "src/CMakeFiles/memsec.dir/dram/channel.cc.o" "gcc" "src/CMakeFiles/memsec.dir/dram/channel.cc.o.d"
+  "/root/repo/src/dram/command.cc" "src/CMakeFiles/memsec.dir/dram/command.cc.o" "gcc" "src/CMakeFiles/memsec.dir/dram/command.cc.o.d"
+  "/root/repo/src/dram/dram_system.cc" "src/CMakeFiles/memsec.dir/dram/dram_system.cc.o" "gcc" "src/CMakeFiles/memsec.dir/dram/dram_system.cc.o.d"
+  "/root/repo/src/dram/rank.cc" "src/CMakeFiles/memsec.dir/dram/rank.cc.o" "gcc" "src/CMakeFiles/memsec.dir/dram/rank.cc.o.d"
+  "/root/repo/src/dram/timing.cc" "src/CMakeFiles/memsec.dir/dram/timing.cc.o" "gcc" "src/CMakeFiles/memsec.dir/dram/timing.cc.o.d"
+  "/root/repo/src/dram/timing_checker.cc" "src/CMakeFiles/memsec.dir/dram/timing_checker.cc.o" "gcc" "src/CMakeFiles/memsec.dir/dram/timing_checker.cc.o.d"
+  "/root/repo/src/energy/power_model.cc" "src/CMakeFiles/memsec.dir/energy/power_model.cc.o" "gcc" "src/CMakeFiles/memsec.dir/energy/power_model.cc.o.d"
+  "/root/repo/src/harness/experiment.cc" "src/CMakeFiles/memsec.dir/harness/experiment.cc.o" "gcc" "src/CMakeFiles/memsec.dir/harness/experiment.cc.o.d"
+  "/root/repo/src/mem/address_map.cc" "src/CMakeFiles/memsec.dir/mem/address_map.cc.o" "gcc" "src/CMakeFiles/memsec.dir/mem/address_map.cc.o.d"
+  "/root/repo/src/mem/memory_controller.cc" "src/CMakeFiles/memsec.dir/mem/memory_controller.cc.o" "gcc" "src/CMakeFiles/memsec.dir/mem/memory_controller.cc.o.d"
+  "/root/repo/src/mem/request.cc" "src/CMakeFiles/memsec.dir/mem/request.cc.o" "gcc" "src/CMakeFiles/memsec.dir/mem/request.cc.o.d"
+  "/root/repo/src/mem/transaction_queue.cc" "src/CMakeFiles/memsec.dir/mem/transaction_queue.cc.o" "gcc" "src/CMakeFiles/memsec.dir/mem/transaction_queue.cc.o.d"
+  "/root/repo/src/sched/frfcfs.cc" "src/CMakeFiles/memsec.dir/sched/frfcfs.cc.o" "gcc" "src/CMakeFiles/memsec.dir/sched/frfcfs.cc.o.d"
+  "/root/repo/src/sched/fs.cc" "src/CMakeFiles/memsec.dir/sched/fs.cc.o" "gcc" "src/CMakeFiles/memsec.dir/sched/fs.cc.o.d"
+  "/root/repo/src/sched/fs_reordered.cc" "src/CMakeFiles/memsec.dir/sched/fs_reordered.cc.o" "gcc" "src/CMakeFiles/memsec.dir/sched/fs_reordered.cc.o.d"
+  "/root/repo/src/sched/scheduler.cc" "src/CMakeFiles/memsec.dir/sched/scheduler.cc.o" "gcc" "src/CMakeFiles/memsec.dir/sched/scheduler.cc.o.d"
+  "/root/repo/src/sched/tp.cc" "src/CMakeFiles/memsec.dir/sched/tp.cc.o" "gcc" "src/CMakeFiles/memsec.dir/sched/tp.cc.o.d"
+  "/root/repo/src/sim/config.cc" "src/CMakeFiles/memsec.dir/sim/config.cc.o" "gcc" "src/CMakeFiles/memsec.dir/sim/config.cc.o.d"
+  "/root/repo/src/sim/simulator.cc" "src/CMakeFiles/memsec.dir/sim/simulator.cc.o" "gcc" "src/CMakeFiles/memsec.dir/sim/simulator.cc.o.d"
+  "/root/repo/src/stats/stats.cc" "src/CMakeFiles/memsec.dir/stats/stats.cc.o" "gcc" "src/CMakeFiles/memsec.dir/stats/stats.cc.o.d"
+  "/root/repo/src/util/logging.cc" "src/CMakeFiles/memsec.dir/util/logging.cc.o" "gcc" "src/CMakeFiles/memsec.dir/util/logging.cc.o.d"
+  "/root/repo/src/util/random.cc" "src/CMakeFiles/memsec.dir/util/random.cc.o" "gcc" "src/CMakeFiles/memsec.dir/util/random.cc.o.d"
+  "/root/repo/src/util/table.cc" "src/CMakeFiles/memsec.dir/util/table.cc.o" "gcc" "src/CMakeFiles/memsec.dir/util/table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_channel_partition.dir/test_channel_partition.cc.o"
+  "CMakeFiles/test_channel_partition.dir/test_channel_partition.cc.o.d"
+  "test_channel_partition"
+  "test_channel_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_channel_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

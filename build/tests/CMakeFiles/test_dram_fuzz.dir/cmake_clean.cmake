@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dram_fuzz.dir/test_dram_fuzz.cc.o"
+  "CMakeFiles/test_dram_fuzz.dir/test_dram_fuzz.cc.o.d"
+  "test_dram_fuzz"
+  "test_dram_fuzz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dram_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_frfcfs.dir/test_frfcfs.cc.o"
+  "CMakeFiles/test_frfcfs.dir/test_frfcfs.cc.o.d"
+  "test_frfcfs"
+  "test_frfcfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_frfcfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

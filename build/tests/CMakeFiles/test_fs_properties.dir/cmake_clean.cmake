@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fs_properties.dir/test_fs_properties.cc.o"
+  "CMakeFiles/test_fs_properties.dir/test_fs_properties.cc.o.d"
+  "test_fs_properties"
+  "test_fs_properties.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fs_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

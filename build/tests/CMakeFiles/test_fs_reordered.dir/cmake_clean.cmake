@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fs_reordered.dir/test_fs_reordered.cc.o"
+  "CMakeFiles/test_fs_reordered.dir/test_fs_reordered.cc.o.d"
+  "test_fs_reordered"
+  "test_fs_reordered.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fs_reordered.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_integration_leakage.dir/test_integration_leakage.cc.o"
+  "CMakeFiles/test_integration_leakage.dir/test_integration_leakage.cc.o.d"
+  "test_integration_leakage"
+  "test_integration_leakage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_integration_leakage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

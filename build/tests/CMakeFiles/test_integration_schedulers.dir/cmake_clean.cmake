@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_integration_schedulers.dir/test_integration_schedulers.cc.o"
+  "CMakeFiles/test_integration_schedulers.dir/test_integration_schedulers.cc.o.d"
+  "test_integration_schedulers"
+  "test_integration_schedulers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_integration_schedulers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

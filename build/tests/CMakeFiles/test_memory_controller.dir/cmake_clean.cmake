@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_memory_controller.dir/test_memory_controller.cc.o"
+  "CMakeFiles/test_memory_controller.dir/test_memory_controller.cc.o.d"
+  "test_memory_controller"
+  "test_memory_controller.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_memory_controller.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_noninterference_unit.dir/test_noninterference_unit.cc.o"
+  "CMakeFiles/test_noninterference_unit.dir/test_noninterference_unit.cc.o.d"
+  "test_noninterference_unit"
+  "test_noninterference_unit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_noninterference_unit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

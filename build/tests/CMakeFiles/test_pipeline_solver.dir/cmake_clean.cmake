@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pipeline_solver.dir/test_pipeline_solver.cc.o"
+  "CMakeFiles/test_pipeline_solver.dir/test_pipeline_solver.cc.o.d"
+  "test_pipeline_solver"
+  "test_pipeline_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pipeline_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

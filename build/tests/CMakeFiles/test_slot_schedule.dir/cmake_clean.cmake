@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_slot_schedule.dir/test_slot_schedule.cc.o"
+  "CMakeFiles/test_slot_schedule.dir/test_slot_schedule.cc.o.d"
+  "test_slot_schedule"
+  "test_slot_schedule.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_slot_schedule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

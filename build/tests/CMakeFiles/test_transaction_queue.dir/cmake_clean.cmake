@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_transaction_queue.dir/test_transaction_queue.cc.o"
+  "CMakeFiles/test_transaction_queue.dir/test_transaction_queue.cc.o.d"
+  "test_transaction_queue"
+  "test_transaction_queue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_transaction_queue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
