@@ -11,6 +11,7 @@
  * `workload = trace:<path>`.
  */
 
+#include <cstdlib>
 #include <iostream>
 #include <string>
 
@@ -32,6 +33,17 @@ usage()
                  "  trace_tool info <trace-file>\n"
                  "  trace_tool list\n";
     return 1;
+}
+
+/** Parse a decimal argv token; fatal with context on garbage. */
+uint64_t
+parseUint(const char *what, const char *text)
+{
+    char *end = nullptr;
+    const uint64_t v = std::strtoull(text, &end, 10);
+    fatal_if(end == text || *end != '\0',
+             "{} must be a non-negative integer, got '{}'", what, text);
+    return v;
 }
 
 } // namespace
@@ -56,8 +68,9 @@ main(int argc, char **argv)
         if (argc < 5)
             return usage();
         const auto profile = profileByName(argv[2]);
-        const size_t count = std::stoull(argv[3]);
-        const uint64_t seed = argc > 5 ? std::stoull(argv[5]) : 1;
+        const size_t count = parseUint("count", argv[3]);
+        const uint64_t seed = argc > 5 ? parseUint("seed", argv[5]) : 1;
+        fatal_if(count == 0, "count must be positive");
         SyntheticTraceGenerator gen(profile, seed);
         recordTrace(gen, count, argv[4]);
         std::cout << "wrote " << count << " records of '" << argv[2]

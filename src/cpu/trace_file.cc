@@ -3,16 +3,29 @@
 #include <cctype>
 #include <cstdlib>
 #include <fstream>
+#include <limits>
 #include <sstream>
 
 #include "util/logging.hh"
 
 namespace memsec::cpu {
 
-std::vector<TraceRecord>
-parseTrace(const std::string &text)
+std::string
+TraceParseError::toString() const
 {
-    std::vector<TraceRecord> out;
+    return "trace line " + std::to_string(line) + ": " + message;
+}
+
+bool
+tryParseTrace(const std::string &text, std::vector<TraceRecord> &out,
+              TraceParseError &err)
+{
+    auto failAt = [&](int lineno, const std::string &message) {
+        err.line = lineno;
+        err.message = message;
+        return false;
+    };
+
     std::istringstream in(text);
     std::string line;
     int lineno = 0;
@@ -21,28 +34,43 @@ parseTrace(const std::string &text)
         const auto hash = line.find('#');
         if (hash != std::string::npos)
             line = line.substr(0, hash);
+        // Only genuinely blank lines may be skipped; a line with
+        // content that fails to parse is a corrupt record, not noise.
+        if (line.find_first_not_of(" \t\r") == std::string::npos)
+            continue;
         std::istringstream ls(line);
         uint64_t gap;
         std::string kind;
         std::string addr;
-        if (!(ls >> gap))
-            continue; // blank / comment-only line
-        fatal_if(!(ls >> kind >> addr),
-                 "trace line {}: expected '<gap> R|W <hex-addr>', "
-                 "got '{}'",
-                 lineno, line);
-        fatal_if(kind != "R" && kind != "W",
-                 "trace line {}: kind must be R or W, got '{}'",
-                 lineno, kind);
+        if (!(ls >> gap) || !(ls >> kind >> addr))
+            return failAt(lineno,
+                          "expected '<gap> R|W <hex-addr>', got '" +
+                              line + "'");
+        if (gap > std::numeric_limits<uint32_t>::max())
+            return failAt(lineno,
+                          "gap " + std::to_string(gap) + " out of range");
+        if (kind != "R" && kind != "W")
+            return failAt(lineno,
+                          "kind must be R or W, got '" + kind + "'");
         TraceRecord rec;
         rec.gap = static_cast<uint32_t>(gap);
         rec.isStore = kind == "W";
         char *end = nullptr;
         rec.addr = std::strtoull(addr.c_str(), &end, 16);
-        fatal_if(end == addr.c_str() || *end != '\0',
-                 "trace line {}: bad address '{}'", lineno, addr);
+        if (end == addr.c_str() || *end != '\0')
+            return failAt(lineno, "bad address '" + addr + "'");
         out.push_back(rec);
     }
+    return true;
+}
+
+std::vector<TraceRecord>
+parseTrace(const std::string &text)
+{
+    std::vector<TraceRecord> out;
+    TraceParseError err;
+    if (!tryParseTrace(text, out, err))
+        fatal("{}", err.toString());
     return out;
 }
 
@@ -64,7 +92,9 @@ FileTraceGenerator::FileTraceGenerator(const std::string &path)
     fatal_if(!in, "cannot open trace file '{}'", path);
     std::ostringstream buf;
     buf << in.rdbuf();
-    records_ = parseTrace(buf.str());
+    TraceParseError err;
+    if (!tryParseTrace(buf.str(), records_, err))
+        fatal("trace file '{}': {}", path, err.toString());
     fatal_if(records_.empty(), "trace file '{}' has no records", path);
 }
 

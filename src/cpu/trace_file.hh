@@ -49,7 +49,26 @@ class FileTraceGenerator : public TraceGenerator
     uint64_t loops_ = 0;
 };
 
-/** Parse trace text (the file format above). Fatal on bad input. */
+/** Where and why trace parsing failed (line is 1-based). */
+struct TraceParseError
+{
+    int line = 0;
+    std::string message;
+
+    /** "trace line N: message". */
+    std::string toString() const;
+};
+
+/**
+ * Parse trace text (the file format above). Returns false and fills
+ * `err` on the first malformed record: truncated lines, bad access
+ * kinds, unparsable addresses, and garbage where the gap should be
+ * are all rejected rather than silently skipped.
+ */
+bool tryParseTrace(const std::string &text, std::vector<TraceRecord> &out,
+                   TraceParseError &err);
+
+/** tryParseTrace(); fatal on bad input (CLI entry points only). */
 std::vector<TraceRecord> parseTrace(const std::string &text);
 
 /** Render records in the file format. */

@@ -1,8 +1,11 @@
 #include "dram/dram_system.hh"
 
 #include <algorithm>
+#include <iostream>
 
+#include "fault/fault_injector.hh"
 #include "util/logging.hh"
+#include "util/sim_error.hh"
 
 namespace memsec::dram {
 
@@ -15,6 +18,39 @@ DramSystem::DramSystem(const TimingParams &tp, const Geometry &geo)
     ranks_.reserve(geo.ranksPerChannel);
     for (unsigned r = 0; r < geo.ranksPerChannel; ++r)
         ranks_.emplace_back(geo.banksPerRank, tp_);
+    crashHandlerId_ = addCrashHandler([this] {
+        // Straight to stderr: this runs on the panic path, where the
+        // quiet flag must not eat the post-mortem.
+        std::cerr << cmdLog_.snapshot();
+    });
+}
+
+DramSystem::~DramSystem()
+{
+    removeCrashHandler(crashHandlerId_);
+}
+
+void
+DramSystem::setStrict(bool strict)
+{
+    strict_ = strict;
+    checker_.setStrict(strict);
+}
+
+void
+DramSystem::attachFaultInjector(fault::FaultInjector *inj)
+{
+    injector_ = inj;
+    if (!inj)
+        return;
+    setStrict(false);
+    if (inj->spec().kind == fault::FaultKind::TimingDrift) {
+        // The device's true timing has drifted; audit against it while
+        // the fast path keeps scheduling with the nominal parameters.
+        checker_ = TimingChecker(inj->driftTimings(tp_),
+                                 geo_.ranksPerChannel, geo_.banksPerRank);
+        checker_.setStrict(false);
+    }
 }
 
 bool
@@ -102,14 +138,41 @@ IssueResult
 DramSystem::issue(const Command &cmd, Cycle now)
 {
     std::string why;
-    panic_if(!canIssue(cmd, now, &why), "illegal issue of {} at {}: {}",
+    const bool legal = canIssue(cmd, now, &why);
+    // Record before any panic so the crash snapshot includes the
+    // command that killed the run.
+    cmdLog_.record(cmd, now);
+    panic_if(!legal && strict_, "illegal issue of {} at {}: {}",
              cmd.toString(), now, why);
 
     // Independent audit first, so a fast-path bug cannot mask a real
-    // constraint violation.
-    checker_.observe(cmd, now);
-    buses_.useCmdBus(now);
+    // constraint violation. With an injector attached the checker
+    // observes the mutated audit stream instead of the real command.
+    if (injector_) {
+        for (const auto &[acmd, at] : injector_->auditView(cmd, now))
+            checker_.observe(acmd, at);
+    } else {
+        checker_.observe(cmd, now);
+    }
     ++commandsIssued_;
+
+    if (!legal) {
+        // Record-and-continue: don't apply an illegal transition to
+        // the device state machine, but report a nominal burst window
+        // so the owning request still completes.
+        ++illegalIssues_;
+        if (report_)
+            report_->record(
+                {now, "illegal-issue", cmd.toString() + ": " + why});
+        IssueResult res;
+        if (isColumn(cmd.type)) {
+            res.dataStart = now + (isRead(cmd.type) ? tp_.cas : tp_.cwd);
+            res.dataEnd = res.dataStart + tp_.burst;
+        }
+        return res;
+    }
+
+    buses_.useCmdBus(now);
 
     Rank &rk = ranks_[cmd.rank];
     IssueResult res;

@@ -21,7 +21,15 @@
 #include "dram/rank.hh"
 #include "dram/timing.hh"
 #include "dram/timing_checker.hh"
+#include "fault/command_log.hh"
 #include "sim/types.hh"
+
+namespace memsec {
+class RunReport;
+namespace fault {
+class FaultInjector;
+} // namespace fault
+} // namespace memsec
 
 namespace memsec::dram {
 
@@ -37,6 +45,12 @@ class DramSystem
 {
   public:
     DramSystem(const TimingParams &tp, const Geometry &geo);
+    ~DramSystem();
+
+    // The registered crash handler captures `this`; moving or copying
+    // the object would leave the handler dangling.
+    DramSystem(const DramSystem &) = delete;
+    DramSystem &operator=(const DramSystem &) = delete;
 
     /** True if `cmd` may legally issue at cycle `now`; optionally
      *  reports the blocking rule. */
@@ -63,9 +77,36 @@ class DramSystem
     const TimingParams &timing() const { return tp_; }
     const Geometry &geometry() const { return geo_; }
     TimingChecker &checker() { return checker_; }
+    const TimingChecker &checker() const { return checker_; }
 
     /** Total commands issued. */
     uint64_t commandsIssued() const { return commandsIssued_; }
+
+    /**
+     * Attach a fault injector: the checker observes the injector's
+     * mutated audit stream instead of the real command stream. Puts
+     * this system and the checker into record-and-continue mode (an
+     * injection campaign must survive its own faults); for
+     * timing-drift kinds the checker is rebuilt against the drifted
+     * parameter set.
+     */
+    void attachFaultInjector(fault::FaultInjector *inj);
+
+    /** Route recoverable faults here instead of panicking. */
+    void setReport(RunReport *report) { report_ = report; }
+
+    /**
+     * Strict (default): an illegal issue() is a panic. Non-strict: it
+     * is recorded (to the attached report, if any), the command is
+     * still audited, and the fast-path state is left untouched.
+     */
+    void setStrict(bool strict);
+
+    /** Illegal issues survived in non-strict mode. */
+    uint64_t illegalIssues() const { return illegalIssues_; }
+
+    /** Last-K-commands ring dumped as a crash snapshot on panic. */
+    const fault::CommandLog &commandLog() const { return cmdLog_; }
 
   private:
     TimingParams tp_;
@@ -74,6 +115,13 @@ class DramSystem
     ChannelBuses buses_;
     TimingChecker checker_;
     uint64_t commandsIssued_ = 0;
+
+    fault::FaultInjector *injector_ = nullptr;
+    RunReport *report_ = nullptr;
+    bool strict_ = true;
+    uint64_t illegalIssues_ = 0;
+    fault::CommandLog cmdLog_{32};
+    int crashHandlerId_ = -1;
 };
 
 } // namespace memsec::dram

@@ -33,7 +33,10 @@ TimingChecker::fail(Cycle t, const std::string &rule,
     currentOk_ = false;
     if (strict_)
         panic("timing violation [{}] at cycle {}: {}", rule, t, detail);
-    violations_.push_back({t, rule, detail});
+    ++violationTotal_;
+    ++violationsByRule_[rule];
+    if (violations_.size() < violationCap_)
+        violations_.push_back({t, rule, detail});
 }
 
 void
@@ -66,6 +69,20 @@ TimingChecker::observe(const Command &cmd, Cycle t)
     }
     require(t >= rk.pdExitReadyAt || cmd.type == CmdType::PdExit, t, "tXP",
             "command before power-down exit latency elapsed");
+
+    // Retention audit: a rank must keep seeing refreshes. Armed only
+    // via expectRefresh() — during fault campaigns that suppress REFs.
+    if (expectedRefi_ > 0) {
+        if (cmd.type == CmdType::Ref) {
+            rk.lastRefSeen = t;
+        } else if (t > rk.lastRefSeen + 2 * expectedRefi_) {
+            fail(t, "refresh",
+                 "rank " + std::to_string(cmd.rank) +
+                     " not refreshed since cycle " +
+                     std::to_string(rk.lastRefSeen) + " (2x tREFI elapsed)");
+            rk.lastRefSeen = t; // one violation per lapse, not per command
+        }
+    }
 
     switch (cmd.type) {
       case CmdType::Act:

@@ -18,6 +18,7 @@
 #define MEMSEC_DRAM_TIMING_CHECKER_HH
 
 #include <deque>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -47,14 +48,40 @@ class TimingChecker
      */
     bool observe(const Command &cmd, Cycle t);
 
-    /** Violations recorded so far (non-strict mode only). */
+    /**
+     * The first violationCap() violations, verbatim (non-strict mode
+     * only). Later violations are still *counted* — see
+     * violationCount() / violationsByRule() — but their records are
+     * dropped so a fault campaign cannot grow memory without bound.
+     */
     const std::vector<Violation> &violations() const { return violations_; }
+
+    /** All violations ever detected, including ones past the cap. */
+    uint64_t violationCount() const { return violationTotal_; }
+
+    /** Per-rule-class violation totals (uncapped). */
+    const std::map<std::string, uint64_t> &violationsByRule() const
+    {
+        return violationsByRule_;
+    }
+
+    /** Records kept verbatim before capping (default 128). */
+    size_t violationCap() const { return violationCap_; }
+    void setViolationCap(size_t cap) { violationCap_ = cap; }
 
     /** Number of commands checked. */
     uint64_t observed() const { return observed_; }
 
     /** Panic on violation (default) vs record-and-continue. */
     void setStrict(bool strict) { strict_ = strict; }
+
+    /**
+     * Arm the retention audit: once set, any non-REF command to a rank
+     * that has not been refreshed for more than 2x refi cycles raises
+     * a "refresh" violation (refresh suppression threatens data
+     * retention even though no inter-command constraint is broken).
+     */
+    void expectRefresh(uint64_t refi) { expectedRefi_ = refi; }
 
   private:
     /** Sentinel for "no open row" (independent of Bank's). */
@@ -75,6 +102,7 @@ class TimingChecker
         Cycle lastRdCas = kNoCycle;
         Cycle lastWrCas = kNoCycle;
         Cycle refreshEnd = 0;
+        Cycle lastRefSeen = 0;         ///< for the retention audit
         bool poweredDown = false;
         Cycle pdEnteredAt = 0;
         Cycle pdExitReadyAt = 0;       ///< tXP horizon after PDX
@@ -93,7 +121,7 @@ class TimingChecker
     BankShadow &bankOf(const Command &cmd);
     RankShadow &rankOf(const Command &cmd);
 
-    const TimingParams tp_;
+    TimingParams tp_; ///< non-const so drifted params can be swapped in
     unsigned nbanks_;
     std::vector<BankShadow> banks_;  ///< [rank * nbanks + bank]
     std::vector<RankShadow> ranks_;
@@ -106,7 +134,11 @@ class TimingChecker
     bool strict_ = true;
     bool currentOk_ = true;
     uint64_t observed_ = 0;
+    uint64_t expectedRefi_ = 0; ///< 0 = retention audit disarmed
     std::vector<Violation> violations_;
+    size_t violationCap_ = 128;
+    uint64_t violationTotal_ = 0;
+    std::map<std::string, uint64_t> violationsByRule_;
 };
 
 } // namespace memsec::dram

@@ -9,6 +9,7 @@
 
 #include "cpu/core_model.hh"
 #include "cpu/workload.hh"
+#include "fault/fault_injector.hh"
 #include "mem/address_map.hh"
 #include "mem/memory_controller.hh"
 #include "sched/frfcfs.hh"
@@ -63,6 +64,10 @@ defaultConfig()
     c.set("audit.core", -1);
     c.set("audit.progress_interval", 10000);
     c.set("seed", 1);
+    // Livelock watchdog window in memory cycles (0 disables). Large
+    // enough that any live run — even an idle FS frame between
+    // refresh epochs — makes progress well within it.
+    c.set("sim.watchdog", 100000);
     return c;
 }
 
@@ -304,6 +309,22 @@ runExperiment(const Config &cfg)
         fatal("unknown scheduler '{}'", schedName);
     }
 
+    // Fault injection (fault.kind != "none"): attach the injector and
+    // the recoverable-error channel to every controller. Everything
+    // stays strict when disabled, so default runs are bit-identical
+    // to a build without this block.
+    const fault::FaultSpec faultSpec = fault::FaultSpec::fromConfig(cfg);
+    fault::FaultInjector injector(faultSpec);
+    RunReport report;
+    if (injector.enabled()) {
+        for (auto &m : mcs) {
+            m->attachFaultInjector(&injector);
+            m->setReport(&report);
+            if (faultSpec.kind == fault::FaultKind::RefreshSuppress)
+                m->dram().checker().expectRefresh(tp.refi);
+        }
+    }
+
     const auto profiles = cpu::workloadMix(workload, cores);
     const int64_t auditCore = cfg.getInt("audit.core", -1);
 
@@ -351,6 +372,20 @@ runExperiment(const Config &cfg)
     for (auto &m : mcs)
         sim.add(m.get());
 
+    const Cycle watchdog = cfg.getUint("sim.watchdog", 100000);
+    if (watchdog > 0) {
+        // Progress = instructions retired + DRAM commands issued; if
+        // neither moves for a whole window the run is livelocked.
+        sim.setWatchdog(watchdog, [&coreModels, &mcs] {
+            uint64_t v = 0;
+            for (const auto &c : coreModels)
+                v += c->retired();
+            for (const auto &m : mcs)
+                v += m->dram().commandsIssued();
+            return v;
+        });
+    }
+
     const Cycle warmup = cfg.getUint("sim.warmup", 20000);
     const Cycle measure = cfg.getUint("sim.measure", 200000);
     sim.run(warmup);
@@ -393,6 +428,15 @@ runExperiment(const Config &cfg)
         res.dummyFraction =
             real + dummy > 0 ? dummy / (real + dummy) : 0.0;
     }
+
+    res.faultsInjected = injector.injected();
+    for (auto &m : mcs) {
+        res.timingViolations += m->dram().checker().violationCount();
+        res.illegalIssues += m->dram().illegalIssues();
+        for (const auto &kv : m->dram().checker().violationsByRule())
+            res.violationRules[kv.first] += kv.second;
+    }
+    res.simErrors = report.errors();
 
     if (auto *fr = dynamic_cast<sched::FrFcfsScheduler *>(
             &mc.scheduler())) {

@@ -14,6 +14,7 @@
 #ifndef MEMSEC_HARNESS_EXPERIMENT_HH
 #define MEMSEC_HARNESS_EXPERIMENT_HH
 
+#include <map>
 #include <string>
 #include <vector>
 
@@ -21,6 +22,7 @@
 #include "energy/power_model.hh"
 #include "sim/config.hh"
 #include "sim/types.hh"
+#include "util/sim_error.hh"
 
 namespace memsec::harness {
 
@@ -46,6 +48,16 @@ struct ExperimentResult
 
     /** Captured victim timelines (cores with audit enabled). */
     std::vector<core::VictimTimeline> timelines;
+
+    // -- fault-injection / failure-path accounting (all zero and
+    //    empty when fault.kind is "none", the default) --
+    uint64_t faultsInjected = 0;   ///< faults the injector fired
+    uint64_t timingViolations = 0; ///< shadow-checker detections
+    uint64_t illegalIssues = 0;    ///< illegal issues survived
+    /** Violations per TimingChecker rule class ("tFAW", ...). */
+    std::map<std::string, uint64_t> violationRules;
+    /** Recoverable errors recorded during the run (capped). */
+    std::vector<SimError> simErrors;
 
     /** Sum over cores of ipc[i] / baseIpc[i]. */
     double weightedIpc(const std::vector<double> &baseIpc) const;

@@ -1,7 +1,9 @@
 #include "mem/memory_controller.hh"
 
+#include "fault/fault_injector.hh"
 #include "sched/scheduler.hh"
 #include "util/logging.hh"
+#include "util/sim_error.hh"
 
 namespace memsec::mem {
 
@@ -24,6 +26,24 @@ void
 MemoryController::setScheduler(std::unique_ptr<sched::Scheduler> sched)
 {
     sched_ = std::move(sched);
+    if (sched_ && injector_)
+        sched_->attachFaultInjector(injector_);
+}
+
+void
+MemoryController::setReport(RunReport *report)
+{
+    report_ = report;
+    dram_.setReport(report);
+}
+
+void
+MemoryController::attachFaultInjector(fault::FaultInjector *inj)
+{
+    injector_ = inj;
+    dram_.attachFaultInjector(inj);
+    if (sched_)
+        sched_->attachFaultInjector(inj);
 }
 
 sched::Scheduler &
@@ -44,8 +64,21 @@ MemoryController::access(std::unique_ptr<MemRequest> req, Cycle now)
 {
     panic_if(req->domain >= queues_.size(), "bad domain {}", req->domain);
     TransactionQueue &q = queues_[req->domain];
-    panic_if(req->type != ReqType::Prefetch && q.full(req->type),
-             "access() with full queue; check canAccept first");
+    if (req->type != ReqType::Prefetch && q.full(req->type)) {
+        // Without a report this is a caller bug (canAccept was not
+        // checked); with one it is a survivable overflow: drop the
+        // transaction, record it, tell the client.
+        panic_if(!report_,
+                 "access() with full queue; check canAccept first");
+        stats_.overflowDrops.inc();
+        report_->record({now, "queue-overflow",
+                         req->toString() + " dropped: domain " +
+                             std::to_string(req->domain) +
+                             " queue full"});
+        if (req->client)
+            req->client->memDropped(*req);
+        return;
+    }
 
     req->arrival = now;
     if (req->id == 0)
@@ -156,6 +189,17 @@ MemoryController::tick(Cycle now)
 {
     panic_if(!sched_, "MemoryController ticked without a scheduler");
 
+    // Queue-overflow injection: flood the queues with ghost reads
+    // (no client, rotating domain) until one hits a full queue and
+    // exercises the overflow path above.
+    if (injector_ && injector_->overflowFires(now)) {
+        auto ghost = std::make_unique<MemRequest>();
+        ghost->domain = static_cast<DomainId>(now % queues_.size());
+        ghost->type = ReqType::Read;
+        ghost->addr = (now % 4096) * kLineBytes;
+        access(std::move(ghost), now);
+    }
+
     // Deliver completions due this cycle before scheduling, so cores
     // observe data at the earliest consistent time.
     while (!completions_.empty() && completions_.top().at <= now) {
@@ -191,6 +235,25 @@ MemoryController::registerStats(StatGroup &group) const
               "mean demand-read latency (memory cycles)");
     group.add("real_bursts", &stats_.realBursts, "real data bursts");
     group.add("dummy_bursts", &stats_.dummyBursts, "dummy data bursts");
+    group.add("overflow_drops", &stats_.overflowDrops,
+              "transactions dropped on queue overflow");
+    group.addFormula(
+        "timing_violations",
+        [this] {
+            return static_cast<double>(dram_.checker().violationCount());
+        },
+        "timing-rule violations detected by the shadow checker");
+    group.addFormula(
+        "illegal_issues",
+        [this] { return static_cast<double>(dram_.illegalIssues()); },
+        "illegal command issues survived in non-strict mode");
+    group.addFormula(
+        "injected_faults",
+        [this] {
+            return injector_ ? static_cast<double>(injector_->injected())
+                             : 0.0;
+        },
+        "faults injected into this controller");
 }
 
 double

@@ -44,6 +44,7 @@ struct ControllerStats
     Counter mergedWithPrefetch; ///< demand reads riding a queued prefetch
     Counter realBursts;      ///< data bursts carrying real data
     Counter dummyBursts;     ///< data bursts carrying dummy data
+    Counter overflowDrops;   ///< transactions dropped on queue overflow
     Average readLatency;     ///< demand-read latency, memory cycles
     Histogram readLatencyHist;
 };
@@ -125,6 +126,20 @@ class MemoryController : public Component
     /** Register this controller's stats into a group. */
     void registerStats(StatGroup &group) const;
 
+    // ---- failure-path hardening ----
+
+    /**
+     * Route recoverable faults (queue overflow, illegal issues) here
+     * instead of panicking; forwarded to the DRAM system too.
+     */
+    void setReport(RunReport *report);
+
+    /**
+     * Attach a fault injector to this controller, its DRAM system and
+     * (if already installed) its scheduler.
+     */
+    void attachFaultInjector(fault::FaultInjector *inj);
+
     /** Effective (real-data) bus utilisation over elapsed cycles. */
     double effectiveBandwidth(Cycle elapsed) const;
 
@@ -155,6 +170,8 @@ class MemoryController : public Component
     uint64_t completionSeq_ = 0;
     ReqId reqIdSeq_ = 0;
     ControllerStats stats_;
+    RunReport *report_ = nullptr;
+    fault::FaultInjector *injector_ = nullptr;
 };
 
 } // namespace memsec::mem

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "fault/fault_injector.hh"
 #include "util/logging.hh"
 
 namespace memsec::sched {
@@ -207,6 +208,21 @@ FsScheduler::plan(uint64_t slot, std::unique_ptr<MemRequest> req,
 
     reserveBank(rank, bank, op.actAt, op.casAt, write);
     reserveRank(rank, op.actAt, op.casAt, write);
+
+    // Slot-skew injection: shift a real op's commands *after* the
+    // reservations, so the planner's books still assume the nominal
+    // template — exactly the kind of content-dependent timing drift
+    // the noninterference audit exists to catch. Dummies are never
+    // skewed: a fault that fires identically for every slot would
+    // cancel out across co-runner sets.
+    if (injector_ && !dummy) {
+        if (const Cycle skew = injector_->slotSkew(op.actAt)) {
+            op.actAt += skew;
+            op.casAt += skew;
+            skewedOps_.inc();
+        }
+    }
+
     op.req = std::move(req);
     planned_.push_back(std::move(op));
 }
@@ -450,6 +466,8 @@ FsScheduler::registerStats(StatGroup &group) const
               "head-of-queue passed over for a safe transaction");
     group.add("boosted_acts", &boostedActs_,
               "activates suppressed by the row-buffer boost");
+    group.add("skewed_ops", &skewedOps_,
+              "operations shifted by slot-skew fault injection");
     group.addFormula(
         "dummy_fraction",
         [this] {

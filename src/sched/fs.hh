@@ -71,6 +71,18 @@ class FsScheduler : public Scheduler
     std::string name() const override;
     void registerStats(StatGroup &group) const override;
 
+    /**
+     * Slot-skew injection point: real (non-dummy) operations planned
+     * while the injector fires get their command cycles shifted,
+     * modelling a scheduler that leaks timing by letting transaction
+     * content perturb the fixed slot template. The noninterference
+     * audit must flag the resulting divergence.
+     */
+    void attachFaultInjector(fault::FaultInjector *inj) override
+    {
+        injector_ = inj;
+    }
+
     /** Apply deferred energy accounting (power-down credits). */
     void finalize(Cycle now) override;
 
@@ -174,6 +186,9 @@ class FsScheduler : public Scheduler
     Counter skippedSlots_;
     Counter hazardDeferrals_;
     Counter boostedActs_;
+    Counter skewedOps_;
+
+    fault::FaultInjector *injector_ = nullptr;
 };
 
 } // namespace memsec::sched

@@ -19,6 +19,10 @@
 #include "sim/types.hh"
 #include "stats/stats.hh"
 
+namespace memsec::fault {
+class FaultInjector;
+}
+
 namespace memsec::sched {
 
 /** Abstract scheduling policy. */
@@ -43,6 +47,17 @@ class Scheduler
 
     /** Export policy-specific statistics. */
     virtual void registerStats(StatGroup &group) const { (void)group; }
+
+    /**
+     * Offer a fault injector to the policy. The default ignores it;
+     * policies with injectable decision points (FS slot timing)
+     * override. Never alters behaviour when the injector's kind does
+     * not target the scheduler.
+     */
+    virtual void attachFaultInjector(fault::FaultInjector *inj)
+    {
+        (void)inj;
+    }
 
   protected:
     mem::MemoryController &mc_;

@@ -173,10 +173,28 @@ Config::merge(const Config &other)
         values_[kv.first] = kv.second;
 }
 
-Config
-Config::parseIni(const std::string &text)
+std::string
+ConfigParseError::toString() const
 {
-    Config cfg;
+    std::ostringstream os;
+    os << file;
+    if (line > 0)
+        os << ":" << line;
+    os << ": " << message;
+    return os.str();
+}
+
+bool
+Config::tryParseIni(const std::string &text, Config &out,
+                    ConfigParseError &err, const std::string &file)
+{
+    auto failAt = [&](int lineno, const std::string &message) {
+        err.file = file;
+        err.line = lineno;
+        err.message = message;
+        return false;
+    };
+
     std::istringstream in(text);
     std::string line;
     std::string section;
@@ -190,34 +208,64 @@ Config::parseIni(const std::string &text)
         if (line.empty())
             continue;
         if (line.front() == '[') {
-            fatal_if(line.back() != ']',
-                     "config line {}: unterminated section '{}'",
-                     lineno, line);
+            if (line.back() != ']')
+                return failAt(lineno,
+                              "unterminated section '" + line + "'");
             section = trim(line.substr(1, line.size() - 2));
             continue;
         }
         auto eq = line.find('=');
-        fatal_if(eq == std::string::npos,
-                 "config line {}: expected 'key = value', got '{}'",
-                 lineno, line);
+        if (eq == std::string::npos)
+            return failAt(lineno,
+                          "expected 'key = value', got '" + line + "'");
         std::string key = trim(line.substr(0, eq));
         std::string value = trim(line.substr(eq + 1));
-        fatal_if(key.empty(), "config line {}: empty key", lineno);
+        if (key.empty())
+            return failAt(lineno, "empty key");
         if (!section.empty())
             key = section + "." + key;
-        cfg.set(key, value);
+        out.set(key, value);
     }
+    return true;
+}
+
+bool
+Config::tryLoadFile(const std::string &path, Config &out,
+                    ConfigParseError &err)
+{
+    std::ifstream in(path);
+    if (!in) {
+        err.file = path;
+        err.line = 0;
+        err.message = "cannot open config file '" + path + "'";
+        return false;
+    }
+    std::ostringstream os;
+    os << in.rdbuf();
+    return tryParseIni(os.str(), out, err, path);
+}
+
+Config
+Config::parseIni(const std::string &text)
+{
+    Config cfg;
+    ConfigParseError err;
+    if (!tryParseIni(text, cfg, err))
+        fatal("config line {}: {}", err.line, err.message);
     return cfg;
 }
 
 Config
 Config::loadFile(const std::string &path)
 {
-    std::ifstream in(path);
-    fatal_if(!in, "cannot open config file '{}'", path);
-    std::ostringstream os;
-    os << in.rdbuf();
-    return parseIni(os.str());
+    Config cfg;
+    ConfigParseError err;
+    if (!tryLoadFile(path, cfg, err)) {
+        if (err.line == 0)
+            fatal("{}", err.message);
+        fatal("{}: config line {}: {}", err.file, err.line, err.message);
+    }
+    return cfg;
 }
 
 std::string

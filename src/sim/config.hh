@@ -19,6 +19,20 @@
 
 namespace memsec {
 
+/**
+ * Where and why a config parse failed. `line` is 1-based; 0 means the
+ * failure was not line-specific (e.g. an unreadable file).
+ */
+struct ConfigParseError
+{
+    std::string file; ///< "<string>" when parsing in-memory text
+    int line = 0;
+    std::string message;
+
+    /** "file:line: message" (or "file: message" when line == 0). */
+    std::string toString() const;
+};
+
 /** Flat string-keyed configuration with typed accessors. */
 class Config
 {
@@ -58,7 +72,22 @@ class Config
     /**
      * Parse INI-style text: "key = value" lines, optional [section]
      * headers that prefix subsequent keys with "section.", '#' or ';'
-     * comments. Malformed lines are a fatal error.
+     * comments. Returns false and fills `err` (with file/line context)
+     * on the first malformed line, leaving `out` partially filled.
+     */
+    static bool tryParseIni(const std::string &text, Config &out,
+                            ConfigParseError &err,
+                            const std::string &file = "<string>");
+
+    /** tryParseIni() on a file's contents; false with err.line == 0 if
+     *  the file cannot be read. */
+    static bool tryLoadFile(const std::string &path, Config &out,
+                            ConfigParseError &err);
+
+    /**
+     * Parse INI-style text; malformed lines are a fatal error. Only
+     * appropriate at top-level CLI entry points — library code should
+     * use tryParseIni() and propagate the structured error.
      */
     static Config parseIni(const std::string &text);
 

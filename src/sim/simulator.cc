@@ -12,6 +12,37 @@ Simulator::add(Component *c)
 }
 
 void
+Simulator::setWatchdog(Cycle window, std::function<uint64_t()> probe)
+{
+    panic_if(window > 0 && !probe, "watchdog armed without a probe");
+    watchdogWindow_ = window;
+    watchdogProbe_ = std::move(probe);
+    if (window > 0) {
+        watchdogLastValue_ = watchdogProbe_();
+        watchdogLastProgress_ = now_;
+    }
+}
+
+void
+Simulator::checkWatchdog()
+{
+    if (watchdogWindow_ == 0)
+        return;
+    const uint64_t value = watchdogProbe_();
+    if (value != watchdogLastValue_) {
+        watchdogLastValue_ = value;
+        watchdogLastProgress_ = now_;
+        return;
+    }
+    if (now_ - watchdogLastProgress_ >= watchdogWindow_) {
+        fatal("livelock: no progress for {} cycles (cycle {}..{}, "
+              "progress counter stuck at {})",
+              now_ - watchdogLastProgress_, watchdogLastProgress_, now_,
+              value);
+    }
+}
+
+void
 Simulator::run(Cycle n)
 {
     const Cycle end = now_ + n;
@@ -19,6 +50,7 @@ Simulator::run(Cycle n)
         for (Component *c : components_)
             c->tick(now_);
         ++now_;
+        checkWatchdog();
     }
 }
 
@@ -31,6 +63,7 @@ Simulator::runUntil(const std::function<bool()> &pred, Cycle maxCycles)
         for (Component *c : components_)
             c->tick(now_);
         ++now_;
+        checkWatchdog();
     }
     return now_ - start;
 }

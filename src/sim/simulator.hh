@@ -64,9 +64,27 @@ class Simulator
      */
     Cycle runUntil(const std::function<bool()> &pred, Cycle maxCycles);
 
+    /**
+     * Arm the livelock watchdog: `probe` must return a monotone
+     * progress counter (e.g. instructions retired + DRAM commands
+     * issued). If it fails to advance for `window` cycles the run is
+     * fatally terminated with a diagnostic naming the stall interval —
+     * a wedged scheduler otherwise spins silently to the cycle limit.
+     * window = 0 disarms.
+     */
+    void setWatchdog(Cycle window, std::function<uint64_t()> probe);
+
   private:
+    /** Per-cycle watchdog check; fatal on a stall. */
+    void checkWatchdog();
+
     std::vector<Component *> components_;
     Cycle now_ = 0;
+
+    Cycle watchdogWindow_ = 0; ///< 0 = disarmed
+    std::function<uint64_t()> watchdogProbe_;
+    uint64_t watchdogLastValue_ = 0;
+    Cycle watchdogLastProgress_ = 0;
 };
 
 } // namespace memsec

@@ -2,11 +2,51 @@
 
 #include <iostream>
 #include <stdexcept>
+#include <utility>
+#include <vector>
 
 namespace memsec {
 
 namespace {
+
 bool quietFlag = false;
+
+struct CrashHandler
+{
+    int id;
+    std::function<void()> fn;
+};
+
+std::vector<CrashHandler> &
+crashHandlers()
+{
+    static std::vector<CrashHandler> handlers;
+    return handlers;
+}
+
+int nextHandlerId = 1;
+bool inCrashHandlers = false;
+
+} // namespace
+
+int
+addCrashHandler(std::function<void()> handler)
+{
+    const int id = nextHandlerId++;
+    crashHandlers().push_back({id, std::move(handler)});
+    return id;
+}
+
+void
+removeCrashHandler(int id)
+{
+    auto &handlers = crashHandlers();
+    for (auto it = handlers.begin(); it != handlers.end(); ++it) {
+        if (it->id == id) {
+            handlers.erase(it);
+            return;
+        }
+    }
 }
 
 void
@@ -37,6 +77,14 @@ logAndDie(LogLevel level, const std::string &msg, const char *file, int line)
 {
     const char *tag = level == LogLevel::Panic ? "panic" : "fatal";
     std::cerr << tag << ": " << msg << " (" << file << ":" << line << ")\n";
+    if (level == LogLevel::Panic && !inCrashHandlers) {
+        // Crash snapshots (e.g. the DRAM command-ring dump) run before
+        // the failure propagates so post-mortem state reaches stderr.
+        inCrashHandlers = true;
+        for (const auto &h : crashHandlers())
+            h.fn();
+        inCrashHandlers = false;
+    }
     if (level == LogLevel::Panic) {
         // Throw instead of abort() so gtest death/exception tests can
         // observe invariant violations without killing the test binary.

@@ -13,6 +13,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <functional>
 #include <sstream>
 #include <string>
 
@@ -97,6 +98,16 @@ inform(const char *fmt, const Args &...args)
 /** Silence inform()/warn() output (benches print their own tables). */
 void setQuiet(bool quiet);
 bool isQuiet();
+
+/**
+ * Register a callback run (in registration order) when panic() fires,
+ * before the failure propagates — the hook for crash snapshots such
+ * as the DRAM command-ring dump. Returns an id for removal; handlers
+ * must deregister before their captured state dies. Re-entrant panics
+ * inside a handler are suppressed.
+ */
+int addCrashHandler(std::function<void()> handler);
+void removeCrashHandler(int id);
 
 } // namespace memsec
 

@@ -92,6 +92,60 @@ TEST(Config, NonNumericValueFatal)
                 "non-integer");
 }
 
+TEST(Config, TryParseIniReportsFileAndLine)
+{
+    Config out;
+    ConfigParseError err;
+    EXPECT_FALSE(Config::tryParseIni("a = 1\n"
+                                     "b = 2\n"
+                                     "garbage without equals\n",
+                                     out, err, "sys.ini"));
+    EXPECT_EQ(err.file, "sys.ini");
+    EXPECT_EQ(err.line, 3);
+    EXPECT_NE(err.message.find("expected 'key = value'"),
+              std::string::npos);
+    EXPECT_EQ(err.toString(), "sys.ini:3: " + err.message);
+}
+
+TEST(Config, TryParseIniUnterminatedSection)
+{
+    Config out;
+    ConfigParseError err;
+    EXPECT_FALSE(Config::tryParseIni("[dram\nranks = 8\n", out, err));
+    EXPECT_EQ(err.line, 1);
+    EXPECT_NE(err.message.find("unterminated section"),
+              std::string::npos);
+}
+
+TEST(Config, TryParseIniEmptyKey)
+{
+    Config out;
+    ConfigParseError err;
+    EXPECT_FALSE(Config::tryParseIni("= 5\n", out, err));
+    EXPECT_EQ(err.line, 1);
+    EXPECT_NE(err.message.find("empty key"), std::string::npos);
+}
+
+TEST(Config, TryParseIniSuccessLeavesErrorUntouched)
+{
+    Config out;
+    ConfigParseError err;
+    ASSERT_TRUE(Config::tryParseIni("x = 1\n", out, err));
+    EXPECT_EQ(out.getInt("x"), 1);
+    EXPECT_EQ(err.line, 0);
+}
+
+TEST(Config, TryLoadFileMissingFile)
+{
+    Config out;
+    ConfigParseError err;
+    EXPECT_FALSE(Config::tryLoadFile("/nonexistent/nope.ini", out, err));
+    EXPECT_EQ(err.line, 0);
+    EXPECT_NE(err.message.find("cannot open"), std::string::npos);
+    // No "line 0" noise when the failure isn't tied to a line.
+    EXPECT_EQ(err.toString().find(":0:"), std::string::npos);
+}
+
 TEST(Config, KeysSorted)
 {
     Config c;

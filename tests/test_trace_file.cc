@@ -38,6 +38,51 @@ TEST(TraceFile, ParseRejectsBadAddress)
                 "bad address");
 }
 
+TEST(TraceFile, TryParseReportsLineOfFirstBadRecord)
+{
+    std::vector<TraceRecord> out;
+    TraceParseError err;
+    EXPECT_FALSE(tryParseTrace("1 R 40\n"
+                               "2 W 80\n"
+                               "not a record\n"
+                               "3 R c0\n",
+                               out, err));
+    EXPECT_EQ(err.line, 3);
+    EXPECT_NE(err.message.find("expected '<gap> R|W <hex-addr>'"),
+              std::string::npos);
+    EXPECT_EQ(err.toString(), "trace line 3: " + err.message);
+}
+
+TEST(TraceFile, TryParseRejectsTruncatedRecord)
+{
+    std::vector<TraceRecord> out;
+    TraceParseError err;
+    // Garbage lines used to be silently skipped; a truncated record
+    // (gap but no kind/address) must now be an error.
+    EXPECT_FALSE(tryParseTrace("5\n", out, err));
+    EXPECT_EQ(err.line, 1);
+}
+
+TEST(TraceFile, TryParseRejectsOutOfRangeGap)
+{
+    std::vector<TraceRecord> out;
+    TraceParseError err;
+    EXPECT_FALSE(tryParseTrace("99999999999999 R 40\n", out, err));
+    EXPECT_EQ(err.line, 1);
+    EXPECT_NE(err.message.find("out of range"), std::string::npos);
+}
+
+TEST(TraceFile, TruncatedFileFatalNamesFileAndLine)
+{
+    const std::string path = ::testing::TempDir() + "memsec_trunc.txt";
+    {
+        std::ofstream f(path);
+        f << "1 R 40\n2 W\n";
+    }
+    EXPECT_EXIT(FileTraceGenerator{path}, ::testing::ExitedWithCode(1),
+                "trace line 2");
+}
+
 TEST(TraceFile, FormatParsesBackIdentically)
 {
     std::vector<TraceRecord> recs = {
