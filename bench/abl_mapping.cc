@@ -18,38 +18,69 @@ using namespace memsec;
 using namespace memsec::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
     setQuiet(true);
+    const BenchOptions opts = BenchOptions::parse(argc, argv);
     const std::vector<std::string> workloads = {"libquantum", "milc",
                                                 "mcf"};
-    std::cout << "== Ablation: FS_RP page-mapping policy "
-                 "(sum of weighted IPCs) ==\n";
-    Table t;
-    t.header({"cores", "workload", "open-page", "close-page",
-              "close/open"});
-    for (unsigned cores : {2u, 4u, 8u}) {
+    const std::vector<unsigned> coreCounts = {2u, 4u, 8u};
+    std::cerr << "abl_mapping: page-mapping ablation (--jobs "
+              << opts.jobs << ")\n";
+
+    harness::Campaign campaign;
+    struct Cell
+    {
+        size_t baseline;
+        size_t open;
+        size_t close;
+    };
+    std::vector<Cell> cells; // (cores x workload) in loop order
+    for (unsigned cores : coreCounts) {
         const Config base = baseConfig(cores);
         for (const auto &wl : workloads) {
-            std::cerr << "abl_mapping: " << cores << " cores, " << wl
-                      << "\n";
-            const auto baseIpc = harness::baselineIpc(wl, base);
-            double v[2];
-            int i = 0;
+            const std::string tag =
+                std::to_string(cores) + "c/" + wl;
+            Cell cell;
+            Config bc = base;
+            bc.merge(harness::schemeConfig("baseline"));
+            bc.set("workload", wl);
+            cell.baseline = campaign.add(tag + "/baseline", bc);
             for (const char *il : {"open", "close"}) {
                 Config c = base;
                 c.merge(harness::schemeConfig("fs_rp"));
                 c.set("map.interleave", il);
                 c.set("workload", wl);
-                v[i++] =
-                    harness::runExperiment(c).weightedIpc(baseIpc);
+                const size_t i = campaign.add(
+                    tag + "/fs_rp-" + il, std::move(c));
+                (std::string(il) == "open" ? cell.open : cell.close) =
+                    i;
             }
-            t.row({std::to_string(cores), wl, Table::num(v[0], 3),
-                   Table::num(v[1], 3), Table::num(v[1] / v[0], 2)});
+            cells.push_back(cell);
         }
     }
-    t.print(std::cout);
-    std::cout << "\ncsv:\n";
-    t.printCsv(std::cout);
+    const auto &summary = campaign.run(opts.campaignOptions());
+    std::cerr << summary.toString() << "\n";
+
+    Table t;
+    t.header({"cores", "workload", "open-page", "close-page",
+              "close/open"});
+    size_t n = 0;
+    for (unsigned cores : coreCounts) {
+        for (const auto &wl : workloads) {
+            const Cell &cell = cells[n++];
+            const auto baseIpc = campaign.result(cell.baseline).ipc;
+            const double open =
+                campaign.result(cell.open).weightedIpc(baseIpc);
+            const double close =
+                campaign.result(cell.close).weightedIpc(baseIpc);
+            t.row({std::to_string(cores), wl, Table::num(open, 3),
+                   Table::num(close, 3),
+                   Table::num(close / open, 2)});
+        }
+    }
+    printTable("Ablation: FS_RP page-mapping policy "
+               "(sum of weighted IPCs)",
+               t, opts);
     return 0;
 }

@@ -7,6 +7,7 @@
  * which black out ~(margin + 8 + tRFC) cycles of every tREFI.
  */
 
+#include <array>
 #include <iostream>
 
 #include "bench_common.hh"
@@ -16,42 +17,64 @@ using namespace memsec;
 using namespace memsec::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
     setQuiet(true);
+    const BenchOptions opts = BenchOptions::parse(argc, argv);
     const std::vector<std::string> workloads = {"libquantum", "milc",
                                                 "zeusmp"};
-    std::cout << "== Ablation: refresh overhead "
-                 "(sum of per-core IPCs) ==\n";
-    Table t;
-    t.header({"scheme", "workload", "refresh off", "refresh on",
-              "overhead"});
+    const std::vector<std::string> schemes = {"baseline", "fs_rp"};
+    std::cerr << "abl_refresh: refresh-overhead ablation (--jobs "
+              << opts.jobs << ")\n";
 
-    for (const char *scheme : {"baseline", "fs_rp"}) {
+    harness::Campaign campaign;
+    std::vector<std::array<size_t, 2>> cells; // [off, on]
+    for (const auto &scheme : schemes) {
         for (const auto &wl : workloads) {
-            std::cerr << "abl_refresh: " << scheme << " " << wl << "\n";
-            double v[2];
+            std::array<size_t, 2> cell{};
             for (int on = 0; on < 2; ++on) {
                 Config c = baseConfig(8);
                 c.merge(harness::schemeConfig(scheme));
                 c.set("dram.refresh", on != 0);
                 c.set("workload", wl);
-                const auto r = harness::runExperiment(c);
-                double s = 0;
-                for (double ipc : r.ipc)
-                    s += ipc;
-                v[on] = s;
+                cell[on] = campaign.add(
+                    scheme + "/" + wl +
+                        (on ? "/refresh-on" : "/refresh-off"),
+                    std::move(c));
             }
-            t.row({scheme, wl, Table::num(v[0], 3), Table::num(v[1], 3),
-                   Table::num(100.0 * (1.0 - v[1] / v[0]), 1) + "%"});
+            cells.push_back(cell);
         }
     }
-    t.print(std::cout);
+    const auto &summary = campaign.run(opts.campaignOptions());
+    std::cerr << summary.toString() << "\n";
+
+    auto ipcSum = [&](size_t idx) {
+        double s = 0;
+        for (double ipc : campaign.result(idx).ipc)
+            s += ipc;
+        return s;
+    };
+
+    Table t;
+    t.header({"scheme", "workload", "refresh off", "refresh on",
+              "overhead"});
+    size_t n = 0;
+    for (const auto &scheme : schemes) {
+        for (const auto &wl : workloads) {
+            const auto &cell = cells[n++];
+            const double off = ipcSum(cell[0]);
+            const double on = ipcSum(cell[1]);
+            t.row({scheme, wl, Table::num(off, 3), Table::num(on, 3),
+                   Table::num(100.0 * (1.0 - on / off), 1) + "%"});
+        }
+    }
+    printTable("Ablation: refresh overhead (sum of per-core IPCs)", t,
+               opts);
+    if (opts.csvOnly)
+        return 0;
     std::cout << "\nexpected: a few percent (tRFC/tREFI = 3.3% per "
                  "rank, staggered for the baseline; FS blacks out the "
                  "whole pipeline for ~281 of every 6240 cycles = "
                  "4.5%)\n";
-    std::cout << "\ncsv:\n";
-    t.printCsv(std::cout);
     return 0;
 }

@@ -17,32 +17,45 @@ using namespace memsec;
 using namespace memsec::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
     setQuiet(true);
-    std::cout << "== Ablation: SLA issue-slot weights under FS_RP "
-                 "(per-core IPC, lbm rate mode) ==\n";
-    Table t;
-    t.header({"weights", "ipc[0]", "ipc[1..7] mean", "ratio"});
-    for (const char *w :
-         {"1,1,1,1,1,1,1,1", "2,1,1,1,1,1,1,1", "4,1,1,1,1,1,1,1"}) {
-        std::cerr << "abl_sla: weights " << w << "\n";
+    const BenchOptions opts = BenchOptions::parse(argc, argv);
+    const std::vector<std::string> weights = {
+        "1,1,1,1,1,1,1,1", "2,1,1,1,1,1,1,1", "4,1,1,1,1,1,1,1"};
+    std::cerr << "abl_sla: SLA slot-weight ablation (--jobs "
+              << opts.jobs << ")\n";
+
+    harness::Campaign campaign;
+    std::vector<size_t> idx;
+    for (const auto &w : weights) {
         Config c = baseConfig(8);
         c.merge(harness::schemeConfig("fs_rp"));
         c.set("fs.slot_weights", w);
         c.set("workload", "lbm");
-        const auto r = harness::runExperiment(c);
+        idx.push_back(campaign.add("weights " + w, std::move(c)));
+    }
+    const auto &summary = campaign.run(opts.campaignOptions());
+    std::cerr << summary.toString() << "\n";
+
+    Table t;
+    t.header({"weights", "ipc[0]", "ipc[1..7] mean", "ratio"});
+    for (size_t i = 0; i < weights.size(); ++i) {
+        const auto &r = campaign.result(idx[i]);
         double others = 0.0;
-        for (size_t i = 1; i < r.ipc.size(); ++i)
-            others += r.ipc[i];
+        for (size_t j = 1; j < r.ipc.size(); ++j)
+            others += r.ipc[j];
         others /= static_cast<double>(r.ipc.size() - 1);
-        t.row({w, Table::num(r.ipc[0], 3), Table::num(others, 3),
+        t.row({weights[i], Table::num(r.ipc[0], 3),
+               Table::num(others, 3),
                Table::num(r.ipc[0] / others, 2)});
     }
-    t.print(std::cout);
+    printTable("Ablation: SLA issue-slot weights under FS_RP "
+               "(per-core IPC, lbm rate mode)",
+               t, opts);
+    if (opts.csvOnly)
+        return 0;
     std::cout << "\nexpected: ratio grows with domain 0's weight "
                  "(saturating at its MLP limit)\n";
-    std::cout << "\ncsv:\n";
-    t.printCsv(std::cout);
     return 0;
 }

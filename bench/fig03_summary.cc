@@ -15,15 +15,17 @@ using namespace memsec;
 using namespace memsec::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
     setQuiet(true);
+    const BenchOptions opts = BenchOptions::parse(argc, argv);
     const std::vector<std::string> schemes = {
         "channel_part", "fs_rp", "fs_reordered_bp", "tp_bp", "fs_np",
         "fs_np_triple", "tp_np"};
-    std::cerr << "fig03: design-point summary\n";
+    std::cerr << "fig03: design-point summary (--jobs " << opts.jobs
+              << ")\n";
     const auto rows = runSuite(schemes, cpu::evaluationSuite(),
-                               baseConfig(8));
+                               baseConfig(8), opts);
 
     struct Point
     {
@@ -44,8 +46,6 @@ main()
         {"TP", "none", "tp_np", 0.20},
     };
 
-    std::cout << "\n== Figure 3: baseline, prior work (TP), and new FS "
-                 "design points ==\n";
     Table t;
     t.header({"design point", "partitioning", "paper", "measured"});
     for (const auto &p : points) {
@@ -55,8 +55,8 @@ main()
                p.paper > 0 ? Table::num(p.paper, 2) : "-",
                Table::num(measured, 3)});
     }
-    t.print(std::cout);
-    std::cout << "\ncsv:\n";
-    t.printCsv(std::cout);
+    printTable("Figure 3: baseline, prior work (TP), and new FS "
+               "design points",
+               t, opts);
     return 0;
 }

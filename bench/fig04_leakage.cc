@@ -18,8 +18,8 @@ using namespace memsec::bench;
 
 namespace {
 
-core::VictimTimeline
-profile(const std::string &scheme, const std::string &corunner)
+Config
+profileConfig(const std::string &scheme, const std::string &corunner)
 {
     Config c = baseConfig(8);
     c.merge(harness::schemeConfig(scheme));
@@ -33,24 +33,39 @@ profile(const std::string &scheme, const std::string &corunner)
     c.set("sim.measure", 4 * c.getUint("sim.measure", 120000));
     c.set("audit.core", 0);
     c.set("audit.progress_interval", 2000);
-    return harness::runExperiment(c).timelines.at(0);
+    return c;
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     setQuiet(true);
-    std::cerr << "fig04: mcf execution profiles (4 runs)\n";
-    const auto baseQuiet = profile("baseline", "idle");
-    const auto baseNoisy = profile("baseline", "hog");
-    const auto fsQuiet = profile("fs_rp", "idle");
-    const auto fsNoisy = profile("fs_rp", "hog");
+    const BenchOptions opts = BenchOptions::parse(argc, argv);
+    std::cerr << "fig04: mcf execution profiles (4 runs, --jobs "
+              << opts.jobs << ")\n";
+    harness::Campaign campaign;
+    const size_t bq = campaign.add("baseline+idle",
+                                   profileConfig("baseline", "idle"));
+    const size_t bn = campaign.add("baseline+hog",
+                                   profileConfig("baseline", "hog"));
+    const size_t fq =
+        campaign.add("fs_rp+idle", profileConfig("fs_rp", "idle"));
+    const size_t fn =
+        campaign.add("fs_rp+hog", profileConfig("fs_rp", "hog"));
+    const auto &summary = campaign.run(opts.campaignOptions());
+    std::cerr << summary.toString() << "\n";
+    const auto &baseQuiet = campaign.result(bq).timelines.at(0);
+    const auto &baseNoisy = campaign.result(bn).timelines.at(0);
+    const auto &fsQuiet = campaign.result(fq).timelines.at(0);
+    const auto &fsNoisy = campaign.result(fn).timelines.at(0);
 
-    std::cout << "\n== Figure 4: execution profiles for mcf ==\n";
-    std::cout << "columns: CPU cycles to complete N x 2k "
-                 "instructions\n";
+    if (!opts.csvOnly) {
+        std::cout << "\n== Figure 4: execution profiles for mcf ==\n";
+        std::cout << "columns: CPU cycles to complete N x 2k "
+                     "instructions\n";
+    }
     Table t;
     t.header({"x2k-instr", "base+idle", "base+hog", "FS+idle",
               "FS+hog"});
@@ -65,21 +80,25 @@ main()
                std::to_string(fsQuiet.progress[i]),
                std::to_string(fsNoisy.progress[i])});
     }
-    t.print(std::cout);
-
     const auto baseAudit =
         core::compareTimelines(baseQuiet, baseNoisy);
     const auto fsAudit = core::compareTimelines(fsQuiet, fsNoisy);
-    std::cout << "\nbaseline curves diverge: "
-              << (baseAudit.identical ? "NO (unexpected!)" : "yes")
-              << " (max progress skew "
-              << Table::num(baseAudit.maxProgressSkewPct, 1) << "%)\n";
-    std::cout << "FS curves identical:     "
-              << (fsAudit.identical ? "yes (zero leakage)"
-                                    : "NO (unexpected!): " +
-                                          fsAudit.detail)
-              << "\n";
-    std::cout << "\ncsv:\n";
-    t.printCsv(std::cout);
+    if (opts.csvOnly) {
+        t.printCsv(std::cout);
+    } else {
+        t.print(std::cout);
+        std::cout << "\nbaseline curves diverge: "
+                  << (baseAudit.identical ? "NO (unexpected!)" : "yes")
+                  << " (max progress skew "
+                  << Table::num(baseAudit.maxProgressSkewPct, 1)
+                  << "%)\n";
+        std::cout << "FS curves identical:     "
+                  << (fsAudit.identical ? "yes (zero leakage)"
+                                        : "NO (unexpected!): " +
+                                              fsAudit.detail)
+                  << "\n";
+        std::cout << "\ncsv:\n";
+        t.printCsv(std::cout);
+    }
     return fsAudit.identical && !baseAudit.identical ? 0 : 1;
 }

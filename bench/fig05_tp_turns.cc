@@ -15,9 +15,10 @@ using namespace memsec;
 using namespace memsec::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
     setQuiet(true);
+    const BenchOptions opts = BenchOptions::parse(argc, argv);
     struct TpPoint
     {
         std::string label;
@@ -32,9 +33,30 @@ main()
 
     const Config base = baseConfig(8);
     const auto workloads = cpu::evaluationSuite();
+    std::cerr << "fig05: TP turn-length sweep (--jobs " << opts.jobs
+              << ")\n";
 
-    std::cout << "== Figure 5: TP with varying turn lengths "
-                 "(sum of weighted IPCs; baseline = 8.0) ==\n";
+    harness::Campaign campaign;
+    std::vector<size_t> baselineIdx;
+    std::vector<std::vector<size_t>> pointIdx;
+    for (const auto &wl : workloads) {
+        Config bc = base;
+        bc.merge(harness::schemeConfig("baseline"));
+        bc.set("workload", wl);
+        baselineIdx.push_back(campaign.add(wl + "/baseline", bc));
+        pointIdx.emplace_back();
+        for (const auto &p : points) {
+            Config c = base;
+            c.merge(harness::schemeConfig(p.baseScheme));
+            c.set("tp.turn", p.turn);
+            c.set("workload", wl);
+            pointIdx.back().push_back(
+                campaign.add(wl + "/" + p.label, std::move(c)));
+        }
+    }
+    const auto &summary = campaign.run(opts.campaignOptions());
+    std::cerr << summary.toString() << "\n";
+
     Table t;
     std::vector<std::string> hdr = {"workload"};
     for (const auto &p : points)
@@ -42,28 +64,25 @@ main()
     t.header(hdr);
 
     std::vector<double> am(points.size(), 0.0);
-    for (const auto &wl : workloads) {
-        std::cerr << "  [" << wl << "]" << std::flush;
-        const auto baseIpc = harness::baselineIpc(wl, base);
+    for (size_t w = 0; w < workloads.size(); ++w) {
+        const auto baseIpc = campaign.result(baselineIdx[w]).ipc;
         std::vector<double> vals;
         for (size_t i = 0; i < points.size(); ++i) {
-            std::cerr << " " << points[i].label << std::flush;
-            Config c = base;
-            c.merge(harness::schemeConfig(points[i].baseScheme));
-            c.set("tp.turn", points[i].turn);
-            c.set("workload", wl);
-            const double w =
-                harness::runExperiment(c).weightedIpc(baseIpc);
-            vals.push_back(w);
-            am[i] += w;
+            const double v = campaign.result(pointIdx[w][i])
+                                 .weightedIpc(baseIpc);
+            vals.push_back(v);
+            am[i] += v;
         }
-        std::cerr << "\n";
-        t.rowNumeric(wl, vals);
+        t.rowNumeric(workloads[w], vals);
     }
     for (auto &v : am)
         v /= static_cast<double>(workloads.size());
     t.rowNumeric("AM", am);
-    t.print(std::cout);
+    printTable("Figure 5: TP with varying turn lengths "
+               "(sum of weighted IPCs; baseline = 8.0)",
+               t, opts);
+    if (opts.csvOnly)
+        return 0;
 
     std::cout << "\npaper shape check: minimum turn lengths are best "
                  "on average (wait time dominates bandwidth)\n";
@@ -75,7 +94,5 @@ main()
               << " vs " << Table::num(am[5], 3)
               << (am[3] > am[5] ? "  (minimum wins)" : "  (differs)")
               << "\n";
-    std::cout << "\ncsv:\n";
-    t.printCsv(std::cout);
     return 0;
 }

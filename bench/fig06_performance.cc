@@ -16,17 +16,21 @@ using namespace memsec;
 using namespace memsec::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
     setQuiet(true);
+    const BenchOptions opts = BenchOptions::parse(argc, argv);
     const std::vector<std::string> schemes = {
         "fs_rp", "fs_reordered_bp", "tp_bp", "fs_np_triple", "tp_np"};
-    std::cerr << "fig06: performance for 8-core FS and TP\n";
+    std::cerr << "fig06: performance for 8-core FS and TP (--jobs "
+              << opts.jobs << ")\n";
     const auto rows = runSuite(schemes, cpu::evaluationSuite(),
-                               baseConfig(8));
+                               baseConfig(8), opts);
     printFigure("Figure 6: Performance for 8-core FS and TP "
                 "(sum of weighted IPCs; baseline = 8.0)",
-                rows, schemes, "");
+                rows, schemes, "", opts);
+    if (opts.csvOnly)
+        return 0;
 
     std::cout << "\npaper reference (relative to baseline): "
                  "FS_RP ~0.73, FS_Reordered_BP ~0.48, TP_BP ~0.43, "

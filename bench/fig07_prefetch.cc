@@ -16,17 +16,21 @@ using namespace memsec;
 using namespace memsec::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
     setQuiet(true);
+    const BenchOptions opts = BenchOptions::parse(argc, argv);
     const std::vector<std::string> schemes = {
         "baseline_prefetch", "fs_rp_prefetch", "fs_rp"};
-    std::cerr << "fig07: prefetch optimisation\n";
+    std::cerr << "fig07: prefetch optimisation (--jobs " << opts.jobs
+              << ")\n";
     const auto rows = runSuite(schemes, cpu::evaluationSuite(),
-                               baseConfig(8));
+                               baseConfig(8), opts);
     printFigure("Figure 7: FS_RP with/without prefetch "
                 "(sum of weighted IPCs; baseline = 8.0)",
-                rows, schemes, "");
+                rows, schemes, "", opts);
+    if (opts.csvOnly)
+        return 0;
 
     // Aggregate prefetch statistics across the suite.
     uint64_t issued = 0;

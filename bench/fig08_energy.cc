@@ -33,15 +33,36 @@ energyPerWork(const harness::ExperimentResult &r)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     setQuiet(true);
+    const BenchOptions opts = BenchOptions::parse(argc, argv);
     const std::vector<std::string> schemes = {
         "fs_rp", "fs_reordered_bp", "tp_bp", "fs_np_triple", "tp_np"};
-    std::cerr << "fig08: memory energy\n";
+    std::cerr << "fig08: memory energy (--jobs " << opts.jobs << ")\n";
 
     const Config base = baseConfig(8);
     const auto workloads = cpu::evaluationSuite();
+
+    harness::Campaign campaign;
+    std::vector<size_t> baselineIdx;
+    std::vector<std::vector<size_t>> schemeIdx;
+    for (const auto &wl : workloads) {
+        Config bc = base;
+        bc.merge(harness::schemeConfig("baseline"));
+        bc.set("workload", wl);
+        baselineIdx.push_back(campaign.add(wl + "/baseline", bc));
+        schemeIdx.emplace_back();
+        for (const auto &scheme : schemes) {
+            Config c = base;
+            c.merge(harness::schemeConfig(scheme));
+            c.set("workload", wl);
+            schemeIdx.back().push_back(
+                campaign.add(wl + "/" + scheme, std::move(c)));
+        }
+    }
+    const auto &summary = campaign.run(opts.campaignOptions());
+    std::cerr << summary.toString() << "\n";
 
     Table t;
     std::vector<std::string> hdr = {"workload"};
@@ -49,38 +70,31 @@ main()
     t.header(hdr);
 
     std::vector<double> am(schemes.size(), 0.0);
-    for (const auto &wl : workloads) {
-        std::cerr << "  [" << wl << "]" << std::flush;
-        Config bc = base;
-        bc.merge(harness::schemeConfig("baseline"));
-        bc.set("workload", wl);
-        const double baseE = energyPerWork(harness::runExperiment(bc));
+    for (size_t w = 0; w < workloads.size(); ++w) {
+        const double baseE =
+            energyPerWork(campaign.result(baselineIdx[w]));
         std::vector<double> vals;
         for (size_t i = 0; i < schemes.size(); ++i) {
-            std::cerr << " " << schemes[i] << std::flush;
-            Config c = base;
-            c.merge(harness::schemeConfig(schemes[i]));
-            c.set("workload", wl);
             const double e =
-                energyPerWork(harness::runExperiment(c)) / baseE;
+                energyPerWork(campaign.result(schemeIdx[w][i])) /
+                baseE;
             vals.push_back(e);
             am[i] += e;
         }
-        std::cerr << "\n";
-        t.rowNumeric(wl, vals);
+        t.rowNumeric(workloads[w], vals);
     }
     for (auto &v : am)
         v /= static_cast<double>(workloads.size());
     t.rowNumeric("AM", am);
 
-    std::cout << "\n== Figure 8: normalised memory energy "
-                 "(baseline = 1.0, lower is better) ==\n";
-    t.print(std::cout);
+    printTable("Figure 8: normalised memory energy "
+               "(baseline = 1.0, lower is better)",
+               t, opts);
+    if (opts.csvOnly)
+        return 0;
     std::cout << "\npaper shape check: FS_RP < TP_BP -> "
               << Table::num(am[0], 3) << " vs " << Table::num(am[2], 3)
               << (am[0] < am[2] ? "  (matches)" : "  (UNEXPECTED)")
               << "\n";
-    std::cout << "\ncsv:\n";
-    t.printCsv(std::cout);
     return 0;
 }

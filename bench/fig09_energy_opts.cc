@@ -30,17 +30,39 @@ energyPerWork(const harness::ExperimentResult &r)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     setQuiet(true);
+    const BenchOptions opts = BenchOptions::parse(argc, argv);
     const std::vector<std::string> schemes = {
         "fs_rp", "fs_rp_suppress", "fs_rp_boost", "fs_rp_powerdown"};
     const std::vector<std::string> labels = {
         "FS_RP", "Suppressed_Dummy", "Row-buffer-opt", "Power-Down"};
-    std::cerr << "fig09: FS energy optimisations\n";
+    std::cerr << "fig09: FS energy optimisations (--jobs " << opts.jobs
+              << ")\n";
 
     const Config base = baseConfig(8);
     const auto workloads = cpu::evaluationSuite();
+
+    harness::Campaign campaign;
+    std::vector<size_t> baselineIdx;
+    std::vector<std::vector<size_t>> schemeIdx;
+    for (const auto &wl : workloads) {
+        Config bc = base;
+        bc.merge(harness::schemeConfig("baseline"));
+        bc.set("workload", wl);
+        baselineIdx.push_back(campaign.add(wl + "/baseline", bc));
+        schemeIdx.emplace_back();
+        for (size_t i = 0; i < schemes.size(); ++i) {
+            Config c = base;
+            c.merge(harness::schemeConfig(schemes[i]));
+            c.set("workload", wl);
+            schemeIdx.back().push_back(
+                campaign.add(wl + "/" + labels[i], std::move(c)));
+        }
+    }
+    const auto &summary = campaign.run(opts.campaignOptions());
+    std::cerr << summary.toString() << "\n";
 
     Table t;
     std::vector<std::string> hdr = {"workload"};
@@ -48,40 +70,33 @@ main()
     t.header(hdr);
 
     std::vector<double> am(schemes.size(), 0.0);
-    for (const auto &wl : workloads) {
-        std::cerr << "  [" << wl << "]" << std::flush;
-        Config bc = base;
-        bc.merge(harness::schemeConfig("baseline"));
-        bc.set("workload", wl);
-        const double baseE = energyPerWork(harness::runExperiment(bc));
+    for (size_t w = 0; w < workloads.size(); ++w) {
+        const double baseE =
+            energyPerWork(campaign.result(baselineIdx[w]));
         std::vector<double> vals;
         for (size_t i = 0; i < schemes.size(); ++i) {
-            std::cerr << " " << labels[i] << std::flush;
-            Config c = base;
-            c.merge(harness::schemeConfig(schemes[i]));
-            c.set("workload", wl);
             const double e =
-                energyPerWork(harness::runExperiment(c)) / baseE;
+                energyPerWork(campaign.result(schemeIdx[w][i])) /
+                baseE;
             vals.push_back(e);
             am[i] += e;
         }
-        std::cerr << "\n";
-        t.rowNumeric(wl, vals);
+        t.rowNumeric(workloads[w], vals);
     }
     for (auto &v : am)
         v /= static_cast<double>(workloads.size());
     t.rowNumeric("AM", am);
 
-    std::cout << "\n== Figure 9: FS_RP energy with cumulative "
-                 "optimisations (baseline = 1.0) ==\n";
-    t.print(std::cout);
+    printTable("Figure 9: FS_RP energy with cumulative "
+               "optimisations (baseline = 1.0)",
+               t, opts);
+    if (opts.csvOnly)
+        return 0;
     std::cout << "\ncumulative reduction: "
               << Table::num(100.0 * (1.0 - am.back() / am.front()), 1)
               << "% (paper: 52.5%)\n";
     std::cout << "gap to baseline after all optimisations: "
               << Table::num(100.0 * (am.back() - 1.0), 1)
               << "% (paper: 3.4%)\n";
-    std::cout << "\ncsv:\n";
-    t.printCsv(std::cout);
     return 0;
 }

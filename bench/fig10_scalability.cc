@@ -16,46 +16,75 @@ using namespace memsec;
 using namespace memsec::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
     setQuiet(true);
+    const BenchOptions opts = BenchOptions::parse(argc, argv);
     const std::vector<std::string> schemes = {"fs_rp",
                                               "fs_reordered_bp",
                                               "tp_bp"};
+    const std::vector<unsigned> coreCounts = {8u, 4u, 2u};
     const auto workloads = cpu::evaluationSuite();
+    std::cerr << "fig10: scalability sweep (--jobs " << opts.jobs
+              << ")\n";
 
-    std::cout << "== Figure 10: performance vs core count "
-                 "(AM of weighted IPC; baseline = core count) ==\n";
+    // One campaign across all core counts: (baseline + 3 schemes) x
+    // 12 workloads x 3 core counts.
+    harness::Campaign campaign;
+    struct CellIdx
+    {
+        size_t baseline;
+        std::vector<size_t> scheme;
+    };
+    std::vector<std::vector<CellIdx>> idx; // [coreCount][workload]
+    for (unsigned cores : coreCounts) {
+        const Config base = baseConfig(cores);
+        idx.emplace_back();
+        for (const auto &wl : workloads) {
+            CellIdx cell;
+            Config bc = base;
+            bc.merge(harness::schemeConfig("baseline"));
+            bc.set("workload", wl);
+            cell.baseline = campaign.add(
+                std::to_string(cores) + "c/" + wl + "/baseline", bc);
+            for (const auto &scheme : schemes) {
+                Config c = base;
+                c.merge(harness::schemeConfig(scheme));
+                c.set("workload", wl);
+                cell.scheme.push_back(campaign.add(
+                    std::to_string(cores) + "c/" + wl + "/" + scheme,
+                    std::move(c)));
+            }
+            idx.back().push_back(std::move(cell));
+        }
+    }
+    const auto &summary = campaign.run(opts.campaignOptions());
+    std::cerr << summary.toString() << "\n";
+
     Table t;
     t.header({"cores", "FS_RP", "FS_Reordered_BP", "TP", "FS/TP"});
-
-    for (unsigned cores : {8u, 4u, 2u}) {
-        std::cerr << "fig10: " << cores << " cores\n";
-        const Config base = baseConfig(cores);
+    for (size_t cc = 0; cc < coreCounts.size(); ++cc) {
         std::vector<double> am(schemes.size(), 0.0);
-        for (const auto &wl : workloads) {
-            std::cerr << "  [" << wl << "]" << std::flush;
-            const auto baseIpc = harness::baselineIpc(wl, base);
+        for (size_t w = 0; w < workloads.size(); ++w) {
+            const CellIdx &cell = idx[cc][w];
+            const auto baseIpc = campaign.result(cell.baseline).ipc;
             for (size_t i = 0; i < schemes.size(); ++i) {
-                std::cerr << " " << schemes[i] << std::flush;
-                Config c = base;
-                c.merge(harness::schemeConfig(schemes[i]));
-                c.set("workload", wl);
-                am[i] +=
-                    harness::runExperiment(c).weightedIpc(baseIpc);
+                am[i] += campaign.result(cell.scheme[i])
+                             .weightedIpc(baseIpc);
             }
-            std::cerr << "\n";
         }
         for (auto &v : am)
             v /= static_cast<double>(workloads.size());
-        t.row({std::to_string(cores), Table::num(am[0], 3),
+        t.row({std::to_string(coreCounts[cc]), Table::num(am[0], 3),
                Table::num(am[1], 3), Table::num(am[2], 3),
                Table::num(am[0] / am[2], 2)});
     }
-    t.print(std::cout);
+    printTable("Figure 10: performance vs core count "
+               "(AM of weighted IPC; baseline = core count)",
+               t, opts);
+    if (opts.csvOnly)
+        return 0;
     std::cout << "\npaper reference: FS beats TP by ~85% at 4 cores "
                  "and ~18% at 2 cores\n";
-    std::cout << "\ncsv:\n";
-    t.printCsv(std::cout);
     return 0;
 }

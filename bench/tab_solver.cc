@@ -5,24 +5,30 @@
  * the reordered-interval solution, and the triple-alternation factor
  * — for the paper's DDR3-1600 part and two generalisation parts.
  * Also renders the Figure 1 command/data timeline for eight slots.
+ *
+ * Pure analytics: runs no simulations, so --jobs has no effect; the
+ * flags are accepted for uniformity and --csv emits just the tables.
  */
 
 #include <iostream>
 
+#include "bench_common.hh"
 #include "core/pipeline_solver.hh"
 #include "core/slot_schedule.hh"
 #include "util/table.hh"
 
 using namespace memsec;
 using namespace memsec::core;
+using memsec::bench::BenchOptions;
+using memsec::bench::printTable;
 
 namespace {
 
 void
-solveTable(const char *part, const dram::TimingParams &tp)
+solveTable(const char *part, const dram::TimingParams &tp,
+           const BenchOptions &opts)
 {
     PipelineSolver solver(tp);
-    std::cout << "\n-- " << part << " (" << tp.toString() << ") --\n";
     Table t;
     t.header({"partitioning", "reference", "l", "Q(8 threads)",
               "peak util"});
@@ -41,7 +47,10 @@ solveTable(const char *part, const dram::TimingParams &tp)
                        : "-"});
         }
     }
-    t.print(std::cout);
+    printTable(std::string(part) + " (" + tp.toString() + ")", t,
+               opts);
+    if (opts.csvOnly)
+        return;
 
     const auto re = solver.solveReordered(8);
     std::cout << "reordered bank partitioning: spacing=" << re.spacing
@@ -85,19 +94,24 @@ drawFigure1(const dram::TimingParams &tp)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    std::cout << "== Pipeline solver: the paper's derived constants "
-                 "==\n";
-    std::cout << "expected for DDR3-1600: rank/data=7, rank/RAS=12, "
-                 "rank/CAS=12,\n  bank/RAS=15, bank/data=21, "
-                 "none/RAS=43; reordered Q=63; alternation=3\n";
+    const BenchOptions opts = BenchOptions::parse(argc, argv);
+    if (!opts.csvOnly) {
+        std::cout << "== Pipeline solver: the paper's derived "
+                     "constants ==\n";
+        std::cout << "expected for DDR3-1600: rank/data=7, "
+                     "rank/RAS=12, rank/CAS=12,\n  bank/RAS=15, "
+                     "bank/data=21, none/RAS=43; reordered Q=63; "
+                     "alternation=3\n";
+    }
     solveTable("DDR3-1600 4Gb (paper Table 1)",
-               dram::TimingParams::ddr3_1600_4gb());
+               dram::TimingParams::ddr3_1600_4gb(), opts);
     solveTable("DDR3-2133 (generalisation)",
-               dram::TimingParams::ddr3_2133());
+               dram::TimingParams::ddr3_2133(), opts);
     solveTable("DDR4-2400 (generalisation)",
-               dram::TimingParams::ddr4_2400());
-    drawFigure1(dram::TimingParams::ddr3_1600_4gb());
+               dram::TimingParams::ddr4_2400(), opts);
+    if (!opts.csvOnly)
+        drawFigure1(dram::TimingParams::ddr3_1600_4gb());
     return 0;
 }

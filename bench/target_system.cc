@@ -17,35 +17,51 @@ using namespace memsec;
 using namespace memsec::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
     setQuiet(true);
+    const BenchOptions opts = BenchOptions::parse(argc, argv);
     const std::vector<std::string> workloads = {"mix1", "mix2",
                                                 "libquantum", "mcf",
                                                 "zeusmp"};
-    std::cout << "== Target system: 32 cores, 4 channels "
-                 "(sum of weighted IPCs; baseline = 32) ==\n";
-    Table t;
-    t.header({"workload", "fs_rp", "relative"});
+    std::cerr << "target_system: 32-core / 4-channel runs (--jobs "
+              << opts.jobs << ")\n";
 
     Config base = baseConfig(32);
     base.set("dram.channels", 4);
 
-    double amRel = 0.0;
+    harness::Campaign campaign;
+    std::vector<size_t> baselineIdx, schemeIdx;
     for (const auto &wl : workloads) {
-        std::cerr << "target_system: " << wl << "\n";
-        const auto baseIpc = harness::baselineIpc(wl, base);
+        Config bc = base;
+        bc.merge(harness::schemeConfig("baseline"));
+        bc.set("workload", wl);
+        baselineIdx.push_back(campaign.add(wl + "/baseline", bc));
         Config c = base;
         c.merge(harness::schemeConfig("fs_rp"));
-        c.set("dram.channels", 4);
         c.set("workload", wl);
-        const double w =
-            harness::runExperiment(c).weightedIpc(baseIpc);
-        t.row({wl, Table::num(w, 3), Table::num(w / 32.0, 3)});
-        amRel += w / 32.0;
+        schemeIdx.push_back(campaign.add(wl + "/fs_rp", std::move(c)));
+    }
+    const auto &summary = campaign.run(opts.campaignOptions());
+    std::cerr << summary.toString() << "\n";
+
+    Table t;
+    t.header({"workload", "fs_rp", "relative"});
+    double amRel = 0.0;
+    for (size_t w = 0; w < workloads.size(); ++w) {
+        const auto baseIpc = campaign.result(baselineIdx[w]).ipc;
+        const double wi =
+            campaign.result(schemeIdx[w]).weightedIpc(baseIpc);
+        t.row({workloads[w], Table::num(wi, 3),
+               Table::num(wi / 32.0, 3)});
+        amRel += wi / 32.0;
     }
     amRel /= static_cast<double>(workloads.size());
-    t.print(std::cout);
+    printTable("Target system: 32 cores, 4 channels "
+               "(sum of weighted IPCs; baseline = 32)",
+               t, opts);
+    if (opts.csvOnly)
+        return 0;
     std::cout << "\nAM relative throughput at 32 cores: "
               << Table::num(amRel, 3)
               << " (8-core / 1-channel headline: ~0.73)\n";

@@ -7,47 +7,66 @@
  * best-effort batch jobs. The FS controller turns the SLA directly
  * into issue slots, preserving isolation while differentiating
  * bandwidth.
+ *
+ * The three SLA points are submitted as one campaign, so
+ * `cloud_sla --jobs 3` runs them concurrently with bit-identical
+ * results to `cloud_sla --serial`.
  */
 
 #include <iostream>
 
+#include "bench_common.hh"
+#include "harness/campaign.hh"
 #include "harness/experiment.hh"
 #include "util/logging.hh"
 #include "util/table.hh"
 
 using namespace memsec;
+using memsec::bench::BenchOptions;
+using memsec::bench::printTable;
 
 int
-main()
+main(int argc, char **argv)
 {
     setQuiet(true);
-    std::cout << "cloud SLA scenario: premium (2 slots) vs standard "
-                 "(1 slot) tenants under FS_RP\n\n";
+    const BenchOptions opts = BenchOptions::parse(argc, argv);
+    std::cerr << "cloud SLA scenario: premium (2 slots) vs standard "
+                 "(1 slot) tenants under FS_RP (--jobs "
+              << opts.jobs << ")\n";
 
     // Premium tenant runs a latency-sensitive pointer-chaser; the
     // rest run memory-hungry batch work.
     const char *wl = "mcf,milc,milc,milc,lbm,lbm,lbm,lbm";
+    const std::vector<std::string> weights = {
+        "1,1,1,1,1,1,1,1", "2,1,1,1,1,1,1,1", "3,1,1,1,1,1,1,1"};
+
+    harness::Campaign campaign;
+    std::vector<size_t> idx;
+    for (const auto &w : weights) {
+        Config c = harness::defaultConfig();
+        c.merge(harness::schemeConfig("fs_rp"));
+        c.set("fs.slot_weights", w);
+        c.set("workload", wl);
+        c.set("sim.measure", 100000);
+        idx.push_back(campaign.add("weights " + w, std::move(c)));
+    }
+    const auto &summary = campaign.run(opts.campaignOptions());
+    std::cerr << summary.toString() << "\n";
 
     Table t;
     t.header({"SLA weights", "mcf IPC", "milc IPC (mean)",
               "lbm IPC (mean)"});
-    for (const char *weights :
-         {"1,1,1,1,1,1,1,1", "2,1,1,1,1,1,1,1", "3,1,1,1,1,1,1,1"}) {
-        std::cerr << "weights " << weights << "...\n";
-        Config c = harness::defaultConfig();
-        c.merge(harness::schemeConfig("fs_rp"));
-        c.set("fs.slot_weights", weights);
-        c.set("workload", wl);
-        c.set("sim.measure", 100000);
-        const auto r = harness::runExperiment(c);
-        const double milc =
-            (r.ipc[1] + r.ipc[2] + r.ipc[3]) / 3.0;
+    for (size_t i = 0; i < weights.size(); ++i) {
+        const auto &r = campaign.result(idx[i]);
+        const double milc = (r.ipc[1] + r.ipc[2] + r.ipc[3]) / 3.0;
         const double lbm =
             (r.ipc[4] + r.ipc[5] + r.ipc[6] + r.ipc[7]) / 4.0;
-        t.row({weights, Table::num(r.ipc[0], 3), Table::num(milc, 3),
-               Table::num(lbm, 3)});
+        t.row({weights[i], Table::num(r.ipc[0], 3),
+               Table::num(milc, 3), Table::num(lbm, 3)});
     }
-    t.print(std::cout);
+    printTable("cloud SLA scenario: FS_RP slot weights", t, opts);
+    if (opts.csvOnly)
+        return 0;
 
     std::cout << "\nthe premium tenant's throughput scales with its "
                  "slot weight; the standard tenants'\nservice is "

@@ -1,6 +1,8 @@
 #include "util/logging.hh"
 
+#include <atomic>
 #include <iostream>
+#include <mutex>
 #include <stdexcept>
 #include <utility>
 #include <vector>
@@ -9,13 +11,23 @@ namespace memsec {
 
 namespace {
 
-bool quietFlag = false;
+std::atomic<bool> quietFlag{false};
 
 struct CrashHandler
 {
     int id;
     std::function<void()> fn;
 };
+
+// Every DramSystem registers a crash handler on construction, and the
+// campaign runner constructs experiments from worker threads, so the
+// registry must be lock-protected.
+std::mutex &
+crashHandlerMutex()
+{
+    static std::mutex m;
+    return m;
+}
 
 std::vector<CrashHandler> &
 crashHandlers()
@@ -32,6 +44,7 @@ bool inCrashHandlers = false;
 int
 addCrashHandler(std::function<void()> handler)
 {
+    std::lock_guard<std::mutex> lock(crashHandlerMutex());
     const int id = nextHandlerId++;
     crashHandlers().push_back({id, std::move(handler)});
     return id;
@@ -40,6 +53,7 @@ addCrashHandler(std::function<void()> handler)
 void
 removeCrashHandler(int id)
 {
+    std::lock_guard<std::mutex> lock(crashHandlerMutex());
     auto &handlers = crashHandlers();
     for (auto it = handlers.begin(); it != handlers.end(); ++it) {
         if (it->id == id) {
@@ -77,13 +91,18 @@ logAndDie(LogLevel level, const std::string &msg, const char *file, int line)
 {
     const char *tag = level == LogLevel::Panic ? "panic" : "fatal";
     std::cerr << tag << ": " << msg << " (" << file << ":" << line << ")\n";
-    if (level == LogLevel::Panic && !inCrashHandlers) {
+    if (level == LogLevel::Panic) {
         // Crash snapshots (e.g. the DRAM command-ring dump) run before
         // the failure propagates so post-mortem state reaches stderr.
-        inCrashHandlers = true;
-        for (const auto &h : crashHandlers())
-            h.fn();
-        inCrashHandlers = false;
+        // The registry lock also serialises concurrent panics from
+        // different campaign workers.
+        std::lock_guard<std::mutex> lock(crashHandlerMutex());
+        if (!inCrashHandlers) {
+            inCrashHandlers = true;
+            for (const auto &h : crashHandlers())
+                h.fn();
+            inCrashHandlers = false;
+        }
     }
     if (level == LogLevel::Panic) {
         // Throw instead of abort() so gtest death/exception tests can

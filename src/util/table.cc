@@ -1,6 +1,7 @@
 #include "util/table.hh"
 
 #include <algorithm>
+#include <cctype>
 #include <iomanip>
 #include <ostream>
 #include <sstream>
@@ -38,6 +39,42 @@ Table::num(double v, int precision)
     return os.str();
 }
 
+namespace {
+
+/** "1.23", "-4", "56.7%", "2.0x" — things that should right-align. */
+bool
+looksNumeric(const std::string &s)
+{
+    size_t i = 0;
+    if (i < s.size() && (s[i] == '+' || s[i] == '-'))
+        ++i;
+    bool digits = false;
+    bool dot = false;
+    for (; i < s.size(); ++i) {
+        if (std::isdigit(static_cast<unsigned char>(s[i]))) {
+            digits = true;
+        } else if (s[i] == '.' && !dot) {
+            dot = true;
+        } else {
+            break;
+        }
+    }
+    if (!digits)
+        return false;
+    if (i < s.size() && (s[i] == '%' || s[i] == 'x'))
+        ++i;
+    return i == s.size();
+}
+
+/** Placeholder cells neither establish nor veto a numeric column. */
+bool
+neutralCell(const std::string &s)
+{
+    return s.empty() || s == "-";
+}
+
+} // namespace
+
 void
 Table::print(std::ostream &os) const
 {
@@ -52,18 +89,43 @@ Table::print(std::ostream &os) const
     for (const auto &r : rows_)
         grow(r);
 
-    auto emit = [&](const std::vector<std::string> &cells) {
-        for (size_t i = 0; i < cells.size(); ++i) {
-            os << std::left << std::setw(static_cast<int>(widths[i]) + 2)
-               << cells[i];
+    // A column of values right-aligns (so decimal magnitudes line up
+    // even under a header wider than any value, e.g. a long scheme
+    // name); a column containing any text left-aligns.
+    std::vector<bool> numeric(widths.size(), false);
+    for (size_t i = 0; i < widths.size(); ++i) {
+        bool sawNumber = false;
+        bool sawText = false;
+        for (const auto &r : rows_) {
+            if (i >= r.size() || neutralCell(r[i]))
+                continue;
+            (looksNumeric(r[i]) ? sawNumber : sawText) = true;
         }
-        os << "\n";
+        numeric[i] = sawNumber && !sawText;
+    }
+
+    auto emit = [&](const std::vector<std::string> &cells) {
+        std::string line;
+        for (size_t i = 0; i < cells.size(); ++i) {
+            if (i > 0)
+                line += "  ";
+            const size_t pad = widths[i] > cells[i].size()
+                                   ? widths[i] - cells[i].size()
+                                   : 0;
+            if (numeric[i])
+                line += std::string(pad, ' ') + cells[i];
+            else
+                line += cells[i] + std::string(pad, ' ');
+        }
+        while (!line.empty() && line.back() == ' ')
+            line.pop_back();
+        os << line << "\n";
     };
     if (!header_.empty()) {
         emit(header_);
-        size_t total = 0;
+        size_t total = widths.empty() ? 0 : 2 * (widths.size() - 1);
         for (size_t w : widths)
-            total += w + 2;
+            total += w;
         os << std::string(total, '-') << "\n";
     }
     for (const auto &r : rows_)

@@ -1,0 +1,83 @@
+#include "util/thread_pool.hh"
+
+#include <algorithm>
+
+namespace memsec {
+
+ThreadPool::ThreadPool(unsigned workers)
+{
+    const unsigned n = std::max(1u, workers);
+    threads_.reserve(n);
+    for (unsigned i = 0; i < n; ++i)
+        threads_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    wait();
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    workAvailable_.notify_all();
+    for (auto &t : threads_)
+        t.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> job)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        queue_.push_back(std::move(job));
+        ++submitted_;
+        ++inFlight_;
+    }
+    workAvailable_.notify_one();
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    allDone_.wait(lock, [this] { return inFlight_ == 0; });
+}
+
+uint64_t
+ThreadPool::submitted() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return submitted_;
+}
+
+unsigned
+ThreadPool::defaultWorkers()
+{
+    return std::max(1u, std::thread::hardware_concurrency());
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> job;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            workAvailable_.wait(lock, [this] {
+                return stopping_ || !queue_.empty();
+            });
+            if (queue_.empty())
+                return; // stopping_ and drained
+            job = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        job();
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (--inFlight_ == 0)
+                allDone_.notify_all();
+        }
+    }
+}
+
+} // namespace memsec

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Fixed-size worker-thread pool for embarrassingly parallel jobs.
+ *
+ * The campaign runner executes independent experiments concurrently;
+ * each job owns all of its state, so the pool needs no result
+ * plumbing — submit closures, then wait(). Jobs must not throw: a
+ * leaked exception would tear down the process from a worker thread,
+ * so the submitting layer is responsible for catching (the campaign
+ * runner converts exceptions into per-run error records).
+ */
+
+#ifndef MEMSEC_UTIL_THREAD_POOL_HH
+#define MEMSEC_UTIL_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace memsec {
+
+/**
+ * N worker threads draining a FIFO job queue. Construction spawns the
+ * workers; the destructor drains outstanding jobs and joins. A pool
+ * of one worker still runs jobs on the worker thread (not the
+ * caller's), so the execution environment is identical at any width.
+ */
+class ThreadPool
+{
+  public:
+    /** Spawn `workers` threads (clamped to >= 1). */
+    explicit ThreadPool(unsigned workers);
+
+    /** Waits for all submitted jobs, then joins the workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Enqueue one job. Jobs must not throw. */
+    void submit(std::function<void()> job);
+
+    /** Block until every submitted job has finished. */
+    void wait();
+
+    unsigned workers() const
+    {
+        return static_cast<unsigned>(threads_.size());
+    }
+
+    /** Jobs submitted over the pool's lifetime. */
+    uint64_t submitted() const;
+
+    /**
+     * The machine's available hardware concurrency (>= 1).
+     * hardware_concurrency() may return 0 on exotic platforms.
+     */
+    static unsigned defaultWorkers();
+
+  private:
+    void workerLoop();
+
+    mutable std::mutex mutex_;
+    std::condition_variable workAvailable_;
+    std::condition_variable allDone_;
+    std::deque<std::function<void()>> queue_;
+    std::vector<std::thread> threads_;
+    uint64_t submitted_ = 0;
+    size_t inFlight_ = 0; ///< queued + currently executing
+    bool stopping_ = false;
+};
+
+} // namespace memsec
+
+#endif // MEMSEC_UTIL_THREAD_POOL_HH

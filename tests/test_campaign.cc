@@ -1,0 +1,299 @@
+/**
+ * @file
+ * Campaign runner tests. The load-bearing one is the determinism
+ * check: a mixed FS/TP/baseline campaign run with --jobs 8 must be
+ * byte-identical (per resultDigest, which renders every double in
+ * hexfloat and includes the noninterference timelines) to the same
+ * campaign run serially. Parallelism that perturbed any run's
+ * timeline would silently invalidate the leakage audit, so this is a
+ * security property, not a convenience.
+ *
+ * Also covered: memoization accounting (equal canonical configs run
+ * once), failure isolation (a throwing run or an injected
+ * queue-overflow fault must not kill or perturb sibling runs), and
+ * fingerprint stability.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "harness/campaign.hh"
+#include "harness/experiment.hh"
+#include "util/logging.hh"
+
+using namespace memsec;
+using harness::Campaign;
+using harness::CampaignOptions;
+using harness::ExperimentResult;
+
+namespace {
+
+/** A small but non-trivial config: 2 cores, timelines captured. */
+Config
+tinyConfig(const std::string &scheme, const std::string &workload,
+           Cycle measure = 3000)
+{
+    Config c = harness::defaultConfig();
+    c.merge(harness::schemeConfig(scheme));
+    c.set("cores", 2);
+    c.set("workload", workload);
+    c.set("sim.warmup", 500);
+    c.set("sim.measure", static_cast<int64_t>(measure));
+    c.set("audit.core", 0); // capture victim timelines
+    return c;
+}
+
+/** The mixed campaign both determinism runs submit. */
+void
+submitMixedCampaign(Campaign &campaign)
+{
+    campaign.add("baseline/mcf", tinyConfig("baseline", "mcf,mcf"));
+    campaign.add("fs_rp/mcf", tinyConfig("fs_rp", "mcf,mcf"));
+    campaign.add("fs_rp/milc", tinyConfig("fs_rp", "milc,mcf"));
+    campaign.add("tp_bp/mcf", tinyConfig("tp_bp", "mcf,mcf"));
+    campaign.add("fs_reordered_bp/lbm",
+                 tinyConfig("fs_reordered_bp", "lbm,mcf"));
+    campaign.add("baseline/milc", tinyConfig("baseline", "milc,milc"));
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// Determinism: parallel == serial, byte for byte.
+// ---------------------------------------------------------------------
+
+TEST(CampaignDeterminism, ParallelIsByteIdenticalToSerial)
+{
+    setQuiet(true);
+
+    Campaign serial;
+    submitMixedCampaign(serial);
+    CampaignOptions serialOpts;
+    serialOpts.jobs = 1;
+    const auto &ss = serial.run(serialOpts);
+    EXPECT_EQ(ss.failures, 0u);
+
+    Campaign par;
+    submitMixedCampaign(par);
+    CampaignOptions parOpts;
+    parOpts.jobs = 8;
+    const auto &ps = par.run(parOpts);
+    EXPECT_EQ(ps.failures, 0u);
+
+    ASSERT_EQ(serial.size(), par.size());
+    for (size_t i = 0; i < serial.size(); ++i) {
+        const auto &a = serial.result(i);
+        const auto &b = par.result(i);
+        // Timelines must actually have been captured, otherwise the
+        // digest comparison is vacuous for the audit.
+        ASSERT_FALSE(a.timelines.empty()) << "run " << i;
+        ASSERT_FALSE(a.timelines[0].service.empty()) << "run " << i;
+        EXPECT_EQ(harness::resultDigest(a), harness::resultDigest(b))
+            << "run " << i << " ("
+            << serial.outcome(i).label << ") diverged under --jobs 8";
+    }
+}
+
+TEST(CampaignDeterminism, RepeatedParallelRunsAgree)
+{
+    setQuiet(true);
+    std::vector<std::string> digests;
+    for (int rep = 0; rep < 2; ++rep) {
+        Campaign c;
+        c.add("fs_rp/mcf", tinyConfig("fs_rp", "mcf,mcf"));
+        c.add("tp_bp/mcf", tinyConfig("tp_bp", "mcf,mcf"));
+        CampaignOptions o;
+        o.jobs = 4;
+        c.run(o);
+        std::string d;
+        for (size_t i = 0; i < c.size(); ++i)
+            d += harness::resultDigest(c.result(i));
+        digests.push_back(d);
+    }
+    EXPECT_EQ(digests[0], digests[1]);
+}
+
+// ---------------------------------------------------------------------
+// Memoization: equal canonical configs execute once.
+// ---------------------------------------------------------------------
+
+TEST(CampaignMemo, EqualConfigsExecuteOnce)
+{
+    std::atomic<int> invocations{0};
+    Campaign c([&invocations](const Config &) {
+        ++invocations;
+        ExperimentResult r;
+        r.scheme = "stub";
+        return r;
+    });
+
+    Config a;
+    a.set("scheme", "fs_rp");
+    a.set("workload", "mcf");
+    Config b; // same keys, different insertion order
+    b.set("workload", "mcf");
+    b.set("scheme", "fs_rp");
+    Config d;
+    d.set("scheme", "fs_rp");
+    d.set("workload", "milc");
+
+    c.add("first", a);
+    c.add("dup", b);
+    c.add("distinct", d);
+    c.add("dup2", a);
+    const auto &s = c.run();
+
+    EXPECT_EQ(invocations.load(), 2);
+    EXPECT_EQ(s.runs, 4u);
+    EXPECT_EQ(s.executed, 2u);
+    EXPECT_EQ(s.memoHits, 2u);
+    EXPECT_FALSE(c.outcome(0).memoized);
+    EXPECT_TRUE(c.outcome(1).memoized);
+    EXPECT_FALSE(c.outcome(2).memoized);
+    EXPECT_TRUE(c.outcome(3).memoized);
+    // Memoized runs still expose the shared result.
+    EXPECT_EQ(c.result(1).scheme, "stub");
+    EXPECT_EQ(c.result(3).scheme, "stub");
+}
+
+TEST(CampaignMemo, RealRunsShareResultsByteForByte)
+{
+    setQuiet(true);
+    Campaign c;
+    c.add("a", tinyConfig("fs_rp", "mcf,mcf", 2000));
+    c.add("b", tinyConfig("fs_rp", "mcf,mcf", 2000));
+    CampaignOptions o;
+    o.jobs = 2;
+    const auto &s = c.run(o);
+    EXPECT_EQ(s.executed, 1u);
+    EXPECT_EQ(s.memoHits, 1u);
+    EXPECT_EQ(harness::resultDigest(c.result(0)),
+              harness::resultDigest(c.result(1)));
+    EXPECT_EQ(c.outcome(1).wallSeconds, 0.0);
+}
+
+TEST(CampaignMemo, FingerprintIsInsertionOrderStable)
+{
+    Config a;
+    a.set("x", 1);
+    a.set("y", "two");
+    Config b;
+    b.set("y", "two");
+    b.set("x", 1);
+    EXPECT_EQ(Campaign::fingerprint(a), Campaign::fingerprint(b));
+
+    Config d = a;
+    d.set("x", 2);
+    EXPECT_NE(Campaign::fingerprint(a), Campaign::fingerprint(d));
+}
+
+// ---------------------------------------------------------------------
+// Failure isolation.
+// ---------------------------------------------------------------------
+
+TEST(CampaignFailures, ThrowingRunDoesNotKillSiblings)
+{
+    Campaign c([](const Config &cfg) {
+        if (cfg.getBool("explode", false))
+            throw std::runtime_error("boom");
+        ExperimentResult r;
+        r.scheme = cfg.getString("scheme", "?");
+        return r;
+    });
+    Config good;
+    good.set("scheme", "fine");
+    Config bad;
+    bad.set("scheme", "doomed");
+    bad.set("explode", true);
+
+    c.add("ok0", good);
+    const size_t badIdx = c.add("bad", bad);
+    Config good2 = good;
+    good2.set("tag", 2);
+    c.add("ok1", good2);
+
+    CampaignOptions o;
+    o.jobs = 3;
+    const auto &s = c.run(o);
+
+    EXPECT_EQ(s.failures, 1u);
+    EXPECT_FALSE(c.outcome(badIdx).ok);
+    EXPECT_NE(c.outcome(badIdx).error.find("boom"), std::string::npos);
+    EXPECT_TRUE(c.outcome(0).ok);
+    EXPECT_TRUE(c.outcome(2).ok);
+    EXPECT_EQ(c.result(0).scheme, "fine");
+}
+
+TEST(CampaignFailures, QueueOverflowFaultSurfacesInSummary)
+{
+    setQuiet(true);
+    Campaign c;
+    Config faulty = tinyConfig("fs_rp", "mcf,mcf", 4000);
+    faulty.set("sim.warmup", 0);
+    faulty.set("fault.kind", "queue-overflow");
+    faulty.set("fault.rate", 1.0);
+    const size_t faultIdx = c.add("fs_rp/faulty", faulty);
+    const size_t okIdx =
+        c.add("fs_rp/clean", tinyConfig("fs_rp", "mcf,mcf", 2000));
+
+    CampaignOptions o;
+    o.jobs = 2;
+    const auto &s = c.run(o);
+
+    // The fault is recoverable: the run completes, its SimErrors are
+    // aggregated in the summary, and the sibling is untouched.
+    EXPECT_EQ(s.failures, 0u);
+    EXPECT_TRUE(c.outcome(faultIdx).ok);
+    EXPECT_TRUE(c.outcome(okIdx).ok);
+    EXPECT_GT(s.simErrors, 0u);
+    ASSERT_TRUE(s.simErrorsByCategory.count("queue-overflow"));
+    EXPECT_GT(s.simErrorsByCategory.at("queue-overflow"), 0u);
+    EXPECT_TRUE(c.result(okIdx).simErrors.empty());
+    EXPECT_NE(s.toString().find("queue-overflow"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Progress narration and accounting.
+// ---------------------------------------------------------------------
+
+TEST(CampaignProgress, NarratesEveryExecutedRun)
+{
+    Campaign c([](const Config &) { return ExperimentResult{}; });
+    Config a;
+    a.set("k", 1);
+    Config b;
+    b.set("k", 2);
+    c.add("run-one", a);
+    c.add("run-two", b);
+
+    std::ostringstream progress;
+    CampaignOptions o;
+    o.jobs = 2;
+    o.progress = true;
+    o.progressStream = &progress;
+    c.run(o);
+
+    const std::string out = progress.str();
+    EXPECT_NE(out.find("run-one"), std::string::npos);
+    EXPECT_NE(out.find("run-two"), std::string::npos);
+    EXPECT_NE(out.find("/2]"), std::string::npos);
+}
+
+TEST(CampaignProgress, SummaryStringAccountsRuns)
+{
+    Campaign c([](const Config &) { return ExperimentResult{}; });
+    Config a;
+    a.set("k", 1);
+    c.add("one", a);
+    c.add("one-again", a);
+    const auto &s = c.run();
+    const std::string str = s.toString();
+    EXPECT_NE(str.find("2 runs"), std::string::npos);
+    EXPECT_NE(str.find("1 executed"), std::string::npos);
+    EXPECT_NE(str.find("1 memo hits"), std::string::npos);
+    EXPECT_NE(str.find("0 failed"), std::string::npos);
+}

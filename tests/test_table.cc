@@ -55,3 +55,97 @@ TEST(Table, RaggedRowsHandled)
     t.print(os);
     EXPECT_NE(os.str().find("3"), std::string::npos);
 }
+
+namespace {
+
+std::vector<std::string>
+lines(const std::string &s)
+{
+    std::vector<std::string> out;
+    std::istringstream is(s);
+    std::string line;
+    while (std::getline(is, line))
+        out.push_back(line);
+    return out;
+}
+
+} // namespace
+
+// Regression: numeric columns under a wide header (e.g. a scheme name
+// like "fs_reordered_bp") used to left-align, scattering the decimal
+// points across the column. Values must right-align to the header.
+TEST(Table, NumericColumnsRightAlignUnderWideHeader)
+{
+    Table t;
+    t.header({"workload", "fs_reordered_bp"});
+    t.row({"mcf", "0.91"});
+    t.row({"libquantum", "12.34"});
+    std::ostringstream os;
+    t.print(os);
+    const auto ls = lines(os.str());
+    ASSERT_EQ(ls.size(), 4u); // header, separator, 2 rows
+    // Both values end exactly where the header column ends.
+    EXPECT_EQ(ls[0].size(), ls[2].size());
+    EXPECT_EQ(ls[0].size(), ls[3].size());
+    EXPECT_EQ(ls[2].substr(ls[2].size() - 4), "0.91");
+    EXPECT_EQ(ls[3].substr(ls[3].size() - 5), "12.34");
+    // Decimal points line up: same column index in both rows.
+    EXPECT_EQ(ls[2].find('.'), ls[3].find('.'));
+}
+
+TEST(Table, TextColumnsStayLeftAligned)
+{
+    Table t;
+    t.header({"scheme", "note"});
+    t.row({"fs_rp", "ok"});
+    t.row({"baseline_prefetch", "slow"});
+    std::ostringstream os;
+    t.print(os);
+    const auto ls = lines(os.str());
+    ASSERT_EQ(ls.size(), 4u);
+    EXPECT_EQ(ls[2].rfind("fs_rp", 0), 0u);
+    EXPECT_EQ(ls[3].rfind("baseline_prefetch", 0), 0u);
+}
+
+TEST(Table, NoTrailingWhitespace)
+{
+    Table t;
+    t.header({"a-wide-header", "v"});
+    t.row({"x", "1"});
+    t.row({"y", ""});
+    std::ostringstream os;
+    t.print(os);
+    for (const auto &line : lines(os.str())) {
+        if (line.empty())
+            continue;
+        EXPECT_NE(line.back(), ' ') << "line: '" << line << "'";
+    }
+}
+
+// Suffixed values ("4.5%", "1.9x") and "-" placeholders still count
+// as numeric; a column with real text does not.
+TEST(Table, NumericDetectionHandlesSuffixesAndPlaceholders)
+{
+    Table t;
+    t.header({"scheme", "overhead-percentage"});
+    t.row({"baseline", "3.3%"});
+    t.row({"fs_rp", "-"});
+    t.row({"tp_bp", "10.5%"});
+    std::ostringstream os;
+    t.print(os);
+    const auto ls = lines(os.str());
+    ASSERT_EQ(ls.size(), 5u);
+    EXPECT_EQ(ls[2].substr(ls[2].size() - 4), "3.3%");
+    EXPECT_EQ(ls[4].substr(ls[4].size() - 5), "10.5%");
+
+    Table u;
+    u.header({"k", "mixed"});
+    u.row({"a", "1.0"});
+    u.row({"b", "n/a really"});
+    std::ostringstream os2;
+    u.print(os2);
+    const auto ls2 = lines(os2.str());
+    // Text forces left alignment: "1.0" starts at the column start.
+    const size_t col = ls2[0].find("mixed");
+    EXPECT_EQ(ls2[2].find("1.0"), col);
+}

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * ThreadPool unit tests: every submitted job runs exactly once,
+ * wait() is a real barrier, the pool survives reuse after a wait,
+ * and destruction drains the queue.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "util/thread_pool.hh"
+
+using namespace memsec;
+
+TEST(ThreadPool, RunsEveryJobExactlyOnce)
+{
+    ThreadPool pool(4);
+    constexpr int kJobs = 200;
+    std::vector<std::atomic<int>> hits(kJobs);
+    for (auto &h : hits)
+        h = 0;
+    for (int i = 0; i < kJobs; ++i)
+        pool.submit([&hits, i] { ++hits[i]; });
+    pool.wait();
+    for (int i = 0; i < kJobs; ++i)
+        EXPECT_EQ(hits[i].load(), 1) << "job " << i;
+    EXPECT_EQ(pool.submitted(), static_cast<uint64_t>(kJobs));
+}
+
+TEST(ThreadPool, WaitIsABarrier)
+{
+    ThreadPool pool(3);
+    std::atomic<int> done{0};
+    for (int i = 0; i < 24; ++i) {
+        pool.submit([&done] {
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+            ++done;
+        });
+    }
+    pool.wait();
+    EXPECT_EQ(done.load(), 24);
+}
+
+TEST(ThreadPool, ReusableAfterWait)
+{
+    ThreadPool pool(2);
+    std::atomic<int> count{0};
+    pool.submit([&count] { ++count; });
+    pool.wait();
+    EXPECT_EQ(count.load(), 1);
+    // A drained pool accepts and runs further batches.
+    for (int i = 0; i < 10; ++i)
+        pool.submit([&count] { ++count; });
+    pool.wait();
+    EXPECT_EQ(count.load(), 11);
+}
+
+TEST(ThreadPool, WaitWithNoJobsReturnsImmediately)
+{
+    ThreadPool pool(2);
+    pool.wait(); // must not hang
+    EXPECT_EQ(pool.submitted(), 0u);
+}
+
+TEST(ThreadPool, ZeroWorkersClampsToOne)
+{
+    ThreadPool pool(0);
+    EXPECT_EQ(pool.workers(), 1u);
+    std::atomic<int> count{0};
+    pool.submit([&count] { ++count; });
+    pool.wait();
+    EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ThreadPool, DestructorDrainsPendingJobs)
+{
+    std::atomic<int> count{0};
+    {
+        ThreadPool pool(2);
+        for (int i = 0; i < 50; ++i)
+            pool.submit([&count] { ++count; });
+        // no wait(): the destructor must finish the queue itself
+    }
+    EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ThreadPool, JobsActuallyRunOffThePoolThreads)
+{
+    ThreadPool pool(2);
+    std::set<std::thread::id> ids;
+    std::mutex m;
+    for (int i = 0; i < 16; ++i) {
+        pool.submit([&] {
+            std::lock_guard<std::mutex> lock(m);
+            ids.insert(std::this_thread::get_id());
+        });
+    }
+    pool.wait();
+    EXPECT_GE(ids.size(), 1u);
+    EXPECT_EQ(ids.count(std::this_thread::get_id()), 0u)
+        << "submitting thread must never execute jobs";
+}
+
+TEST(ThreadPool, DefaultWorkersIsAtLeastOne)
+{
+    EXPECT_GE(ThreadPool::defaultWorkers(), 1u);
+}
