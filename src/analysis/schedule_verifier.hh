@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Static model-checker for FS slot schedules.
+ *
+ * The paper's security argument is *static*: the derived slot spacing
+ * l makes the command stream conflict-free by construction, before a
+ * single cycle is simulated. The dynamic TimingChecker can only
+ * confirm this for the transactions one run happens to issue; this
+ * verifier proves it for *every* run by unrolling the fixed per-cycle
+ * command template over one full hyperperiod — the lcm of the slot
+ * frame (Q = slots x l), the densest read/write alternation period
+ * (2l), and, when refresh epochs are modelled, the refresh interval
+ * tREFI — and exhaustively checking every pair of in-flight
+ * transactions under every read/write type combination against the
+ * shared timing-rule table (dram/timing_rules.hh).
+ *
+ * The verifier is deliberately a second, independent implementation
+ * of the constraints the PipelineSolver encodes as inequalities: the
+ * solver reasons over abstract slot distances, the verifier over
+ * concrete unrolled cycles. Tests cross-validate the two — the
+ * paper's Table gaps (l = 7, 12, 15, 21, 43) must fall out of both,
+ * with verify(l-1) producing a concrete conflicting command pair.
+ *
+ * Scope note: under rank partitioning, a domain's *own* consecutive
+ * slots (one frame apart) may reuse a bank; like the solver, the
+ * verifier treats that as dynamically guarded (the scheduler's
+ * bankFree/rankFree hazard deferrals, Section 7) and exposes the
+ * boundary separately via domainReuseHazard().
+ */
+
+#ifndef MEMSEC_ANALYSIS_SCHEDULE_VERIFIER_HH
+#define MEMSEC_ANALYSIS_SCHEDULE_VERIFIER_HH
+
+#include <string>
+#include <vector>
+
+#include "core/pipeline_solver.hh"
+#include "dram/timing_rules.hh"
+#include "sim/types.hh"
+
+namespace memsec::analysis {
+
+/** What to verify: one FS design point plus the modelled context. */
+struct VerifierConfig
+{
+    core::PeriodicRef ref = core::PeriodicRef::Data;
+    core::PartitionLevel level = core::PartitionLevel::Rank;
+    /** Security domains = slots per frame (before group padding). */
+    unsigned numDomains = 8;
+    /** Ranks refreshed back-to-back in one epoch (refresh model). */
+    unsigned numRanks = 8;
+    /**
+     * Bank-group alternation factor (Section 4.3's triple
+     * alternation). 1 = plain partitioning; >1 = banks are
+     * unpartitioned and slot s may only touch banks with
+     * bank % groups == s % groups, so only same-group slots can
+     * collide on a bank. Mirrors FsScheduler's TripleAlt mode,
+     * including the phantom pad slot when the frame length would
+     * otherwise be a multiple of the group count.
+     */
+    unsigned bankGroups = 1;
+    /** Model the deterministic refresh-epoch blackout (fs.cc). */
+    bool refresh = false;
+};
+
+/** A concrete violated constraint between two unrolled slots. */
+struct ConflictReport
+{
+    dram::RuleId rule = dram::RuleId::CmdBus;
+    uint64_t earlierSlot = 0;
+    uint64_t laterSlot = 0;
+    bool earlierWrite = false;
+    bool laterWrite = false;
+    /** Offending command cycles in the unrolled schedule. */
+    Cycle earlierCycle = 0;
+    Cycle laterCycle = 0;
+    long gap = 0;  ///< separation the schedule achieves
+    long need = 0; ///< separation the rule demands
+
+    std::string toString() const;
+};
+
+/** Outcome of model-checking one slot spacing. */
+struct VerifyResult
+{
+    bool ok = false;
+    unsigned l = 0;
+    Cycle hyperperiod = 0;
+    uint64_t slotsChecked = 0;
+    uint64_t pairsChecked = 0;
+    uint64_t refreshEpochsChecked = 0;
+    bool hasConflict = false;
+    ConflictReport conflict; ///< first conflict found (when !ok)
+
+    std::string summary() const;
+};
+
+/** Exhaustive hyperperiod verifier for one (device, config) pair. */
+class ScheduleVerifier
+{
+  public:
+    ScheduleVerifier(const dram::TimingParams &tp,
+                     const VerifierConfig &cfg);
+
+    /**
+     * lcm(slot frame, r/w turnaround period, refresh interval when
+     * modelled) — the period after which the command template and
+     * every modelled context repeat exactly.
+     */
+    Cycle hyperperiod(unsigned l) const;
+
+    /** Model-check slot spacing l over one hyperperiod. */
+    VerifyResult verify(unsigned l) const;
+
+    /** Smallest l in [1, maxL] with verify(l).ok; 0 if none. */
+    unsigned minimalFeasible(unsigned maxL = 512) const;
+
+    /**
+     * True if a single domain's consecutive slots (one frame apart at
+     * spacing l) can violate the same-bank reuse bound — the hazard
+     * the scheduler must guard dynamically (Section 7). Cross-checks
+     * PipelineSolver::rankPartSameBankHazard.
+     */
+    bool domainReuseHazard(unsigned l) const;
+
+    const VerifierConfig &config() const { return cfg_; }
+    const dram::TimingRuleTable &rules() const { return rules_; }
+
+  private:
+    /** Domain owning slot s, or kPhantom for a group pad slot. */
+    static constexpr DomainId kPhantom = ~0u;
+    DomainId domainOf(uint64_t slot) const;
+
+    /** True if the slot issues no commands (phantom / blackout). */
+    bool skipped(uint64_t slot, unsigned l) const;
+
+    bool canShareRank(uint64_t a, uint64_t b) const;
+    bool canShareBank(uint64_t a, uint64_t b) const;
+
+    /** Check one ordered pair under one type combo; false = conflict. */
+    bool checkPair(uint64_t si, uint64_t sj, bool wi, bool wj,
+                   unsigned l, ConflictReport *out) const;
+
+    /** tFAW sliding-window check over worst-case same-rank ACTs. */
+    bool checkFawWindows(unsigned l, uint64_t slots,
+                         ConflictReport *out) const;
+
+    /** Refresh-epoch blackout and retention checks. */
+    bool checkRefresh(unsigned l, uint64_t slots, ConflictReport *out,
+                      uint64_t *epochs) const;
+
+    Cycle refCycleOf(uint64_t slot, unsigned l) const;
+    Cycle actOf(uint64_t slot, unsigned l, bool write) const;
+    Cycle casOf(uint64_t slot, unsigned l, bool write) const;
+    Cycle dataStartOf(uint64_t slot, unsigned l, bool write) const;
+
+    /** Armed refresh epoch at the slot's decision cycle. */
+    Cycle armedEpoch(Cycle decisionCycle) const;
+
+    dram::TimingParams tp_;
+    dram::TimingRuleTable rules_;
+    VerifierConfig cfg_;
+    core::SlotOffsets off_;
+    Cycle lead_ = 0;
+    std::vector<DomainId> slotTable_;
+    unsigned slotsPerFrame_ = 0;
+    Cycle refreshMargin_ = 0;
+    Cycle refreshPause_ = 0;
+};
+
+} // namespace memsec::analysis
+
+#endif // MEMSEC_ANALYSIS_SCHEDULE_VERIFIER_HH

@@ -87,7 +87,7 @@ class Cache
     unsigned setIndex(Addr addr) const;
     Addr tagOf(Addr addr) const;
 
-    unsigned ways_;
+    unsigned ways_ = 0;
     std::vector<Set> sets_;
     uint64_t stamp_ = 0;
     Counter hits_;

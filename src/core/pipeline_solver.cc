@@ -29,7 +29,8 @@ partitionLevelName(PartitionLevel p)
     return "???";
 }
 
-PipelineSolver::PipelineSolver(const dram::TimingParams &tp) : tp_(tp)
+PipelineSolver::PipelineSolver(const dram::TimingParams &tp)
+    : tp_(tp), rules_(tp)
 {
     tp_.validate();
 }
@@ -56,9 +57,9 @@ namespace {
 /** Commands of one slot given its type (read/write). */
 struct SlotCmds
 {
-    int act;
-    int cas;
-    int data;
+    int act = 0;
+    int cas = 0;
+    int data = 0;
 };
 
 SlotCmds
@@ -67,6 +68,35 @@ cmdsOf(const SlotOffsets &off, bool write)
     if (write)
         return {off.actWrite, off.casWrite, off.dataWrite};
     return {off.actRead, off.casRead, off.dataRead};
+}
+
+int
+edgeOf(const SlotCmds &c, dram::CmdEdge e)
+{
+    switch (e) {
+      case dram::CmdEdge::Act: return c.act;
+      case dram::CmdEdge::Cas: return c.cas;
+      case dram::CmdEdge::Data: return c.data;
+    }
+    panic("bad command edge");
+}
+
+/**
+ * Which sharing scopes two *distinct* slots can realise at a given
+ * partition level. Under rank partitioning no two slots of one frame
+ * share a rank (same-domain reuse across frames is guarded
+ * dynamically by the scheduler's bankFree/rankFree hazard checks);
+ * under bank partitioning slots may share a rank but never a bank.
+ */
+bool
+scopeApplies(dram::RuleScope s, PartitionLevel level)
+{
+    switch (s) {
+      case dram::RuleScope::AnyPair: return true;
+      case dram::RuleScope::SameRank: return level != PartitionLevel::Rank;
+      case dram::RuleScope::SameBank: return level == PartitionLevel::None;
+    }
+    panic("bad rule scope");
 }
 
 } // namespace
@@ -93,67 +123,35 @@ PipelineSolver::checkPair(PeriodicRef ref, PartitionLevel level, unsigned l,
         return false;
     };
 
-    // 1. Command-bus conflicts: no two commands in the same cycle
-    //    (the paper's Equation 1 family).
+    // Command-bus conflicts: no two commands in the same cycle (the
+    // paper's Equation 1 family). Exact collision, so not expressible
+    // as a one-sided gap rule from the shared table.
     const int laterCmds[2] = {later.act, later.cas};
     const int earlierCmds[2] = {earlier.act, earlier.cas};
     for (int lc : laterCmds) {
         for (int ec : earlierCmds) {
             if (gap + lc - ec == 0)
-                return blocked("cmd-bus", 0, 1);
+                return blocked(dram::ruleName(dram::RuleId::CmdBus), 0, 1);
         }
     }
 
-    // 2. Data-bus: the later burst must start after the earlier one
-    //    ends, plus tRTRS since adjacent slots may switch ranks.
-    {
-        const long have = gap + later.data - earlier.data;
-        const long need = static_cast<long>(tp_.burst) + tp_.rtrs;
-        if (have < need)
-            return blocked("data-bus/tRTRS", have, need);
-    }
-
-    if (level == PartitionLevel::Rank)
-        return true;
-
-    // 3. Same-rank constraints (bank partitioning and below): any two
-    //    slots may share a rank (the paper's Equations 2-4).
-    {
-        // tRRD between any two ACTs (Equation 2).
-        const long have = gap + later.act - earlier.act;
-        if (have < static_cast<long>(tp_.rrd))
-            return blocked("tRRD", have, tp_.rrd);
-        // tFAW: a slot and the slot four before it (Equation 3).
-        if (d == 4 && have < static_cast<long>(tp_.faw))
-            return blocked("tFAW", have, tp_.faw);
-    }
-    {
-        // Column-command turnaround (Equation 4).
-        const long have = gap + later.cas - earlier.cas;
-        long need;
-        if (earlierWrite == laterWrite)
-            need = tp_.ccd;
-        else if (earlierWrite)
-            need = tp_.wr2rd();
-        else
-            need = tp_.rd2wr();
-        if (have < need)
-            return blocked("CAS-turnaround", have, need);
-    }
-
-    if (level == PartitionLevel::Bank)
-        return true;
-
-    // 4. Same-bank reuse (no partitioning): any two slots may target
-    //    different rows of the same bank, so the later ACT must wait
-    //    for the earlier access's auto-precharge to complete.
-    {
-        const long have = gap + later.act - earlier.act;
-        const long need = earlierWrite
-                              ? static_cast<long>(tp_.actToActWrA())
-                              : static_cast<long>(tp_.actToActRdA());
-        if (have < need)
-            return blocked("same-bank-reuse", have, need);
+    // Every remaining inequality (Equations 2-4 and the same-bank
+    // reuse bound) is generated from the shared rule table: a rule
+    // binds when the pair can realise its sharing scope at this
+    // partition level, the pair's types match, and — for the tFAW
+    // window rule — the slots are exactly four apart.
+    for (const dram::PairRule &r : rules_.pairRules()) {
+        if (!scopeApplies(r.scope, level))
+            continue;
+        if (!dram::typeMatches(r.earlier, earlierWrite) ||
+            !dram::typeMatches(r.later, laterWrite))
+            continue;
+        if (r.actWindow > 1 && d != r.actWindow)
+            continue;
+        const long have =
+            gap + edgeOf(later, r.to) - edgeOf(earlier, r.from);
+        if (have < r.minGap)
+            return blocked(dram::ruleName(r.id), have, r.minGap);
     }
     return true;
 }
@@ -174,10 +172,9 @@ PipelineSolver::feasible(PeriodicRef ref, PartitionLevel level, unsigned l,
         std::max({std::abs(off.actRead), std::abs(off.actWrite),
                   std::abs(off.dataRead), std::abs(off.dataWrite),
                   std::abs(off.casRead), std::abs(off.casWrite)});
-    const long maxConst = std::max({static_cast<long>(tp_.faw),
-                                    static_cast<long>(tp_.wr2rd()),
-                                    static_cast<long>(tp_.actToActWrA()),
-                                    static_cast<long>(tp_.actToActRdA())});
+    long maxConst = 1;
+    for (const dram::PairRule &r : rules_.pairRules())
+        maxConst = std::max(maxConst, r.minGap);
     const unsigned dMax = static_cast<unsigned>(
         (maxConst + 2 * span) / static_cast<long>(l) + 2);
 
@@ -249,19 +246,19 @@ PipelineSolver::solveReordered(unsigned threads) const
             }
         }
         if (gap + later.data - earlier.data <
-            static_cast<long>(tp_.burst) + tp_.rtrs)
+            rules_.gap(dram::RuleId::DataBus))
             return false;
         const long actGap = gap + later.act - earlier.act;
-        if (actGap < static_cast<long>(tp_.rrd))
+        if (actGap < rules_.gap(dram::RuleId::Rrd))
             return false;
-        if (d == 4 && actGap < static_cast<long>(tp_.faw))
+        if (d == 4 && actGap < rules_.gap(dram::RuleId::Faw))
             return false;
         const long casGap = gap + later.cas - earlier.cas;
         long need;
         if (earlierWrite == laterWrite)
-            need = tp_.ccd;
+            need = rules_.gap(dram::RuleId::Ccd);
         else if (!earlierWrite && laterWrite)
-            need = tp_.rd2wr();
+            need = rules_.gap(dram::RuleId::Rd2Wr);
         else
             return true; // (W,R) never adjacent within an interval
         return casGap >= need;
@@ -301,13 +298,12 @@ PipelineSolver::solveReordered(unsigned threads) const
         const SlotCmds rd = cmdsOf(off, false);
         const long g = endGap;
         const long casGap = g + rd.cas - wr.cas;
-        if (casGap < static_cast<long>(tp_.wr2rd()))
+        if (casGap < rules_.gap(dram::RuleId::Wr2Rd))
             continue;
         const long actGap = g + rd.act - wr.act;
-        if (actGap < static_cast<long>(tp_.rrd))
+        if (actGap < rules_.gap(dram::RuleId::Rrd))
             continue;
-        if (g + rd.data - wr.data <
-            static_cast<long>(tp_.burst) + tp_.rtrs)
+        if (g + rd.data - wr.data < rules_.gap(dram::RuleId::DataBus))
             continue;
         bool conflict = false;
         const int lc[2] = {rd.act, rd.cas};

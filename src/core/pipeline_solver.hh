@@ -20,6 +20,7 @@
 #include <string>
 
 #include "dram/timing.hh"
+#include "dram/timing_rules.hh"
 #include "sim/types.hh"
 
 namespace memsec::core {
@@ -47,12 +48,12 @@ const char *partitionLevelName(PartitionLevel p);
 /** Command/data offsets (cycles, relative to the slot reference). */
 struct SlotOffsets
 {
-    int actRead;
-    int casRead;
-    int dataRead;
-    int actWrite;
-    int casWrite;
-    int dataWrite;
+    int actRead = 0;
+    int casRead = 0;
+    int dataRead = 0;
+    int actWrite = 0;
+    int casWrite = 0;
+    int dataWrite = 0;
 };
 
 /** Solver output for one (reference, partition) design point. */
@@ -134,12 +135,16 @@ class PipelineSolver
 
     const dram::TimingParams &timing() const { return tp_; }
 
+    /** The shared rule table every inequality is generated from. */
+    const dram::TimingRuleTable &rules() const { return rules_; }
+
   private:
     bool checkPair(PeriodicRef ref, PartitionLevel level, unsigned l,
                    unsigned d, bool laterWrite, bool earlierWrite,
                    std::string *why) const;
 
     dram::TimingParams tp_;
+    dram::TimingRuleTable rules_;
 };
 
 } // namespace memsec::core

@@ -68,9 +68,9 @@ class SlotSchedule
 
   private:
     PipelineSolution sol_;
-    unsigned numDomains_;
+    unsigned numDomains_ = 0;
     dram::TimingParams tp_;
-    Cycle lead_;
+    Cycle lead_ = 0;
 };
 
 } // namespace memsec::core

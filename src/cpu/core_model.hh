@@ -120,7 +120,7 @@ class CoreModel : public Component, public mem::MemClient
     void retryBlocked();
     size_t demandMshrs() const;
 
-    DomainId domain_;
+    DomainId domain_ = 0;
     Params params_;
     WorkloadProfile profile_;
     std::unique_ptr<TraceGenerator> trace_;

@@ -9,7 +9,7 @@ namespace memsec::dram {
 
 TimingChecker::TimingChecker(const TimingParams &tp, unsigned ranks,
                              unsigned banks)
-    : tp_(tp), nbanks_(banks),
+    : tp_(tp), rules_(tp), nbanks_(banks),
       banks_(static_cast<size_t>(ranks) * banks), ranks_(ranks)
 {
 }
@@ -40,11 +40,11 @@ TimingChecker::fail(Cycle t, const std::string &rule,
 }
 
 void
-TimingChecker::require(bool ok, Cycle t, const char *rule,
+TimingChecker::require(bool ok, Cycle t, RuleId rule,
                        const std::string &detail)
 {
     if (!ok)
-        fail(t, rule, detail);
+        fail(t, ruleName(rule), detail);
 }
 
 bool
@@ -54,7 +54,8 @@ TimingChecker::observe(const Command &cmd, Cycle t)
     currentOk_ = true;
 
     // Shared command bus: exactly one command per cycle, time monotone.
-    require(lastCmdCycle_ == kNoCycle || t > lastCmdCycle_, t, "cmd-bus",
+    require(lastCmdCycle_ == kNoCycle || t > lastCmdCycle_, t,
+            RuleId::CmdBus,
             "command at cycle " + std::to_string(t) +
                 " but bus last used at " + std::to_string(lastCmdCycle_));
     lastCmdCycle_ = t;
@@ -62,13 +63,13 @@ TimingChecker::observe(const Command &cmd, Cycle t)
     // No commands to a refreshing or powered-down rank.
     RankShadow &rk = rankOf(cmd);
     if (cmd.type != CmdType::PdExit) {
-        require(t >= rk.refreshEnd || cmd.type == CmdType::Ref, t, "tRFC",
-                "command to rank during refresh");
-        require(!rk.poweredDown, t, "power-down",
+        require(t >= rk.refreshEnd || cmd.type == CmdType::Ref, t,
+                RuleId::Rfc, "command to rank during refresh");
+        require(!rk.poweredDown, t, RuleId::PowerDown,
                 std::string(cmdName(cmd.type)) + " to powered-down rank");
     }
-    require(t >= rk.pdExitReadyAt || cmd.type == CmdType::PdExit, t, "tXP",
-            "command before power-down exit latency elapsed");
+    require(t >= rk.pdExitReadyAt || cmd.type == CmdType::PdExit, t,
+            RuleId::Xp, "command before power-down exit latency elapsed");
 
     // Retention audit: a rank must keep seeing refreshes. Armed only
     // via expectRefresh() — during fault campaigns that suppress REFs.
@@ -76,7 +77,7 @@ TimingChecker::observe(const Command &cmd, Cycle t)
         if (cmd.type == CmdType::Ref) {
             rk.lastRefSeen = t;
         } else if (t > rk.lastRefSeen + 2 * expectedRefi_) {
-            fail(t, "refresh",
+            fail(t, ruleName(RuleId::Refresh),
                  "rank " + std::to_string(cmd.rank) +
                      " not refreshed since cycle " +
                      std::to_string(rk.lastRefSeen) + " (2x tREFI elapsed)");
@@ -114,27 +115,28 @@ TimingChecker::checkAct(const Command &cmd, Cycle t)
     BankShadow &bk = bankOf(cmd);
     RankShadow &rk = rankOf(cmd);
 
-    require(bk.openRow == kNoRow, t, "row-state",
+    require(bk.openRow == kNoRow, t, RuleId::RowState,
             "ACT to bank with open row");
     if (bk.lastAct != kNoCycle) {
-        require(t >= bk.lastAct + tp_.rc, t, "tRC",
+        require(t >= bk.lastAct + need(RuleId::Rc), t, RuleId::Rc,
                 "ACT-to-ACT gap " + std::to_string(t - bk.lastAct) +
                     " < tRC");
     }
-    require(t >= bk.preReadyAt, t, "tRP",
+    require(t >= bk.preReadyAt, t, RuleId::Rp,
             "ACT " + std::to_string(t) + " before precharge completes at " +
                 std::to_string(bk.preReadyAt));
     if (!rk.actHistory.empty()) {
-        require(t >= rk.actHistory.back() + tp_.rrd, t, "tRRD",
+        require(t >= rk.actHistory.back() + need(RuleId::Rrd), t,
+                RuleId::Rrd,
                 "rank ACT-to-ACT gap " +
                     std::to_string(t - rk.actHistory.back()) + " < tRRD");
     }
     if (rk.actHistory.size() >= 4) {
         const Cycle fourth = rk.actHistory[rk.actHistory.size() - 4];
-        require(t >= fourth + tp_.faw, t, "tFAW",
+        require(t >= fourth + need(RuleId::Faw), t, RuleId::Faw,
                 "fifth ACT within tFAW window (" +
                     std::to_string(t - fourth) + " < " +
-                    std::to_string(tp_.faw) + ")");
+                    std::to_string(need(RuleId::Faw)) + ")");
     }
 
     bk.openRow = cmd.row;
@@ -153,34 +155,37 @@ TimingChecker::checkColumn(const Command &cmd, Cycle t)
     RankShadow &rk = rankOf(cmd);
     const bool rd = isRead(cmd.type);
 
-    require(bk.openRow != kNoRow, t, "row-state",
+    require(bk.openRow != kNoRow, t, RuleId::RowState,
             "column command to closed bank");
-    require(bk.openRow == cmd.row, t, "row-state",
+    require(bk.openRow == cmd.row, t, RuleId::RowState,
             "column command to row " + std::to_string(cmd.row) +
                 " but open row is " + std::to_string(bk.openRow));
-    require(bk.lastAct == kNoCycle || t >= bk.lastAct + tp_.rcd, t, "tRCD",
+    require(bk.lastAct == kNoCycle || t >= bk.lastAct + need(RuleId::Rcd),
+            t, RuleId::Rcd,
             "CAS " + std::to_string(t - bk.lastAct) + " after ACT < tRCD");
 
     // Same-rank CAS-to-CAS turnaround.
     if (rk.lastRdCas != kNoCycle) {
         if (rd) {
-            require(t >= rk.lastRdCas + tp_.ccd, t, "tCCD",
+            require(t >= rk.lastRdCas + need(RuleId::Ccd), t, RuleId::Ccd,
                     "RD-to-RD same rank < tCCD");
         } else {
-            require(t >= rk.lastRdCas + tp_.rd2wr(), t, "rd2wr",
+            require(t >= rk.lastRdCas + need(RuleId::Rd2Wr), t,
+                    RuleId::Rd2Wr,
                     "RD-to-WR same rank gap " +
                         std::to_string(t - rk.lastRdCas) + " < " +
-                        std::to_string(tp_.rd2wr()));
+                        std::to_string(need(RuleId::Rd2Wr)));
         }
     }
     if (rk.lastWrCas != kNoCycle) {
         if (rd) {
-            require(t >= rk.lastWrCas + tp_.wr2rd(), t, "tWTR",
+            require(t >= rk.lastWrCas + need(RuleId::Wr2Rd), t,
+                    RuleId::Wr2Rd,
                     "WR-to-RD same rank gap " +
                         std::to_string(t - rk.lastWrCas) + " < " +
-                        std::to_string(tp_.wr2rd()));
+                        std::to_string(need(RuleId::Wr2Rd)));
         } else {
-            require(t >= rk.lastWrCas + tp_.ccd, t, "tCCD",
+            require(t >= rk.lastWrCas + need(RuleId::Ccd), t, RuleId::Ccd,
                     "WR-to-WR same rank < tCCD");
         }
     }
@@ -188,12 +193,13 @@ TimingChecker::checkColumn(const Command &cmd, Cycle t)
     // Data-bus occupancy and rank-to-rank switching.
     const Cycle dataStart = t + (rd ? tp_.cas : tp_.cwd);
     if (lastDataStart_ != kNoCycle) {
-        require(dataStart >= lastDataEnd_, t, "data-bus",
+        require(dataStart >= lastDataEnd_, t, RuleId::DataBus,
                 "burst at " + std::to_string(dataStart) +
                     " overlaps burst ending " +
                     std::to_string(lastDataEnd_));
         if (cmd.rank != lastDataRank_) {
-            require(dataStart >= lastDataEnd_ + tp_.rtrs, t, "tRTRS",
+            require(dataStart >= lastDataEnd_ + need(RuleId::Rtrs), t,
+                    RuleId::Rtrs,
                     "rank switch gap " +
                         std::to_string(dataStart - lastDataEnd_) +
                         " < tRTRS");
@@ -221,7 +227,7 @@ TimingChecker::checkColumn(const Command &cmd, Cycle t)
         if (bk.lastAct != kNoCycle)
             preStart = std::max(preStart, bk.lastAct + tp_.ras);
         bk.openRow = kNoRow;
-        bk.preReadyAt = preStart + tp_.rp;
+        bk.preReadyAt = preStart + need(RuleId::Rp);
     }
 }
 
@@ -229,20 +235,22 @@ void
 TimingChecker::checkPre(const Command &cmd, Cycle t)
 {
     BankShadow &bk = bankOf(cmd);
-    require(bk.openRow != kNoRow, t, "row-state",
+    require(bk.openRow != kNoRow, t, RuleId::RowState,
             "PRE to closed bank");
-    require(bk.lastAct == kNoCycle || t >= bk.lastAct + tp_.ras, t, "tRAS",
+    require(bk.lastAct == kNoCycle || t >= bk.lastAct + need(RuleId::Ras),
+            t, RuleId::Ras,
             "PRE " + std::to_string(t - bk.lastAct) + " after ACT < tRAS");
     if (bk.lastRdCas != kNoCycle) {
-        require(t >= bk.lastRdCas + tp_.rtp, t, "tRTP",
+        require(t >= bk.lastRdCas + need(RuleId::Rtp), t, RuleId::Rtp,
                 "PRE too soon after column read");
     }
     if (bk.lastWrCas != kNoCycle) {
-        require(t >= bk.lastWrCas + tp_.cwd + tp_.burst + tp_.wr, t, "tWR",
-                "PRE too soon after column write");
+        require(t >= bk.lastWrCas + tp_.cwd + tp_.burst +
+                         need(RuleId::Wr),
+                t, RuleId::Wr, "PRE too soon after column write");
     }
     bk.openRow = kNoRow;
-    bk.preReadyAt = t + tp_.rp;
+    bk.preReadyAt = t + need(RuleId::Rp);
 }
 
 void
@@ -252,14 +260,14 @@ TimingChecker::checkRef(const Command &cmd, Cycle t)
     for (unsigned b = 0; b < nbanks_; ++b) {
         const BankShadow &bk =
             banks_[static_cast<size_t>(cmd.rank) * nbanks_ + b];
-        require(bk.openRow == kNoRow, t, "row-state",
+        require(bk.openRow == kNoRow, t, RuleId::RowState,
                 "REF with open row in bank " + std::to_string(b));
-        require(t >= bk.preReadyAt, t, "tRP",
+        require(t >= bk.preReadyAt, t, RuleId::Rp,
                 "REF before precharge completes in bank " +
                     std::to_string(b));
     }
-    require(t >= rk.refreshEnd, t, "tRFC", "REF during REF");
-    rk.refreshEnd = t + tp_.rfc;
+    require(t >= rk.refreshEnd, t, RuleId::Rfc, "REF during REF");
+    rk.refreshEnd = t + need(RuleId::Rfc);
 }
 
 void
@@ -267,23 +275,25 @@ TimingChecker::checkPd(const Command &cmd, Cycle t)
 {
     RankShadow &rk = rankOf(cmd);
     if (cmd.type == CmdType::PdEnter) {
-        require(!rk.poweredDown, t, "power-down", "PDE while powered down");
-        require(t >= rk.refreshEnd, t, "power-down", "PDE during refresh");
+        require(!rk.poweredDown, t, RuleId::PowerDown,
+                "PDE while powered down");
+        require(t >= rk.refreshEnd, t, RuleId::PowerDown,
+                "PDE during refresh");
         for (unsigned b = 0; b < nbanks_; ++b) {
             const BankShadow &bk =
                 banks_[static_cast<size_t>(cmd.rank) * nbanks_ + b];
-            require(bk.openRow == kNoRow, t, "power-down",
+            require(bk.openRow == kNoRow, t, RuleId::PowerDown,
                     "precharge power-down with open row");
         }
         rk.poweredDown = true;
         rk.pdEnteredAt = t;
     } else {
-        require(rk.poweredDown, t, "power-down",
+        require(rk.poweredDown, t, RuleId::PowerDown,
                 "PDX while not powered down");
-        require(t >= rk.pdEnteredAt + tp_.cke, t, "tCKE",
+        require(t >= rk.pdEnteredAt + need(RuleId::Cke), t, RuleId::Cke,
                 "PDX before minimum power-down residency");
         rk.poweredDown = false;
-        rk.pdExitReadyAt = t + tp_.xp;
+        rk.pdExitReadyAt = t + need(RuleId::Xp);
     }
 }
 

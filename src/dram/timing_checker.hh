@@ -24,6 +24,7 @@
 
 #include "dram/command.hh"
 #include "dram/timing.hh"
+#include "dram/timing_rules.hh"
 #include "sim/types.hh"
 
 namespace memsec::dram {
@@ -109,8 +110,13 @@ class TimingChecker
     };
 
     void fail(Cycle t, const std::string &rule, const std::string &detail);
-    void require(bool ok, Cycle t, const char *rule,
-                 const std::string &detail);
+    void require(bool ok, Cycle t, RuleId rule, const std::string &detail);
+
+    /** Shared-table minimum gap, as a Cycle for horizon arithmetic. */
+    Cycle need(RuleId id) const
+    {
+        return static_cast<Cycle>(rules_.gap(id));
+    }
 
     void checkAct(const Command &cmd, Cycle t);
     void checkColumn(const Command &cmd, Cycle t);
@@ -122,7 +128,8 @@ class TimingChecker
     RankShadow &rankOf(const Command &cmd);
 
     TimingParams tp_; ///< non-const so drifted params can be swapped in
-    unsigned nbanks_;
+    TimingRuleTable rules_; ///< shared rule table resolved against tp_
+    unsigned nbanks_ = 0;
     std::vector<BankShadow> banks_;  ///< [rank * nbanks + bank]
     std::vector<RankShadow> ranks_;
 

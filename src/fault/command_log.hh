@@ -46,7 +46,7 @@ class CommandLog
     };
 
     std::vector<Entry> ring_;
-    size_t cap_;
+    size_t cap_ = 0;
     uint64_t total_ = 0;
 };
 

@@ -85,7 +85,7 @@ class AddressMap
     dram::Geometry geo_;
     Partition part_;
     Interleave style_;
-    unsigned numDomains_;
+    unsigned numDomains_ = 0;
 
     // Per-domain resource sets, precomputed at construction.
     std::vector<std::vector<unsigned>> domainRanks_;

@@ -146,8 +146,8 @@ class MemoryController : public Component
   private:
     struct PendingCompletion
     {
-        Cycle at;
-        uint64_t seq; ///< tie-break to keep completion order stable
+        Cycle at = 0;
+        uint64_t seq = 0; ///< tie-break to keep completion order stable
         std::shared_ptr<MemRequest> req;
         bool operator>(const PendingCompletion &o) const
         {

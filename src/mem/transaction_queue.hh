@@ -74,8 +74,8 @@ class TransactionQueue
     bool hasEntryFor(Addr lineAddr) const;
 
   private:
-    size_t readCap_;
-    size_t writeCap_;
+    size_t readCap_ = 0;
+    size_t writeCap_ = 0;
     size_t reads_ = 0;
     std::deque<std::unique_ptr<MemRequest>> entries_;
 };

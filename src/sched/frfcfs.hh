@@ -130,7 +130,7 @@ class FrFcfsScheduler : public Scheduler
 
     FrFcfsEngine engine_;
     std::vector<DomainId> allDomains_;
-    bool refreshEnabled_;
+    bool refreshEnabled_ = false;
     std::vector<Cycle> nextRefresh_;
     Counter refreshes_;
 };

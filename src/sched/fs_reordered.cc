@@ -93,8 +93,8 @@ FsReorderedScheduler::decideInterval(uint64_t interval, Cycle now)
     // the pick fixes the slot order.
     struct Pick
     {
-        DomainId domain;
-        bool write;
+        DomainId domain = 0;
+        bool write = false;
     };
     std::vector<Pick> reads;
     std::vector<Pick> writes;

@@ -15,7 +15,7 @@ std::atomic<bool> quietFlag{false};
 
 struct CrashHandler
 {
-    int id;
+    int id = 0;
     std::function<void()> fn;
 };
 

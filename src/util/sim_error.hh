@@ -67,7 +67,7 @@ class RunReport
     std::string summary() const;
 
   private:
-    size_t cap_;
+    size_t cap_ = 0;
     std::vector<SimError> errors_;
     std::map<std::string, uint64_t> counts_;
     uint64_t total_ = 0;

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Determinism lint: a standalone source-level analyzer for the
+ * simulator sources.
+ *
+ * The repo's reproducibility claim is that a (config, seed) pair
+ * fully determines every simulated cycle. That claim dies quietly
+ * the moment simulation logic iterates an unordered container into
+ * ordered output, reads a wall clock, or rolls an unseeded RNG.
+ * detlint flags the source patterns that historically cause exactly
+ * those bugs:
+ *
+ *   unordered-iteration  range-for / .begin() over a variable
+ *                        declared as std::unordered_{map,set,...};
+ *                        iteration order is hash-seed dependent
+ *   wall-clock           std::chrono ...clock::now(), gettimeofday,
+ *                        clock_gettime — real time in sim logic
+ *   raw-random           rand()/srand()/std::random_device/mt19937
+ *                        outside the sanctioned src/util/random
+ *                        wrapper (the wrapper is seeded per run)
+ *   pointer-keyed-map    std::{map,set,unordered_map,unordered_set}
+ *                        keyed on a pointer type; ASLR makes the
+ *                        ordering (and hash buckets) run-dependent
+ *   uninit-member        scalar data member with no initializer in a
+ *                        struct/class body; sim state structs with
+ *                        indeterminate fields diverge across runs
+ *
+ * The analysis is deliberately lexical (comments and string literals
+ * are stripped, then regex + light scope tracking). It trades a few
+ * false positives — suppressed via a checked-in allowlist whose every
+ * entry carries a written justification — for zero build-system or
+ * compiler-plugin dependencies. It runs as a tier-1 ctest and a CI
+ * gate over src/.
+ */
+
+#ifndef MEMSEC_TOOLS_DETLINT_DETLINT_HH
+#define MEMSEC_TOOLS_DETLINT_DETLINT_HH
+
+#include <string>
+#include <vector>
+
+namespace memsec::detlint {
+
+/** One determinism hazard at a concrete source location. */
+struct Finding
+{
+    std::string file;    ///< path as given to the linter
+    unsigned line = 0;   ///< 1-based line number
+    std::string rule;    ///< rule identifier (see file comment)
+    std::string excerpt; ///< trimmed offending source line
+
+    std::string toString() const;
+};
+
+/** Names of every rule detlint knows, for --list-rules and tests. */
+const std::vector<std::string> &ruleNames();
+
+/**
+ * Checked-in suppression list. One entry per line:
+ *
+ *     path-suffix:rule[:substring]  # justification
+ *
+ * A finding is allowed when its file path ends with `path-suffix`,
+ * its rule matches `rule` (or the entry's rule is `*`), and — when a
+ * `substring` is given — the offending line contains it. The
+ * justification comment is mandatory: an entry without one is a
+ * format error, so suppressions cannot be added silently.
+ */
+class Allowlist
+{
+  public:
+    Allowlist() = default;
+
+    /** Parse allowlist text; throws std::runtime_error on bad entries. */
+    static Allowlist fromString(const std::string &text);
+    /** Load from a file; missing file throws std::runtime_error. */
+    static Allowlist fromFile(const std::string &path);
+
+    bool allows(const Finding &f) const;
+    std::size_t size() const { return entries_.size(); }
+
+  private:
+    struct Entry
+    {
+        std::string pathSuffix;
+        std::string rule; ///< "*" matches any rule
+        std::string substring;
+    };
+    std::vector<Entry> entries_;
+};
+
+/** Lint one translation unit given as (display name, contents). */
+std::vector<Finding> lintSource(const std::string &file,
+                                const std::string &content);
+
+/** Lint a file on disk; unreadable files throw std::runtime_error. */
+std::vector<Finding> lintFile(const std::string &path);
+
+/**
+ * Recursively lint every C++ source under root (.cc/.cpp/.hh/.h/.hpp),
+ * skipping build output directories. Findings the allowlist permits
+ * are dropped. Results are sorted by (file, line) so the report
+ * itself is deterministic.
+ */
+std::vector<Finding> lintTree(const std::string &root,
+                              const Allowlist &allow);
+
+} // namespace memsec::detlint
+
+#endif // MEMSEC_TOOLS_DETLINT_DETLINT_HH
