@@ -2,11 +2,23 @@
  * @file
  * google-benchmark microbenchmarks for the simulator's hot paths:
  * the pipeline solver, the timing checker, the DRAM issue path, the
- * schedulers' per-cycle work, and an end-to-end experiment tick rate.
+ * schedulers' per-cycle work, the bare tick loop with and without
+ * idle-skip, and an end-to-end experiment tick rate.
+ *
+ * With MEMSEC_PERF_JSON=<path> set, the kernel loop numbers are also
+ * written through the shared PerfReporter (same format as perf_e2e's
+ * BENCH_PERF.json); there is no gating here — the regression gate
+ * lives in perf_e2e.
  */
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdlib>
+#include <iostream>
+#include <map>
+
+#include "bench_common.hh"
 #include "core/pipeline_solver.hh"
 #include "cpu/trace.hh"
 #include "cpu/workload.hh"
@@ -14,6 +26,7 @@
 #include "mem/memory_controller.hh"
 #include "sched/frfcfs.hh"
 #include "sched/fs.hh"
+#include "sim/simulator.hh"
 #include "util/logging.hh"
 
 using namespace memsec;
@@ -128,6 +141,101 @@ BM_FrFcfsTickLoaded(benchmark::State &state)
 }
 BENCHMARK(BM_FrFcfsTickLoaded);
 
+/** Kernel accounting for the MEMSEC_PERF_JSON report. */
+std::map<std::string, bench::PerfMetric> &
+kernelMetrics()
+{
+    static std::map<std::string, bench::PerfMetric> m;
+    return m;
+}
+
+/**
+ * A component that is interesting once every `stride` cycles — the
+ * shape of a fixed-service slot schedule, reduced to the kernel's
+ * own overhead (virtual dispatch, hint query, jump bookkeeping).
+ */
+class PeriodicProbe : public Component
+{
+  public:
+    explicit PeriodicProbe(Cycle stride)
+        : Component("probe"), stride_(stride)
+    {
+    }
+
+    void
+    tick(Cycle now) override
+    {
+        work_ += now;
+    }
+
+    Cycle
+    nextWakeCycle(Cycle now) const override
+    {
+        return (now / stride_ + 1) * stride_;
+    }
+
+    void
+    fastForward(Cycle from, Cycle to) override
+    {
+        skipped_ += to - from;
+    }
+
+    uint64_t work_ = 0;
+    uint64_t skipped_ = 0;
+
+  private:
+    Cycle stride_;
+};
+
+void
+kernelLoop(benchmark::State &state, const char *metric,
+           bool fastforward)
+{
+    constexpr Cycle kStride = 43; // the fs_np slot length
+    constexpr Cycle kSpan = 100000;
+    bench::PerfMetric &m = kernelMetrics()[metric];
+    m.name = metric;
+    for (auto _ : state) {
+        Simulator sim;
+        sim.setFastForward(fastforward);
+        PeriodicProbe p(kStride);
+        sim.add(&p);
+        const auto t0 = std::chrono::steady_clock::now();
+        sim.run(kSpan);
+        const auto t1 = std::chrono::steady_clock::now();
+        benchmark::DoNotOptimize(p.work_);
+        m.wallSeconds +=
+            std::chrono::duration<double>(t1 - t0).count();
+        m.simCycles += kSpan;
+        const uint64_t total =
+            sim.cyclesExecuted() + sim.cyclesSkipped();
+        m.skipRatio = total > 0 ? static_cast<double>(
+                                      sim.cyclesSkipped()) /
+                                      static_cast<double>(total)
+                                : 0.0;
+    }
+    m.cyclesPerSec =
+        m.wallSeconds > 0
+            ? static_cast<double>(m.simCycles) / m.wallSeconds
+            : 0.0;
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations()) * kSpan);
+}
+
+void
+BM_KernelTickLoopNaive(benchmark::State &state)
+{
+    kernelLoop(state, "kernel_loop_naive", false);
+}
+BENCHMARK(BM_KernelTickLoopNaive);
+
+void
+BM_KernelTickLoopFastForward(benchmark::State &state)
+{
+    kernelLoop(state, "kernel_loop_fastforward", true);
+}
+BENCHMARK(BM_KernelTickLoopFastForward);
+
 void
 BM_EndToEndExperiment(benchmark::State &state)
 {
@@ -145,4 +253,22 @@ BENCHMARK(BM_EndToEndExperiment)->Unit(benchmark::kMillisecond);
 
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    if (const char *path = std::getenv("MEMSEC_PERF_JSON")) {
+        bench::PerfReporter reporter;
+        for (const auto &kv : kernelMetrics())
+            reporter.add(kv.second);
+        if (!reporter.empty()) {
+            reporter.writeJson(path);
+            std::cerr << "micro_perf: wrote " << path << "\n";
+        }
+    }
+    return 0;
+}

@@ -84,6 +84,76 @@ CoreModel::tick(Cycle now)
         cpuCycle();
 }
 
+Cycle
+CoreModel::nextWakeCycle(Cycle now) const
+{
+    const Cycle next = now + 1;
+    // Dispatch has ROB space: new trace records enter every cycle.
+    if (robInstrs_ < params_.robSize || rob_.empty())
+        return next;
+    // Writebacks drain whenever the controller has write space.
+    if (!writebacks_.empty() &&
+        mc_.canAccept(domain_, mem::ReqType::Write))
+        return next;
+    // Mirror retryBlocked()'s gating exactly: if its next tick would
+    // mutate anything, the cycle cannot be skipped. Entries it would
+    // break on are blocked on controller/MSHR state, which is frozen
+    // until some component executes a cycle anyway.
+    if (!pendingStoreFetches_.empty()) {
+        const Addr addr = pendingStoreFetches_.front();
+        if (llc_.contains(addr) || mshr_.count(addr) > 0)
+            return next;
+        if (demandMshrs() < profile_.mshrs && mc_.canAccept(domain_))
+            return next;
+    }
+    for (const auto &rec : rob_) {
+        if (rec.state != Record::State::NeedsIssue)
+            continue;
+        auto it = mshr_.find(rec.addr);
+        if (it != mshr_.end()) {
+            if (it->second.isPrefetch && !mc_.canAccept(domain_))
+                break; // retryBlocked() stops at this entry too
+            return next; // it would re-link the waiter / upgrade
+        }
+        if (llc_.contains(rec.addr))
+            return next;
+        if (demandMshrs() < profile_.mshrs && mc_.canAccept(domain_))
+            return next;
+        break;
+    }
+    // Retirement: the ROB head decides. Pending gap instructions or a
+    // retirable head mean work next cycle; an LLC fill completes at a
+    // computable future cycle; a memory-blocked head sleeps until
+    // something else wakes the system.
+    const Record &head = rob_.front();
+    if (head.instrs > head.retiredOfThis + 1)
+        return next;
+    const bool ready =
+        head.isStore || head.state == Record::State::Done ||
+        (head.state == Record::State::LlcPending &&
+         head.doneAt <= cpuCycles_);
+    if (ready)
+        return next;
+    if (head.state == Record::State::LlcPending) {
+        // First memory cycle whose retire sub-cycles reach doneAt
+        // (cpuCycles_ is sampled before each sub-cycle increments it).
+        return now + 1 + (head.doneAt - cpuCycles_) / params_.cpuMult;
+    }
+    return kNoCycle;
+}
+
+void
+CoreModel::fastForward(Cycle from, Cycle to)
+{
+    // Only called when nextWakeCycle() proved every cycle in
+    // [from, to) a no-op tick: dispatch blocked, retirement stalled
+    // on memory. Each skipped sub-cycle would only have advanced the
+    // CPU clock and the stall counter.
+    const uint64_t subCycles = (to - from) * params_.cpuMult;
+    cpuCycles_ += subCycles;
+    robStallCycles_.inc(subCycles);
+}
+
 void
 CoreModel::cpuCycle()
 {

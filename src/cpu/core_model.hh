@@ -64,6 +64,8 @@ class CoreModel : public Component, public mem::MemClient
               mem::MemoryController &mc);
 
     void tick(Cycle now) override;
+    Cycle nextWakeCycle(Cycle now) const override;
+    void fastForward(Cycle from, Cycle to) override;
     void memResponse(const mem::MemRequest &req) override;
     void memDropped(const mem::MemRequest &req) override;
 

@@ -231,4 +231,11 @@ DramSystem::tick(Cycle now)
         rk.tickEnergy(now);
 }
 
+void
+DramSystem::fastForwardEnergy(Cycle from, Cycle to)
+{
+    for (auto &rk : ranks_)
+        rk.accountEnergySpan(from, to);
+}
+
 } // namespace memsec::dram

@@ -67,6 +67,13 @@ class DramSystem
     /** Per-cycle housekeeping (energy state accounting). */
     void tick(Cycle now);
 
+    /**
+     * Closed-form tick() over a skipped span [from, to): legal only
+     * when no command issues inside the span, so each rank's power
+     * state is constant except for a refresh completing mid-span.
+     */
+    void fastForwardEnergy(Cycle from, Cycle to);
+
     Rank &rank(unsigned r) { return ranks_.at(r); }
     const Rank &rank(unsigned r) const { return ranks_.at(r); }
     unsigned numRanks() const { return static_cast<unsigned>(ranks_.size()); }

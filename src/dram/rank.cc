@@ -146,4 +146,26 @@ Rank::tickEnergy(Cycle now)
     }
 }
 
+void
+Rank::accountEnergySpan(Cycle from, Cycle to)
+{
+    uint64_t span = to - from;
+    if (poweredDown_) {
+        energy_.cyclesPowerDown += span;
+        return;
+    }
+    if (from < refreshEnd_) {
+        const uint64_t refreshing =
+            std::min<Cycle>(to, refreshEnd_) - from;
+        energy_.cyclesRefreshing += refreshing;
+        span -= refreshing;
+    }
+    if (span == 0)
+        return;
+    if (anyBankOpen())
+        energy_.cyclesActive += span;
+    else
+        energy_.cyclesPrecharge += span;
+}
+
 } // namespace memsec::dram

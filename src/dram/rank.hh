@@ -100,6 +100,14 @@ class Rank
     /** Per-cycle energy accounting; call once per cycle. */
     void tickEnergy(Cycle now);
 
+    /**
+     * tickEnergy() for every cycle in [from, to) at once. Valid only
+     * while no command issues in the span: bank open/closed state and
+     * power-down are command-driven, so the only transition inside an
+     * idle span is a refresh completing at refreshEnd_.
+     */
+    void accountEnergySpan(Cycle from, Cycle to);
+
     const RankEnergyCounters &energy() const { return energy_; }
     RankEnergyCounters &energy() { return energy_; }
 

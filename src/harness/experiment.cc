@@ -68,6 +68,9 @@ defaultConfig()
     // enough that any live run — even an idle FS frame between
     // refresh epochs — makes progress well within it.
     c.set("sim.watchdog", 100000);
+    // Idle-skip fast forward (byte-identical to the naive loop; see
+    // tests/test_fastforward_diff.cc). Off = force the naive loop.
+    c.set("sim.fastforward", true);
     return c;
 }
 
@@ -367,6 +370,7 @@ runExperiment(const Config &cfg)
     }
 
     Simulator sim;
+    sim.setFastForward(cfg.getBool("sim.fastforward", true));
     for (auto &c : coreModels)
         sim.add(c.get());
     for (auto &m : mcs)
@@ -400,6 +404,8 @@ runExperiment(const Config &cfg)
     res.workload = workload;
     res.cores = cores;
     res.cyclesRun = sim.now();
+    res.cyclesExecuted = sim.cyclesExecuted();
+    res.cyclesSkipped = sim.cyclesSkipped();
     for (auto &c : coreModels) {
         res.ipc.push_back(c->ipc());
         res.prefetchIssued += c->prefetchIssued();

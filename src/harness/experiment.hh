@@ -59,6 +59,12 @@ struct ExperimentResult
     /** Recoverable errors recorded during the run (capped). */
     std::vector<SimError> simErrors;
 
+    // -- kernel accounting (deliberately NOT part of resultDigest():
+    //    naive and fast-forward runs differ here by construction
+    //    while every simulated observable stays byte-identical) --
+    uint64_t cyclesExecuted = 0; ///< cycles the tick loop ran
+    uint64_t cyclesSkipped = 0;  ///< cycles skipped by fast-forward
+
     /** Sum over cores of ipc[i] / baseIpc[i]. */
     double weightedIpc(const std::vector<double> &baseIpc) const;
 };

@@ -1,5 +1,7 @@
 #include "mem/memory_controller.hh"
 
+#include <algorithm>
+
 #include "fault/fault_injector.hh"
 #include "sched/scheduler.hh"
 #include "util/logging.hh"
@@ -219,6 +221,29 @@ MemoryController::tick(Cycle now)
 
     sched_->tick(now);
     dram_.tick(now);
+}
+
+Cycle
+MemoryController::nextWakeCycle(Cycle now) const
+{
+    // A fault injector probes every cycle (overflow floods, skew
+    // schedules keyed on the raw cycle number): never skip under
+    // injection.
+    if (injector_ || !sched_)
+        return now + 1;
+    Cycle wake = sched_->nextWakeCycle(now);
+    if (!completions_.empty())
+        wake = std::min(wake, completions_.top().at);
+    return std::max(wake, now + 1);
+}
+
+void
+MemoryController::fastForward(Cycle from, Cycle to)
+{
+    // The scheduler guaranteed the span free of commands and slot
+    // work; only the per-cycle energy state residency needs catching
+    // up.
+    dram_.fastForwardEnergy(from, to);
 }
 
 void

@@ -119,6 +119,8 @@ class MemoryController : public Component
     // ---- simulation ----
 
     void tick(Cycle now) override;
+    Cycle nextWakeCycle(Cycle now) const override;
+    void fastForward(Cycle from, Cycle to) override;
 
     const ControllerStats &stats() const { return stats_; }
     sched::Scheduler &scheduler();

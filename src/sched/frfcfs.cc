@@ -291,6 +291,35 @@ FrFcfsScheduler::tick(Cycle now)
     engine_.tick(now, allDomains_, gate);
 }
 
+Cycle
+FrFcfsScheduler::nextWakeCycle(Cycle now) const
+{
+    const Cycle next = now + 1;
+    // Pending work anywhere needs per-cycle FR-FCFS decisions.
+    for (DomainId d : allDomains_) {
+        if (!mc_.queue(d).empty())
+            return next;
+    }
+    // Prefetch promotion mutates the utilisation window every 1024
+    // cycles and can move prefetch-queue entries into the demand
+    // queues even while those are empty: never skip.
+    if (engine_.promotesPrefetches())
+        return next;
+    // An armed drain mode settles (to false) on the next idle tick;
+    // skipping that tick would leave it armed when a write arrives.
+    if (engine_.drainingWrites())
+        return next;
+    Cycle wake = kNoCycle;
+    if (refreshEnabled_) {
+        for (const Cycle r : nextRefresh_) {
+            if (next >= r)
+                return next; // refresh due (or draining towards it)
+            wake = std::min(wake, r);
+        }
+    }
+    return std::max(wake, next);
+}
+
 void
 FrFcfsScheduler::registerStats(StatGroup &group) const
 {

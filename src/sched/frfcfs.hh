@@ -76,6 +76,13 @@ class FrFcfsEngine
      *  another domain's turn — that would be an information leak). */
     void resetDrainState() { drainingWrites_ = false; }
 
+    /** Drain mode still armed (it settles on the next idle tick). */
+    bool drainingWrites() const { return drainingWrites_; }
+
+    /** Prefetch promotion enabled: the engine mutates its utilisation
+     *  window and may move prefetch-queue entries on any tick. */
+    bool promotesPrefetches() const { return opt_.allowPrefetchPromote; }
+
     uint64_t rowHits() const { return rowHits_; }
     uint64_t rowMisses() const { return rowMisses_; }
     uint64_t rowConflicts() const { return rowConflicts_; }
@@ -115,6 +122,7 @@ class FrFcfsScheduler : public Scheduler
                              bool refresh = false);
 
     void tick(Cycle now) override;
+    Cycle nextWakeCycle(Cycle now) const override;
     std::string name() const override { return "frfcfs"; }
     void registerStats(StatGroup &group) const override;
 

@@ -435,6 +435,41 @@ FsScheduler::tick(Cycle now)
         planned_.pop_front();
 }
 
+Cycle
+FsScheduler::nextWakeCycle(Cycle now) const
+{
+    const Cycle next = now + 1;
+    Cycle wake = kNoCycle;
+    if (nextRefresh_ != kNoCycle) {
+        if (next >= nextRefresh_) {
+            // Mid-epoch: the REF burst issues one command per cycle,
+            // and the epoch rollover must happen at its exact cycle
+            // (a slot decided against a stale nextRefresh_ would see
+            // the blackout armed when the naive loop would not).
+            if (refreshRankCursor_ < dram_.numRanks())
+                return next;
+            wake = nextRefresh_ + refreshPause_;
+        } else {
+            wake = nextRefresh_;
+        }
+    }
+    // Every multiple of l is a slot decision, even when it only
+    // counts a blacked-out, phantom or powered-down slot.
+    wake = std::min(wake, (next + l_ - 1) / l_ * l_);
+    // Pending planned commands. issueDue() matches cycles exactly, so
+    // an op whose cycle already passed un-issued can never fire and is
+    // no reason to wake — the naive loop ignores it identically.
+    for (const auto &op : planned_) {
+        if (!op.actIssued) {
+            if (op.actAt >= next)
+                wake = std::min(wake, op.actAt);
+        } else if (op.req && op.casAt >= next) {
+            wake = std::min(wake, op.casAt);
+        }
+    }
+    return std::max(wake, next);
+}
+
 void
 FsScheduler::finalize(Cycle now)
 {

@@ -68,6 +68,7 @@ class FsScheduler : public Scheduler
     FsScheduler(mem::MemoryController &mc, const Params &params);
 
     void tick(Cycle now) override;
+    Cycle nextWakeCycle(Cycle now) const override;
     std::string name() const override;
     void registerStats(StatGroup &group) const override;
 

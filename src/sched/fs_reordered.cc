@@ -211,6 +211,23 @@ FsReorderedScheduler::tick(Cycle now)
         planned_.pop_front();
 }
 
+Cycle
+FsReorderedScheduler::nextWakeCycle(Cycle now) const
+{
+    const Cycle next = now + 1;
+    // Interval decisions happen at every multiple of q.
+    Cycle wake = (next + q_ - 1) / q_ * q_;
+    for (const auto &op : planned_) {
+        if (!op.actIssued) {
+            if (op.actAt >= next)
+                wake = std::min(wake, op.actAt);
+        } else if (op.req && op.casAt >= next) {
+            wake = std::min(wake, op.casAt);
+        }
+    }
+    return std::max(wake, next);
+}
+
 void
 FsReorderedScheduler::registerStats(StatGroup &group) const
 {

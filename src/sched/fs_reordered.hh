@@ -35,6 +35,7 @@ class FsReorderedScheduler : public Scheduler
     FsReorderedScheduler(mem::MemoryController &mc, const Params &params);
 
     void tick(Cycle now) override;
+    Cycle nextWakeCycle(Cycle now) const override;
     std::string name() const override { return "fs-reordered-bank"; }
     void registerStats(StatGroup &group) const override;
 

@@ -38,6 +38,19 @@ class Scheduler
     /** Advance one memory cycle; may issue at most one command. */
     virtual void tick(Cycle now) = 0;
 
+    /**
+     * Idle-skip hint (see Component::nextWakeCycle): the earliest
+     * cycle > now at which this policy's tick() would do anything
+     * observable, queried right after tick(now). The conservative
+     * default declares every cycle interesting, so policies without a
+     * hint keep the naive per-cycle loop.
+     */
+    virtual Cycle
+    nextWakeCycle(Cycle now) const
+    {
+        return now + 1;
+    }
+
     /** Policy name for reports. */
     virtual std::string name() const = 0;
 

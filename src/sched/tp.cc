@@ -162,6 +162,29 @@ TpScheduler::tick(Cycle now)
         planned_.pop_front();
 }
 
+Cycle
+TpScheduler::nextWakeCycle(Cycle now) const
+{
+    const Cycle next = now + 1;
+    const Cycle turn = params_.turnLength;
+    // Next in-turn slot; the turn boundary is itself a slot (and the
+    // turn counter ticks there), so it caps the candidate.
+    const Cycle turnStart = next / turn * turn;
+    const Cycle inTurn = next - turnStart;
+    Cycle wake = turnStart + (inTurn + l_ - 1) / l_ * l_;
+    if (wake >= turnStart + turn)
+        wake = turnStart + turn;
+    for (const auto &op : planned_) {
+        if (!op.actIssued) {
+            if (op.actAt >= next)
+                wake = std::min(wake, op.actAt);
+        } else if (op.req && op.casAt >= next) {
+            wake = std::min(wake, op.casAt);
+        }
+    }
+    return std::max(wake, next);
+}
+
 void
 TpScheduler::registerStats(StatGroup &group) const
 {

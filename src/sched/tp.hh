@@ -44,6 +44,7 @@ class TpScheduler : public Scheduler
     TpScheduler(mem::MemoryController &mc, const Params &params);
 
     void tick(Cycle now) override;
+    Cycle nextWakeCycle(Cycle now) const override;
     std::string name() const override { return "tp"; }
     void registerStats(StatGroup &group) const override;
 

@@ -1,5 +1,7 @@
 #include "sim/simulator.hh"
 
+#include <algorithm>
+
 #include "util/logging.hh"
 
 namespace memsec {
@@ -42,6 +44,39 @@ Simulator::checkWatchdog()
     }
 }
 
+Cycle
+Simulator::wakeTarget(Cycle now, Cycle end) const
+{
+    Cycle wake = end;
+    for (const Component *c : components_) {
+        const Cycle w = c->nextWakeCycle(now);
+        if (w < wake)
+            wake = w;
+        if (wake <= now + 1)
+            return now + 1;
+    }
+    return std::max(wake, now + 1);
+}
+
+void
+Simulator::jumpTo(Cycle wake)
+{
+    // The watchdog must fire at the identical cycle in both modes: a
+    // jump never overshoots the stall deadline, and the landing cycle
+    // is re-checked (component state is frozen across the span, so
+    // the probe cannot have advanced).
+    if (watchdogWindow_ > 0)
+        wake = std::min(wake, watchdogLastProgress_ + watchdogWindow_);
+    if (wake <= now_)
+        return;
+    for (Component *c : components_)
+        c->fastForward(now_, wake);
+    cyclesSkipped_ += wake - now_;
+    ++jumps_;
+    now_ = wake;
+    checkWatchdog();
+}
+
 void
 Simulator::run(Cycle n)
 {
@@ -49,8 +84,13 @@ Simulator::run(Cycle n)
     while (now_ < end) {
         for (Component *c : components_)
             c->tick(now_);
+        const Cycle wake =
+            fastForward_ ? wakeTarget(now_, end) : now_ + 1;
         ++now_;
+        ++cyclesExecuted_;
         checkWatchdog();
+        if (wake > now_)
+            jumpTo(wake);
     }
 }
 
@@ -62,8 +102,16 @@ Simulator::runUntil(const std::function<bool()> &pred, Cycle maxCycles)
     while (now_ < end && !pred()) {
         for (Component *c : components_)
             c->tick(now_);
+        const Cycle wake =
+            fastForward_ ? wakeTarget(now_, end) : now_ + 1;
         ++now_;
+        ++cyclesExecuted_;
         checkWatchdog();
+        // Component state is frozen across a skip, so pred() is too —
+        // but a predicate already true here must stop the loop at this
+        // exact cycle, as the naive loop would.
+        if (wake > now_ && !pred())
+            jumpTo(wake);
     }
     return now_ - start;
 }

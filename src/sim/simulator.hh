@@ -1,13 +1,24 @@
 /**
  * @file
- * Cycle-driven simulation kernel.
+ * Cycle-driven simulation kernel with an idle-skip fast path.
  *
  * The simulator owns a list of components and advances a global DRAM
  * bus clock. Each component is ticked once per memory cycle; CPU-side
  * components internally iterate their CPU-clock sub-cycles. A simple
  * tick loop (rather than an event queue) is the right tool here: the
- * memory controller does work nearly every cycle, so event-queue
- * overhead would dominate without reducing work.
+ * memory controller does work nearly every cycle under load, so
+ * event-queue overhead would dominate without reducing work.
+ *
+ * Fixed service policies make the complementary case common too: the
+ * next interesting cycle is statically known (the next slot boundary,
+ * the next planned command, the next refresh epoch), so long idle
+ * stretches can be skipped wholesale. After ticking a cycle the
+ * kernel asks every component for its next wake cycle and, when all
+ * of them agree the immediate future is dead time, jumps the clock —
+ * with a fastForward() catch-up call so per-cycle accounting (CPU
+ * clocks, stall counters, energy state residency) stays byte-
+ * identical to the naive loop. See docs/PERF.md for the contract and
+ * tests/test_fastforward_diff.cc for the proof obligations.
  */
 
 #ifndef MEMSEC_SIM_SIMULATOR_HH
@@ -33,6 +44,37 @@ class Component
 
     /** Advance this component by one DRAM bus cycle. */
     virtual void tick(Cycle now) = 0;
+
+    /**
+     * Fast-forward hint, queried right after tick(now): the earliest
+     * cycle > now at which this component's tick() would do anything
+     * observable. Returning kNoCycle means "no self-scheduled work; I
+     * only react to other components". The contract: for every cycle
+     * c in (now, nextWakeCycle(now)), tick(c) must be a no-op except
+     * for per-cycle accounting that fastForward() reproduces exactly.
+     * The default (now + 1) declares every cycle interesting and
+     * preserves the naive loop for components without a hint.
+     */
+    virtual Cycle
+    nextWakeCycle(Cycle now) const
+    {
+        return now + 1;
+    }
+
+    /**
+     * Catch up over the skipped span [from, to): called once per
+     * kernel jump on every component, in registration order, before
+     * the clock moves. Must reproduce byte-for-byte the per-cycle
+     * accounting tick() would have performed over those cycles (CPU
+     * clock advance, stall counters, energy state residency); the
+     * default assumes tick() keeps no per-cycle books.
+     */
+    virtual void
+    fastForward(Cycle from, Cycle to)
+    {
+        (void)from;
+        (void)to;
+    }
 
     /** Component instance name (for stats and diagnostics). */
     const std::string &name() const { return name_; }
@@ -74,12 +116,47 @@ class Simulator
      */
     void setWatchdog(Cycle window, std::function<uint64_t()> probe);
 
+    /**
+     * Enable/disable the idle-skip fast path (default on). Forced-
+     * naive mode exists for the differential tests, which require the
+     * two modes byte-identical in every simulated observable.
+     */
+    void setFastForward(bool on) { fastForward_ = on; }
+    bool fastForwardEnabled() const { return fastForward_; }
+
+    /** Cycles actually ticked (component loops executed). */
+    uint64_t cyclesExecuted() const { return cyclesExecuted_; }
+    /** Cycles skipped by fast-forward jumps. */
+    uint64_t cyclesSkipped() const { return cyclesSkipped_; }
+    /** Number of fast-forward jumps taken. */
+    uint64_t fastForwardJumps() const { return jumps_; }
+
   private:
     /** Per-cycle watchdog check; fatal on a stall. */
     void checkWatchdog();
 
+    /**
+     * Minimum of the component wake hints for the cycle just ticked,
+     * clamped into [now + 1, end]. Returns now + 1 as soon as any
+     * component wants the very next cycle.
+     */
+    Cycle wakeTarget(Cycle now, Cycle end) const;
+
+    /**
+     * Jump now_ forward to `wake` if the watchdog deadline allows:
+     * calls fastForward() on every component, advances the clock and
+     * re-checks the watchdog at the landing cycle (so a stalled run
+     * dies at the identical cycle in both modes).
+     */
+    void jumpTo(Cycle wake);
+
     std::vector<Component *> components_;
     Cycle now_ = 0;
+
+    bool fastForward_ = true;
+    uint64_t cyclesExecuted_ = 0;
+    uint64_t cyclesSkipped_ = 0;
+    uint64_t jumps_ = 0;
 
     Cycle watchdogWindow_ = 0; ///< 0 = disarmed
     std::function<uint64_t()> watchdogProbe_;

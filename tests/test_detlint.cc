@@ -177,6 +177,69 @@ unsigned fileScope;
     EXPECT_FALSE(hasRule(lintSource("x.hh", src), "uninit-member"));
 }
 
+TEST(Detlint, TickWallClockFlagsDirectClockInTickBody)
+{
+    const std::string src = R"(
+struct C : Component {
+    void tick(Cycle now) override {
+        start_ = std::chrono::steady_clock::now();
+    }
+};
+)";
+    const auto fs = lintSource("x.cc", src);
+    EXPECT_TRUE(hasRule(fs, "tick-wall-clock"));
+    EXPECT_EQ(lineOf(fs, "tick-wall-clock"), 4u);
+}
+
+TEST(Detlint, TickWallClockFlagsDerivedValueInTickBody)
+{
+    // The clock read happens elsewhere; tick() keys state on the
+    // derived value. The skipped-tick contract makes this a bug even
+    // when the clock call itself lives outside tick().
+    const std::string src = R"(
+void C::setup() {
+    wallStart = std::chrono::steady_clock::now();
+}
+void C::tick(Cycle now) {
+    budget_ = wallStart + grace_;
+}
+)";
+    const auto fs = lintSource("x.cc", src);
+    EXPECT_TRUE(hasRule(fs, "tick-wall-clock"));
+    EXPECT_EQ(lineOf(fs, "tick-wall-clock"), 6u);
+}
+
+TEST(Detlint, TickWallClockIgnoresCleanTickAndCallSites)
+{
+    // A tick body keyed purely on the simulated cycle is clean, and
+    // `c->tick(now)` call sites must not open a tracked body.
+    const std::string src = R"(
+void C::tick(Cycle now) {
+    if (now % l_ == 0)
+        issueSlot(now);
+}
+void Simulator::step() {
+    for (Component *c : components_)
+        c->tick(now_);
+}
+)";
+    EXPECT_FALSE(hasRule(lintSource("x.cc", src), "tick-wall-clock"));
+}
+
+TEST(Detlint, TickWallClockOutsideTickIsOnlyWallClock)
+{
+    // Clock use outside any tick body stays the generic wall-clock
+    // finding; the tick-specific rule must not fire.
+    const std::string src = R"(
+void report() {
+    auto t = std::chrono::steady_clock::now();
+}
+)";
+    const auto fs = lintSource("x.cc", src);
+    EXPECT_TRUE(hasRule(fs, "wall-clock"));
+    EXPECT_FALSE(hasRule(fs, "tick-wall-clock"));
+}
+
 TEST(Detlint, CommentsAndStringsNeverFire)
 {
     const std::string src = R"(

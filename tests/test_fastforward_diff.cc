@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Differential proof that the idle-skip kernel is invisible: every
+ * scheduler x partitioning combination is run twice from identical
+ * seeds — once with the naive per-cycle tick loop, once with
+ * fast-forward enabled — and the full-precision result digests
+ * (hexfloat metrics, noninterference timelines, per-rule
+ * TimingChecker totals, recorded SimErrors) must compare equal
+ * byte for byte. Any hint that skips an observable cycle, or any
+ * fastForward() that misses a unit of per-cycle accounting, shows
+ * up here as a digest mismatch.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "harness/campaign.hh"
+#include "harness/experiment.hh"
+
+using namespace memsec;
+using namespace memsec::harness;
+
+namespace {
+
+Config
+diffConfig(const std::string &scheme, const std::string &workload,
+           uint64_t seed)
+{
+    Config c = defaultConfig();
+    c.merge(schemeConfig(scheme));
+    c.set("workload", workload);
+    c.set("cores", 4);
+    c.set("seed", seed);
+    c.set("sim.warmup", 1500);
+    c.set("sim.measure", 12000);
+    // Audit one core so the digest covers the noninterference
+    // timeline (per-request service + progress checkpoints), not
+    // just the aggregate metrics.
+    c.set("audit.core", 0);
+    c.set("audit.progress_interval", 1000);
+    return c;
+}
+
+struct DiffOutcome
+{
+    ExperimentResult naive;
+    ExperimentResult fast;
+};
+
+DiffOutcome
+runBothModes(Config cfg)
+{
+    DiffOutcome out;
+    cfg.set("sim.fastforward", false);
+    out.naive = runExperiment(cfg);
+    cfg.set("sim.fastforward", true);
+    out.fast = runExperiment(cfg);
+    return out;
+}
+
+void
+expectIdentical(const std::string &scheme, const std::string &workload,
+                uint64_t seed)
+{
+    const DiffOutcome o =
+        runBothModes(diffConfig(scheme, workload, seed));
+    EXPECT_EQ(resultDigest(o.naive), resultDigest(o.fast))
+        << scheme << "/" << workload << " seed=" << seed;
+    // The naive run must not have skipped anything, or the
+    // comparison proves nothing.
+    EXPECT_EQ(o.naive.cyclesSkipped, 0u) << scheme << "/" << workload;
+}
+
+} // namespace
+
+// -- FS (fixed service) across all three partitioning modes --------
+
+TEST(FastForwardDiff, FsRankPartition)
+{
+    expectIdentical("fs_rp", "mcf", 1);
+    expectIdentical("fs_rp", "libquantum", 42);
+}
+
+TEST(FastForwardDiff, FsBankPartition)
+{
+    expectIdentical("fs_bp", "mcf", 1);
+    expectIdentical("fs_bp", "milc", 7);
+}
+
+TEST(FastForwardDiff, FsNoPartition)
+{
+    expectIdentical("fs_np", "mcf", 1);
+    expectIdentical("fs_np", "xalancbmk", 42);
+    // The perf harness's headline idle-heavy point (bench/perf_e2e).
+    expectIdentical("fs_np", "hog", 1);
+}
+
+TEST(FastForwardDiff, FsTripleAlternation)
+{
+    expectIdentical("fs_np_triple", "mcf", 3);
+}
+
+// The energy-optimisation variants exercise ACT suppression and
+// precharge power-down, the two paths where Rank::accountEnergySpan
+// must agree with per-cycle tickEnergy() residency accounting.
+TEST(FastForwardDiff, FsEnergyVariants)
+{
+    expectIdentical("fs_rp_suppress", "mcf", 1);
+    expectIdentical("fs_rp_powerdown", "mcf", 1);
+    expectIdentical("fs_rp_powerdown", "astar", 42);
+}
+
+TEST(FastForwardDiff, FsWithPrefetch)
+{
+    expectIdentical("fs_rp_prefetch", "libquantum", 1);
+}
+
+// -- FS-reordered (the queued/reordered variant, bank partition) ---
+
+TEST(FastForwardDiff, FsReordered)
+{
+    expectIdentical("fs_reordered_bp", "mcf", 1);
+    expectIdentical("fs_reordered_bp", "milc", 42);
+}
+
+// -- Temporal partitioning across both partitioning modes ----------
+
+TEST(FastForwardDiff, TpBankPartition)
+{
+    expectIdentical("tp_bp", "mcf", 1);
+    expectIdentical("tp_bp", "astar", 42);
+}
+
+TEST(FastForwardDiff, TpNoPartition)
+{
+    expectIdentical("tp_np", "mcf", 1);
+    expectIdentical("tp_np", "xalancbmk", 7);
+}
+
+// -- FRFCFS baseline (no partition), with and without prefetch -----
+
+TEST(FastForwardDiff, FrFcfsBaseline)
+{
+    expectIdentical("baseline", "mcf", 1);
+    expectIdentical("baseline", "libquantum", 42);
+}
+
+TEST(FastForwardDiff, FrFcfsWithPrefetchPromotion)
+{
+    expectIdentical("baseline_prefetch", "mcf", 1);
+}
+
+// -- Channel partitioning (multi-controller registration order) ----
+
+TEST(FastForwardDiff, ChannelPartition)
+{
+    expectIdentical("channel_part", "mcf", 1);
+}
+
+// -- Fault injection: per-rule TimingChecker totals in the digest --
+//
+// With an injector attached the controller hint goes conservative
+// (every cycle ticks), but the cores still skip; the shadow
+// checker's per-rule violation counts and recorded SimErrors must
+// come out identical.
+
+TEST(FastForwardDiff, FaultInjectionRuleTotals)
+{
+    Config c = diffConfig("fs_rp", "mcf", 1);
+    c.set("fault.kind", "slot-skew");
+    const DiffOutcome o = runBothModes(c);
+    EXPECT_EQ(resultDigest(o.naive), resultDigest(o.fast));
+    EXPECT_EQ(o.naive.violationRules, o.fast.violationRules);
+    EXPECT_EQ(o.naive.timingViolations, o.fast.timingViolations);
+}
+
+// -- Sanity: the fast path actually fires where it should ----------
+//
+// A differential test that never skips proves nothing. The fixed
+// service schedule on a memory-bound workload has long statically
+// dead stretches between slot events; require a real skip ratio so
+// a silently-disabled fast path fails loudly.
+
+TEST(FastForwardDiff, FastPathActuallySkips)
+{
+    const DiffOutcome o = runBothModes(diffConfig("fs_np", "mcf", 1));
+    EXPECT_GT(o.fast.cyclesSkipped, 0u);
+    EXPECT_GT(o.fast.cyclesSkipped, o.fast.cyclesExecuted / 4)
+        << "fast-forward skipped too little on an idle-heavy "
+           "fixed-service schedule";
+    EXPECT_EQ(o.naive.cyclesExecuted,
+              o.fast.cyclesExecuted + o.fast.cyclesSkipped);
+}

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Golden-stats regression tests: scaled-down versions of the fig03
+ * and fig06 campaigns and the tab_solver analytics are digested and
+ * compared byte-for-byte against committed files under
+ * tests/golden/. A mismatch means a simulated observable moved —
+ * deliberate changes regenerate the files with
+ *
+ *     MEMSEC_REGEN_GOLDEN=1 ./build/tests/test_golden_stats
+ *
+ * (or tools/regen_golden.sh, which wraps exactly that) and commit
+ * the diff, which shows precisely which metric changed.
+ *
+ * Digest text is hexfloat throughout (via resultDigest), so equality
+ * is bit-equality of every double; the repo's determinism guarantees
+ * make that stable across runs, thread counts, and the idle-skip
+ * fast path.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/pipeline_solver.hh"
+#include "dram/timing.hh"
+#include "harness/campaign.hh"
+#include "harness/experiment.hh"
+
+using namespace memsec;
+using namespace memsec::harness;
+
+namespace {
+
+std::string
+goldenPath(const std::string &name)
+{
+    return std::string(MEMSEC_SOURCE_DIR) + "/tests/golden/" + name;
+}
+
+bool
+regenRequested()
+{
+    const char *env = std::getenv("MEMSEC_REGEN_GOLDEN");
+    return env != nullptr && env[0] != '\0' &&
+           std::string(env) != "0";
+}
+
+void
+compareOrRegen(const std::string &name, const std::string &actual)
+{
+    const std::string path = goldenPath(name);
+    if (regenRequested()) {
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        ASSERT_TRUE(out.good()) << "cannot write " << path;
+        out << actual;
+        SUCCEED() << "regenerated " << path;
+        return;
+    }
+    std::ifstream in(path, std::ios::binary);
+    ASSERT_TRUE(in.good())
+        << path << " missing — regenerate with MEMSEC_REGEN_GOLDEN=1 "
+        << "(see tools/regen_golden.sh)";
+    std::string expected((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+    EXPECT_EQ(expected, actual)
+        << "golden stats drifted for " << name
+        << "; if the change is intended, run tools/regen_golden.sh "
+        << "and commit the diff";
+}
+
+/** Scaled-down campaign over a figure's scheme list. */
+std::string
+campaignDigest(const std::vector<std::string> &schemes,
+               const std::vector<std::string> &workloads)
+{
+    Campaign campaign;
+    std::vector<std::string> labels;
+    for (const auto &s : schemes) {
+        for (const auto &w : workloads) {
+            Config c = defaultConfig();
+            c.merge(schemeConfig(s));
+            c.set("workload", w);
+            c.set("cores", 4);
+            c.set("sim.warmup", 1500);
+            c.set("sim.measure", 12000);
+            labels.push_back(s + "/" + w);
+            campaign.add(labels.back(), c);
+        }
+    }
+    CampaignOptions opts;
+    opts.jobs = 4; // the runner guarantees serial-identical results
+    campaign.run(opts);
+
+    std::ostringstream os;
+    for (size_t i = 0; i < campaign.size(); ++i) {
+        os << "== " << labels[i] << " ==\n"
+           << resultDigest(campaign.result(i));
+    }
+    return os.str();
+}
+
+/** The tab_solver analytics for one DRAM part, hexfloat-exact. */
+void
+solverDigest(std::ostream &os, const char *label,
+             const dram::TimingParams &tp)
+{
+    using core::PartitionLevel;
+    using core::PeriodicRef;
+    core::PipelineSolver solver(tp);
+    os << "== " << label << " (" << tp.toString() << ") ==\n";
+    os << std::hexfloat;
+    for (PartitionLevel level :
+         {PartitionLevel::Rank, PartitionLevel::Bank,
+          PartitionLevel::None}) {
+        for (PeriodicRef ref :
+             {PeriodicRef::Data, PeriodicRef::Ras,
+              PeriodicRef::Cas}) {
+            const auto sol = solver.solve(ref, level);
+            os << core::partitionLevelName(level) << "/"
+               << core::periodicRefName(ref) << ":";
+            if (!sol.feasible) {
+                os << " infeasible\n";
+                continue;
+            }
+            os << " l=" << sol.l << " Q8=" << sol.intervalQ(8)
+               << " util=" << sol.peakUtilisation(tp.burst) << "\n";
+        }
+    }
+    const auto re = solver.solveReordered(8);
+    os << "reordered: spacing=" << re.spacing
+       << " endGap=" << re.endGap << " Q=" << re.q
+       << " util=" << re.peakUtilisation << "\n";
+    os << "alternation=" << solver.alternationFactor() << "\n";
+}
+
+} // namespace
+
+TEST(GoldenStats, Fig03DesignPointCampaign)
+{
+    compareOrRegen(
+        "fig03.digest",
+        campaignDigest({"channel_part", "fs_rp", "fs_reordered_bp",
+                        "tp_bp", "fs_np", "fs_np_triple", "tp_np"},
+                       {"mcf", "libquantum"}));
+}
+
+TEST(GoldenStats, Fig06PerformanceCampaign)
+{
+    compareOrRegen(
+        "fig06.digest",
+        campaignDigest({"fs_rp", "fs_reordered_bp", "tp_bp",
+                        "fs_np_triple", "tp_np"},
+                       {"milc", "astar"}));
+}
+
+TEST(GoldenStats, TabSolverAnalytics)
+{
+    std::ostringstream os;
+    solverDigest(os, "DDR3-1600 4Gb",
+                 dram::TimingParams::ddr3_1600_4gb());
+    solverDigest(os, "DDR3-2133", dram::TimingParams::ddr3_2133());
+    solverDigest(os, "DDR4-2400", dram::TimingParams::ddr4_2400());
+    compareOrRegen("tab_solver.digest", os.str());
+}

@@ -34,6 +34,50 @@ class Probe : public Component
     int id_;
 };
 
+/**
+ * A component with a configurable wake hint: wakes at multiples of
+ * `stride` (kNoCycle when stride is 0, i.e. purely reactive), and
+ * records every fastForward() span it receives.
+ */
+class IdleProbe : public Component
+{
+  public:
+    explicit IdleProbe(Cycle stride)
+        : Component("idle"), stride_(stride)
+    {
+    }
+
+    void
+    tick(Cycle now) override
+    {
+        lastTick = now;
+        ++ticks;
+    }
+
+    Cycle
+    nextWakeCycle(Cycle now) const override
+    {
+        if (stride_ == 0)
+            return kNoCycle;
+        return (now / stride_ + 1) * stride_;
+    }
+
+    void
+    fastForward(Cycle from, Cycle to) override
+    {
+        spans.push_back({from, to});
+        ffCycles += to - from;
+    }
+
+    Cycle lastTick = 0;
+    uint64_t ticks = 0;
+    uint64_t ffCycles = 0;
+    std::vector<std::pair<Cycle, Cycle>> spans;
+
+  private:
+    Cycle stride_;
+};
+
 } // namespace
 
 TEST(Simulator, RunAdvancesExactCycles)
@@ -90,6 +134,203 @@ TEST(Simulator, AddNullPanics)
 {
     Simulator sim;
     EXPECT_THROW(sim.add(nullptr), std::logic_error);
+}
+
+TEST(Simulator, RunZeroCyclesIsNoOp)
+{
+    Simulator sim;
+    Probe p("p", nullptr, 0);
+    sim.add(&p);
+    sim.run(0);
+    EXPECT_EQ(sim.now(), 0u);
+    EXPECT_EQ(p.ticks, 0u);
+    EXPECT_EQ(sim.cyclesExecuted(), 0u);
+    EXPECT_EQ(sim.cyclesSkipped(), 0u);
+}
+
+TEST(Simulator, RunUntilZeroBudgetReturnsZero)
+{
+    Simulator sim;
+    Probe p("p", nullptr, 0);
+    sim.add(&p);
+    const Cycle ran = sim.runUntil([] { return false; }, 0);
+    EXPECT_EQ(ran, 0u);
+    EXPECT_EQ(sim.now(), 0u);
+    EXPECT_EQ(p.ticks, 0u);
+}
+
+TEST(Simulator, RunUntilPredTrueAtEntryRunsNothing)
+{
+    Simulator sim;
+    Probe p("p", nullptr, 0);
+    sim.add(&p);
+    const Cycle ran = sim.runUntil([] { return true; }, 100);
+    EXPECT_EQ(ran, 0u);
+    EXPECT_EQ(sim.now(), 0u);
+    EXPECT_EQ(p.ticks, 0u);
+}
+
+// -- fast-forward kernel mechanics ---------------------------------
+
+TEST(Simulator, FastForwardSkipsIdleSpans)
+{
+    Simulator sim;
+    IdleProbe p(10); // interesting only at multiples of 10
+    sim.add(&p);
+    sim.run(100);
+    EXPECT_EQ(sim.now(), 100u);
+    // Ticked at 0, 10, ..., 90; everything between was skipped.
+    EXPECT_EQ(p.ticks, 10u);
+    EXPECT_EQ(p.lastTick, 90u);
+    EXPECT_EQ(sim.cyclesExecuted(), 10u);
+    EXPECT_EQ(sim.cyclesSkipped(), 90u);
+    EXPECT_EQ(sim.fastForwardJumps(), 10u);
+    EXPECT_EQ(p.ffCycles, 90u);
+    // Spans cover (tick+1, next wake) exactly, in order.
+    ASSERT_EQ(p.spans.size(), 10u);
+    EXPECT_EQ(p.spans.front(), (std::pair<Cycle, Cycle>{1, 10}));
+    EXPECT_EQ(p.spans.back(), (std::pair<Cycle, Cycle>{91, 100}));
+}
+
+TEST(Simulator, NaiveModeNeverSkips)
+{
+    Simulator sim;
+    sim.setFastForward(false);
+    EXPECT_FALSE(sim.fastForwardEnabled());
+    IdleProbe p(10);
+    sim.add(&p);
+    sim.run(100);
+    EXPECT_EQ(p.ticks, 100u);
+    EXPECT_EQ(sim.cyclesExecuted(), 100u);
+    EXPECT_EQ(sim.cyclesSkipped(), 0u);
+    EXPECT_EQ(sim.fastForwardJumps(), 0u);
+    EXPECT_TRUE(p.spans.empty());
+}
+
+TEST(Simulator, ReactiveComponentClampsToRunEnd)
+{
+    Simulator sim;
+    IdleProbe p(0); // kNoCycle: no self-scheduled work
+    sim.add(&p);
+    sim.run(50);
+    EXPECT_EQ(sim.now(), 50u);
+    EXPECT_EQ(p.ticks, 1u);
+    EXPECT_EQ(sim.cyclesExecuted(), 1u);
+    EXPECT_EQ(sim.cyclesSkipped(), 49u);
+    ASSERT_EQ(p.spans.size(), 1u);
+    EXPECT_EQ(p.spans[0], (std::pair<Cycle, Cycle>{1, 50}));
+}
+
+TEST(Simulator, EarliestHintAcrossComponentsWins)
+{
+    Simulator sim;
+    IdleProbe slow(100);
+    IdleProbe fast(7);
+    sim.add(&slow);
+    sim.add(&fast);
+    sim.run(100);
+    // The 7-stride component's wakes dominate: both tick at
+    // 0, 7, 14, ..., 98 (15 wakes).
+    EXPECT_EQ(fast.ticks, 15u);
+    EXPECT_EQ(slow.ticks, 15u);
+    EXPECT_EQ(slow.ffCycles, fast.ffCycles);
+}
+
+TEST(Simulator, RunUntilDoesNotJumpPastSatisfiedPredicate)
+{
+    Simulator sim;
+    IdleProbe p(1000);
+    sim.add(&p);
+    // Pred becomes true after the first tick; the far wake hint must
+    // not drag now() past the stopping cycle.
+    const Cycle ran =
+        sim.runUntil([&] { return p.ticks >= 1; }, 5000);
+    EXPECT_EQ(ran, 1u);
+    EXPECT_EQ(sim.now(), 1u);
+    EXPECT_EQ(sim.cyclesSkipped(), 0u);
+}
+
+TEST(Simulator, RunUntilJumpLandsOnPredicateRecheck)
+{
+    Simulator sim;
+    IdleProbe p(10);
+    sim.add(&p);
+    const Cycle ran = sim.runUntil([&] { return p.ticks >= 3; }, 5000);
+    // Ticks at 0, 10, 20 — pred satisfied after the tick at 20, so
+    // the loop stops at cycle 21 having skipped the idle gaps.
+    EXPECT_EQ(p.ticks, 3u);
+    EXPECT_EQ(ran, 21u);
+    EXPECT_EQ(sim.now(), 21u);
+    EXPECT_EQ(sim.cyclesSkipped(), 18u);
+}
+
+// -- watchdog ------------------------------------------------------
+
+TEST(Simulator, WatchdogDisarmSurvivesStall)
+{
+    Simulator sim;
+    Probe p("p", nullptr, 0);
+    sim.add(&p);
+    uint64_t progress = 0;
+    sim.setWatchdog(10, [&] { return progress; });
+    // Disarm before the stall window elapses; the stuck probe must
+    // no longer kill the run.
+    sim.setWatchdog(0, nullptr);
+    sim.run(100);
+    EXPECT_EQ(sim.now(), 100u);
+}
+
+TEST(Simulator, WatchdogRearmAfterDisarm)
+{
+    Simulator sim;
+    Probe p("p", nullptr, 0);
+    sim.add(&p);
+    sim.setWatchdog(0, nullptr); // disarm while already disarmed: ok
+    uint64_t progress = 0;
+    sim.run(30); // stall-free: nothing armed
+    sim.setWatchdog(20, [&] { return progress; });
+    EXPECT_EXIT(sim.run(1000), ::testing::ExitedWithCode(1),
+                "livelock");
+}
+
+TEST(Simulator, WatchdogArmedWithoutProbePanics)
+{
+    Simulator sim;
+    EXPECT_THROW(sim.setWatchdog(5, nullptr), std::logic_error);
+}
+
+TEST(Simulator, WatchdogFiresAtSameCycleAcrossFastForwardJump)
+{
+    // A stalled run must die at the identical cycle whether the
+    // kernel walked there or jumped there: the jump is capped at the
+    // stall deadline and the landing cycle is re-checked.
+    const auto stalledRun = [](bool fastForward) {
+        Simulator sim;
+        sim.setFastForward(fastForward);
+        IdleProbe p(0); // wants to sleep forever
+        sim.add(&p);
+        uint64_t progress = 0;
+        sim.setWatchdog(50, [&] { return progress; });
+        sim.run(100000);
+    };
+    EXPECT_EXIT(stalledRun(false), ::testing::ExitedWithCode(1),
+                "cycle 0\\.\\.50");
+    EXPECT_EXIT(stalledRun(true), ::testing::ExitedWithCode(1),
+                "cycle 0\\.\\.50");
+}
+
+TEST(Simulator, WatchdogProgressAllowsJumpBeyondWindow)
+{
+    Simulator sim;
+    IdleProbe p(30);
+    sim.add(&p);
+    // Probe advances whenever the component ticks, so each wake
+    // resets the stall clock and the run completes even though each
+    // idle gap approaches the window.
+    sim.setWatchdog(40, [&] { return p.ticks; });
+    sim.run(300);
+    EXPECT_EQ(sim.now(), 300u);
+    EXPECT_EQ(p.ticks, 10u);
 }
 
 TEST(Request, TypeNames)

@@ -237,6 +237,88 @@ ruleUninitMember(const std::string &file,
     }
 }
 
+/**
+ * tick-wall-clock: a Component::tick override whose body touches a
+ * value derived from the host's wall clock. The idle-skip kernel
+ * makes this fatal rather than merely nondeterministic: tick() state
+ * must be a function of the simulated cycle alone, or a fast-forward
+ * jump (which never executes the skipped ticks) diverges from the
+ * naive loop. Matched lexically: `tick(<cycle-type> ...)` opens a
+ * tracked body; inside it, any direct clock call or any mention of
+ * an identifier assigned from a clock anywhere in the translation
+ * unit fires.
+ */
+const std::regex kTickDecl(
+    R"(\btick\s*\(\s*(?:Cycle|uint64_t|unsigned|std::uint64_t)\b)");
+
+const std::regex kClockAssign(
+    R"(\b([A-Za-z_]\w*)\s*=[^=].*\b(?:steady_clock|system_clock|high_resolution_clock)\s*::\s*now\s*\(|\b([A-Za-z_]\w*)\s*=[^=].*\b(?:gettimeofday|clock_gettime)\s*\()");
+
+void
+ruleTickWallClock(const std::string &file,
+                  const std::vector<std::string> &stripped,
+                  const std::vector<std::string> &raw,
+                  std::vector<Finding> &out)
+{
+    // Pass 1: identifiers assigned from a wall-clock read anywhere
+    // in this translation unit (members or locals alike).
+    std::vector<std::string> tainted;
+    for (const std::string &l : stripped) {
+        std::smatch m;
+        std::string rest = l;
+        while (std::regex_search(rest, m, kClockAssign)) {
+            tainted.push_back(m[1].matched ? m[1].str() : m[2].str());
+            rest = m.suffix();
+        }
+    }
+
+    // Pass 2: scope-track tick() bodies, exactly like the
+    // uninit-member walker tracks struct bodies.
+    std::vector<bool> scopes; // true = inside a tick() body
+    bool pendingTick = false;
+    for (std::size_t i = 0; i < stripped.size(); ++i) {
+        const std::string &l = stripped[i];
+        const bool inTick =
+            std::any_of(scopes.begin(), scopes.end(),
+                        [](bool b) { return b; });
+
+        if (inTick) {
+            bool fired = false;
+            if (std::regex_search(l, kWallClock)) {
+                emit(out, file, static_cast<unsigned>(i + 1),
+                     "tick-wall-clock", raw[i]);
+                fired = true;
+            }
+            for (const std::string &name : tainted) {
+                if (fired)
+                    break;
+                const std::regex mention("\\b" + name + "\\b");
+                if (std::regex_search(l, mention)) {
+                    emit(out, file, static_cast<unsigned>(i + 1),
+                         "tick-wall-clock", raw[i]);
+                    fired = true;
+                }
+            }
+        }
+
+        // A declaration (parameter has a type) arms the next `{`;
+        // call sites like `c->tick(now)` never match kTickDecl.
+        if (std::regex_search(l, kTickDecl))
+            pendingTick = true;
+        for (const char c : l) {
+            if (c == '{') {
+                scopes.push_back(pendingTick);
+                pendingTick = false;
+            } else if (c == '}') {
+                if (!scopes.empty())
+                    scopes.pop_back();
+            } else if (c == ';') {
+                pendingTick = false;
+            }
+        }
+    }
+}
+
 } // namespace
 
 const std::vector<std::string> &
@@ -244,7 +326,7 @@ ruleNames()
 {
     static const std::vector<std::string> names = {
         "unordered-iteration", "wall-clock", "raw-random",
-        "pointer-keyed-map", "uninit-member"};
+        "pointer-keyed-map", "uninit-member", "tick-wall-clock"};
     return names;
 }
 
@@ -341,6 +423,7 @@ lintSource(const std::string &file, const std::string &content)
 
     std::vector<Finding> out;
     ruleUnorderedIteration(file, sl, rl, out);
+    ruleTickWallClock(file, sl, rl, out);
     for (std::size_t i = 0; i < sl.size(); ++i) {
         const unsigned line = static_cast<unsigned>(i + 1);
         if (std::regex_search(sl[i], kWallClock))

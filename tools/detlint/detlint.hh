@@ -24,6 +24,12 @@
  *   uninit-member        scalar data member with no initializer in a
  *                        struct/class body; sim state structs with
  *                        indeterminate fields diverge across runs
+ *   tick-wall-clock      a Component::tick override body that calls a
+ *                        wall clock or touches a value assigned from
+ *                        one; with the idle-skip kernel this is not
+ *                        just nondeterministic but wrong — skipped
+ *                        ticks never execute, so tick state must be a
+ *                        function of the simulated cycle alone
  *
  * The analysis is deliberately lexical (comments and string literals
  * are stripped, then regex + light scope tracking). It trades a few

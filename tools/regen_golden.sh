@@ -1,0 +1,18 @@
+#!/usr/bin/env sh
+# Regenerate the golden-stats digests under tests/golden/.
+#
+# Run after a deliberate change to any simulated observable, then
+# commit the diff — it shows exactly which metric moved. The digests
+# are hexfloat-exact, so "close enough" does not exist: any diff is a
+# real behavioural change.
+#
+# Usage: tools/regen_golden.sh [build-dir]   (default: build)
+set -eu
+builddir="${1:-build}"
+bin="$builddir/tests/test_golden_stats"
+if [ ! -x "$bin" ]; then
+    echo "error: $bin not built (cmake --build $builddir)" >&2
+    exit 1
+fi
+MEMSEC_REGEN_GOLDEN=1 "$bin"
+echo "regenerated: tests/golden/*.digest — review with git diff"
