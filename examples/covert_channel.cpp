@@ -12,6 +12,12 @@
  * window using two runs (idle vs hog co-runners) and sampling the
  * receiver's per-window progress — the same measurement a real
  * receiver thread would take with rdtsc.
+ *
+ * This example is the approachable two-run approximation. The real
+ * in-run attack — a sender modulating on a secret bitstring inside a
+ * single simulation, a latency-probing receiver, shuffle-corrected
+ * mutual information and a blind decoder — lives in src/leakage/ and
+ * bench/fig_leakage; see docs/LEAKAGE.md.
  */
 
 #include <algorithm>

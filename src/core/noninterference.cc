@@ -23,8 +23,11 @@ compareTimelines(const VictimTimeline &a, const VictimTimeline &b)
     for (size_t i = 0; i < nprog; ++i) {
         if (a.progress[i] == b.progress[i])
             continue;
-        const double denom =
-            std::max<double>(1.0, static_cast<double>(a.progress[i]));
+        // Normalise by the larger checkpoint so the skew is symmetric:
+        // compareTimelines(a, b) == compareTimelines(b, a).
+        const double denom = std::max<double>(
+            1.0, static_cast<double>(
+                     std::max(a.progress[i], b.progress[i])));
         const double skew =
             100.0 *
             std::abs(static_cast<double>(a.progress[i]) -

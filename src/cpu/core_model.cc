@@ -78,6 +78,11 @@ void
 CoreModel::tick(Cycle now)
 {
     memNow_ = now;
+    // Time-keyed generators (covert-channel senders) see the bus
+    // cycle before dispatch pulls any record of this tick. Skipped
+    // ticks never dispatch (nextWakeCycle returns now+1 whenever
+    // dispatch could run), so fastforward cannot perturb the feed.
+    trace_->observeCycle(now);
     drainWritebacks();
     retryBlocked();
     for (unsigned sub = 0; sub < params_.cpuMult; ++sub)

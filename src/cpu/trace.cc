@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "leakage/secret.hh"
 #include "util/logging.hh"
 
 namespace memsec::cpu {
@@ -13,6 +14,14 @@ SyntheticTraceGenerator::SyntheticTraceGenerator(
     fatal_if(profile.memRatio <= 0.0 || profile.memRatio > 1.0,
              "memRatio must be in (0,1], got {}", profile.memRatio);
     fatal_if(profile.footprintLines == 0, "footprint must be nonzero");
+    if (profile.modWindowCycles > 0) {
+        fatal_if(profile.modOffFactor <= 0.0 ||
+                     profile.modOffFactor > 1.0,
+                 "modOffFactor must be in (0,1], got {}",
+                 profile.modOffFactor);
+        modSecret_ = leakage::secretBits(profile.modSecretSeed,
+                                         profile.modSecretBits);
+    }
     const unsigned streams = std::max(1u, profile.numStreams);
     // Start streams at seed-dependent offsets: co-scheduled copies of
     // one benchmark run different phases, so their streams must not
@@ -49,7 +58,18 @@ TraceRecord
 SyntheticTraceGenerator::next()
 {
     double ratio = profile_.memRatio;
-    if (profile_.phaseLength > 0) {
+    if (!modSecret_.empty()) {
+        // Covert-channel sender: key intensity on the secret bit
+        // governing the current modulation window. The window index
+        // comes from the owning core's observeCycle() feed, so the
+        // waveform is locked to simulated time rather than to record
+        // count — queueing delays cannot stretch a bit.
+        const size_t w = static_cast<size_t>(
+            memCycle_ / profile_.modWindowCycles);
+        if (modSecret_[w % modSecret_.size()] == 0)
+            ratio *= profile_.modOffFactor;
+        ratio = std::min(0.95, std::max(1e-6, ratio));
+    } else if (profile_.phaseLength > 0) {
         if (phaseLeft_ == 0) {
             busyPhase_ = !busyPhase_;
             phaseLeft_ = 1 + rng_.geometric(

@@ -37,6 +37,18 @@ class TraceGenerator
 
     /** Produce the next record. Traces are infinite. */
     virtual TraceRecord next() = 0;
+
+    /**
+     * Inform the generator of the current DRAM-bus cycle. Called by
+     * the owning core once per executed tick, before any next()
+     * pulls of that tick; generators whose behaviour is keyed on
+     * simulated time (the covert-channel sender) read the latest
+     * observed cycle in next(). The default generator ignores it.
+     * Ticks skipped by the idle-skip kernel never dispatch records,
+     * so missing their observations cannot change any next() result
+     * (proven by tests/test_fastforward_diff.cc).
+     */
+    virtual void observeCycle(Cycle now) { (void)now; }
 };
 
 /** Tunable memory behaviour of one synthetic benchmark. */
@@ -74,6 +86,21 @@ struct WorkloadProfile
     double phaseHighFactor = 1.6;
 
     /**
+     * Covert-channel sender modulation (the empirical leakage
+     * meter, see docs/LEAKAGE.md). When `modWindowCycles` > 0 the
+     * generator keys its memory intensity on a seed-driven secret
+     * bitstring: during a window whose secret bit is 1 it runs at
+     * full `memRatio`; during a 0 window the ratio is multiplied by
+     * `modOffFactor`. Windows are `modWindowCycles` DRAM-bus cycles
+     * long and the secret repeats cyclically. Modulation replaces
+     * the phase behaviour above.
+     */
+    uint64_t modWindowCycles = 0;
+    uint64_t modSecretSeed = 1;
+    unsigned modSecretBits = 32;
+    double modOffFactor = 0.02;
+
+    /**
      * Non-empty: replay this trace file (see cpu/trace_file.hh)
      * instead of synthesising; the behavioural fields above are then
      * ignored except `mshrs`.
@@ -88,6 +115,7 @@ class SyntheticTraceGenerator : public TraceGenerator
     SyntheticTraceGenerator(const WorkloadProfile &profile, uint64_t seed);
 
     TraceRecord next() override;
+    void observeCycle(Cycle now) override { memCycle_ = now; }
 
     const WorkloadProfile &profile() const { return profile_; }
 
@@ -102,6 +130,9 @@ class SyntheticTraceGenerator : public TraceGenerator
     size_t recentIdx_ = 0;
     bool busyPhase_ = true;
     uint64_t phaseLeft_ = 0;
+    Cycle memCycle_ = 0;
+    /** Secret bitstring when the profile modulates (else empty). */
+    std::vector<uint8_t> modSecret_;
 };
 
 } // namespace memsec::cpu

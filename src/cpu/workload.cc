@@ -72,6 +72,15 @@ registry()
         // Synthetic attacker/co-runner profiles.
         {"idle", make("idle", 0.001, 0.0, 64, 0.0, 1, 1, 0.999, 1, 0)},
         {"hog", make("hog", 0.45, 0.30, 1 << 20, 0.30, 4, 1, 0.30, 16, 0)},
+        // Covert-channel receiver: a steady single-outstanding probe
+        // stream of LLC misses whose only signal is its own latency.
+        {"probe",
+         make("probe", 0.08, 0.0, 1 << 16, 1.0, 1, 1, 0.0, 1, 0)},
+        // Covert-channel sender: hog-like pressure whose intensity the
+        // harness modulates via the leak.* config (experiment.cc).
+        {"modsender",
+         make("modsender", 0.45, 0.30, 1 << 20, 0.30, 4, 1, 0.30, 16,
+              0)},
     };
     return reg;
 }

@@ -10,6 +10,7 @@
 #include "cpu/core_model.hh"
 #include "cpu/workload.hh"
 #include "fault/fault_injector.hh"
+#include "leakage/channel.hh"
 #include "mem/address_map.hh"
 #include "mem/memory_controller.hh"
 #include "sched/frfcfs.hh"
@@ -328,7 +329,21 @@ runExperiment(const Config &cfg)
         }
     }
 
-    const auto profiles = cpu::workloadMix(workload, cores);
+    auto profiles = cpu::workloadMix(workload, cores);
+    // Covert-channel senders: apply the leak.* protocol parameters to
+    // every "modsender" profile so the sender and the analysis side
+    // (leakage::ChannelParams::fromConfig on this same config) cannot
+    // disagree about window length, seed, or duty factors.
+    const leakage::ChannelParams leak =
+        leakage::ChannelParams::fromConfig(cfg);
+    for (auto &p : profiles) {
+        if (p.name != "modsender")
+            continue;
+        p.modWindowCycles = leak.windowCycles;
+        p.modSecretSeed = leak.secretSeed;
+        p.modSecretBits = static_cast<unsigned>(leak.secretBits);
+        p.modOffFactor = leak.offFactor;
+    }
     const int64_t auditCore = cfg.getInt("audit.core", -1);
 
     std::vector<std::unique_ptr<cpu::CoreModel>> coreModels;

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Covert-channel observation extraction, decoding, and the empirical
+ * leakage report.
+ *
+ * The attack mirrors "A Covert Queueing Channel in FCFS Schedulers"
+ * ported onto the memory controller: a *sender* modulates its memory
+ * intensity on/off per fixed window of DRAM-bus cycles, keyed by a
+ * seed-driven secret bitstring (see cpu/trace.cc and leakage/
+ * secret.hh); a *receiver* issues its own steady probe loads and
+ * records each one's (arrival, completed) pair — exactly the
+ * core::VictimTimeline the noninterference auditor already captures.
+ *
+ * This module turns that timeline into numbers:
+ *  - extractObservations(): bin the receiver's per-request latencies
+ *    into the sender's modulation windows (mean latency per window,
+ *    aligned with the secret bit governing that window);
+ *  - mutual information of (bit, window latency) with shuffle-
+ *    baseline correction (leakage/mi.hh);
+ *  - a threshold + majority-vote decoder reporting bit-error rate
+ *    and achieved bandwidth.
+ *
+ * Under FR-FCFS the decoder reads the secret at near-zero BER; under
+ * Fixed Service and Temporal Partitioning the receiver's timeline is
+ * independent of the sender, so MI sits at the shuffle floor and BER
+ * at a coin flip.
+ */
+
+#ifndef MEMSEC_LEAKAGE_CHANNEL_HH
+#define MEMSEC_LEAKAGE_CHANNEL_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/noninterference.hh"
+#include "leakage/mi.hh"
+#include "sim/types.hh"
+
+namespace memsec {
+class Config;
+}
+
+namespace memsec::leakage {
+
+/**
+ * The covert-channel protocol parameters both endpoints agree on,
+ * mirroring the "leak.*" config keys (docs/CONFIG.md). The sender
+ * side is applied by harness/experiment.cc to every "modsender"
+ * profile in the workload mix; the analysis side is read back from
+ * the same config so the two cannot disagree.
+ */
+struct ChannelParams
+{
+    /** DRAM-bus cycles per transmitted bit (0 disables modulation). */
+    Cycle windowCycles = 1500;
+    /** Seed of the secret bitstring. */
+    uint64_t secretSeed = 1;
+    /** Length of the secret; windows repeat it cyclically. */
+    size_t secretBits = 32;
+    /** Leading windows dropped from the analysis (cold-start). */
+    size_t skipWindows = 1;
+    /**
+     * Fraction of each window's head whose samples are dropped: the
+     * receiver's guard band against intersymbol interference (queue
+     * backlog from an ON window raising latencies just after the
+     * sender switches off).
+     */
+    double guardFraction = 0.25;
+    /** memRatio multiplier for the sender's OFF (bit 0) windows. */
+    double offFactor = 0.02;
+    /** MI estimator knobs. */
+    MiOptions mi;
+
+    /** Read every leak.* key (with these defaults) from a config. */
+    static ChannelParams fromConfig(const Config &cfg);
+};
+
+/** One modulation window as the receiver observed it. */
+struct WindowObservation
+{
+    size_t window = 0;       ///< window index since cycle 0
+    uint8_t bit = 0;         ///< secret bit governing this window
+    uint64_t samples = 0;    ///< receiver requests completed in it
+    double meanLatency = 0.0; ///< mean (completed - arrival), cycles
+};
+
+/**
+ * Bin the receiver's per-request latencies by arrival cycle into
+ * modulation windows. Windows before `skipWindows` and windows in
+ * which the receiver completed no request are omitted (the decoder
+ * and estimator see only real observations).
+ */
+std::vector<WindowObservation>
+extractObservations(const core::VictimTimeline &receiver,
+                    const ChannelParams &params);
+
+/** Everything the leakage meter reports for one run. */
+struct LeakageReport
+{
+    size_t windows = 0;         ///< observed (analysed) windows
+    uint64_t probeSamples = 0;  ///< receiver requests across them
+    MiEstimate mi;              ///< per-window leakage in bits
+
+    double thresholdCycles = 0.0; ///< decoder's latency threshold
+    size_t rawBits = 0;     ///< windows decoded (1 bit each)
+    size_t rawErrors = 0;   ///< raw decoding errors
+    double rawBer = 0.0;    ///< rawErrors / rawBits
+    size_t votedBits = 0;   ///< distinct secret positions voted on
+    size_t votedErrors = 0; ///< majority-vote errors
+    double votedBer = 0.0;  ///< votedErrors / votedBits
+
+    /** Corrected MI per window — bits per channel use. */
+    double bitsPerWindow = 0.0;
+    /** bitsPerWindow scaled to wall time at the DRAM bus clock. */
+    double bitsPerSecond = 0.0;
+
+    /** Human-readable one-line summary. */
+    std::string toString() const;
+};
+
+/**
+ * Run the full meter over a receiver timeline: extract windows,
+ * estimate MI against the reconstructed secret, decode with a
+ * median-latency threshold plus per-position majority vote.
+ */
+LeakageReport analyzeLeakage(const core::VictimTimeline &receiver,
+                             const ChannelParams &params);
+
+/**
+ * Canonical full-precision digest (hexfloat doubles) of a report,
+ * in the spirit of harness::resultDigest: byte-equality of digests
+ * is bit-equality of every metric. Pinned by the fig_leakage golden
+ * test.
+ */
+std::string leakageDigest(const LeakageReport &r);
+
+/** DRAM bus frequency used to convert windows to wall time. */
+constexpr double kBusHz = 800e6; // DDR3-1600
+
+} // namespace memsec::leakage
+
+#endif // MEMSEC_LEAKAGE_CHANNEL_HH

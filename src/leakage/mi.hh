@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Plug-in mutual-information estimator with shuffle-baseline bias
+ * correction.
+ *
+ * The empirical leakage meter quantifies how much a covert-channel
+ * receiver's latency observations reveal about the sender's secret
+ * bit, following the mutual-information framing of Gong & Kiyavash
+ * ("Quantifying the Information Leakage in Timing Side Channels in
+ * Deterministic Work-Conserving Schedulers"). The estimator:
+ *
+ *  1. discretises the scalar observations into equal-width bins over
+ *     their observed range;
+ *  2. computes the plug-in (maximum-likelihood) mutual information
+ *     I(B; O) = sum p(b,o) log2( p(b,o) / (p(b) p(o)) );
+ *  3. corrects the well-known positive bias of the plug-in estimate
+ *     on finite samples by subtracting a shuffle baseline: the mean
+ *     plug-in MI over `shuffles` random permutations of the
+ *     observation labels, which destroys any real dependence while
+ *     preserving both marginals. A channel that leaks nothing thus
+ *     measures ~0 *by calibration*, not by wishful thinking.
+ *
+ * All randomness is a seeded util/random Rng, so an estimate is a
+ * pure function of (labels, observations, options).
+ */
+
+#ifndef MEMSEC_LEAKAGE_MI_HH
+#define MEMSEC_LEAKAGE_MI_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace memsec::leakage {
+
+/** Estimator knobs (defaults fit a few hundred observations). */
+struct MiOptions
+{
+    /** Equal-width discretisation bins for the observations. */
+    size_t bins = 8;
+    /** Label permutations for the bias baseline (0 disables). */
+    size_t shuffles = 64;
+    /** Seed for the permutation Rng. */
+    uint64_t shuffleSeed = 0xB1A5F100D5EEDull;
+};
+
+/** One mutual-information estimate, all terms in bits. */
+struct MiEstimate
+{
+    /** Raw plug-in MI of the empirical joint distribution. */
+    double pluginBits = 0.0;
+    /** Mean plug-in MI over label shuffles — the chance floor any
+     *  estimate of this sample size sits on. */
+    double shuffleMeanBits = 0.0;
+    /** Largest single-shuffle MI seen (a rough upper noise bound). */
+    double shuffleMaxBits = 0.0;
+    /** max(0, plugin - shuffleMean): the calibrated leakage. */
+    double correctedBits = 0.0;
+    /** Number of (label, observation) pairs estimated from. */
+    size_t samples = 0;
+};
+
+/**
+ * Estimate I(labels; observations) in bits. `labels` are the secret
+ * bits (0/1); `observations` the receiver's scalar measurements,
+ * pairwise aligned with the labels. Sizes must match; an empty input
+ * returns an all-zero estimate.
+ */
+MiEstimate mutualInformationBits(const std::vector<uint8_t> &labels,
+                                 const std::vector<double> &observations,
+                                 const MiOptions &opts = {});
+
+} // namespace memsec::leakage
+
+#endif // MEMSEC_LEAKAGE_MI_HH

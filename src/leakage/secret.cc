@@ -1,0 +1,19 @@
+#include "leakage/secret.hh"
+
+#include "util/logging.hh"
+#include "util/random.hh"
+
+namespace memsec::leakage {
+
+std::vector<uint8_t>
+secretBits(uint64_t seed, size_t nbits)
+{
+    panic_if(nbits == 0, "secretBits needs at least one bit");
+    Rng rng(seed ^ 0x5EC2E7B175C0DEull);
+    std::vector<uint8_t> bits(nbits);
+    for (auto &b : bits)
+        b = static_cast<uint8_t>(rng.next() & 1u);
+    return bits;
+}
+
+} // namespace memsec::leakage

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Seed-driven secret bitstrings for the covert-channel harness.
+ *
+ * The modulated sender (cpu/trace.cc) and the leakage analyser
+ * (leakage/channel.cc) must agree bit-for-bit on the transmitted
+ * secret; both derive it from the same (seed, nbits) pair through
+ * this one function, so the protocol cannot drift between the two
+ * sides.
+ */
+
+#ifndef MEMSEC_LEAKAGE_SECRET_HH
+#define MEMSEC_LEAKAGE_SECRET_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace memsec::leakage {
+
+/**
+ * Deterministic pseudo-random bitstring of `nbits` bits (0/1 values)
+ * derived from `seed`. Roughly balanced for any seed — the MI
+ * estimator and the BER baseline both assume the two symbols occur
+ * with comparable frequency.
+ */
+std::vector<uint8_t> secretBits(uint64_t seed, size_t nbits);
+
+} // namespace memsec::leakage
+
+#endif // MEMSEC_LEAKAGE_SECRET_HH

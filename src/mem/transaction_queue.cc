@@ -30,6 +30,17 @@ TransactionQueue::head() const
 
 MemRequest *
 TransactionQueue::findOldest(
+    const std::function<bool(const MemRequest &)> &pred)
+{
+    for (const auto &e : entries_) {
+        if (pred(*e))
+            return e.get();
+    }
+    return nullptr;
+}
+
+const MemRequest *
+TransactionQueue::findOldest(
     const std::function<bool(const MemRequest &)> &pred) const
 {
     for (const auto &e : entries_) {

@@ -57,8 +57,12 @@ class TransactionQueue
     /** Entry at position i (0 = oldest). */
     const MemRequest *at(size_t i) const { return entries_.at(i).get(); }
 
-    /** Oldest entry satisfying pred, or nullptr. */
+    /** Oldest entry satisfying pred, or nullptr. A const queue hands
+     *  out a const pointer — the old single const method returned a
+     *  mutable MemRequest*, silently laundering away constness. */
     MemRequest *
+    findOldest(const std::function<bool(const MemRequest &)> &pred);
+    const MemRequest *
     findOldest(const std::function<bool(const MemRequest &)> &pred) const;
 
     /** Remove and return the oldest entry; queue must be non-empty. */

@@ -4,6 +4,7 @@
 #include <iomanip>
 #include <limits>
 #include <ostream>
+#include <sstream>
 
 #include "util/logging.hh"
 
@@ -102,7 +103,10 @@ Histogram::percentile(double p) const
         if (seen >= target)
             return lo_ + width_ * static_cast<double>(i + 1);
     }
-    return lo_ + width_ * static_cast<double>(bins_.size());
+    // The target mass lies in the overflow bucket: the true value is
+    // beyond the top edge and the histogram cannot bound it. Say so
+    // explicitly instead of silently clamping to the top edge.
+    return std::numeric_limits<double>::infinity();
 }
 
 void
@@ -164,14 +168,49 @@ StatGroup::adopt(const std::string &prefix, const StatGroup &other)
     }
 }
 
+namespace {
+
+/**
+ * Render a stat value losslessly: integral values (cycle and event
+ * counters) print as integers with every digit — the default
+ * 6-significant-digit ostream formatting silently rounds anything
+ * above ~1e6 — and non-integral values print with max_digits10 so
+ * they round-trip through parsing exactly.
+ */
+std::string
+formatValue(double v)
+{
+    std::ostringstream os;
+    if (std::isfinite(v) && v == std::rint(v) &&
+        std::abs(v) <= 9.007199254740992e15) {
+        os << static_cast<int64_t>(v);
+    } else {
+        os << std::setprecision(
+                  std::numeric_limits<double>::max_digits10)
+           << v;
+    }
+    return os.str();
+}
+
+} // namespace
+
 void
 StatGroup::dump(std::ostream &os) const
 {
     for (const auto &e : entries_) {
-        os << std::left << std::setw(44) << e.name << " "
-           << std::setw(16) << e.value();
+        // std::left applies to the name column only; the value column
+        // is right-aligned (std::left is sticky and used to bleed).
+        os << std::left << std::setw(44) << e.name << std::right << " "
+           << std::setw(16) << formatValue(e.value());
+        if (!e.desc.empty() || e.hist)
+            os << " #";
         if (!e.desc.empty())
-            os << " # " << e.desc;
+            os << " " << e.desc;
+        if (e.hist) {
+            os << " [n=" << e.hist->totalSamples()
+               << " uf=" << e.hist->underflow()
+               << " of=" << e.hist->overflow() << "]";
+        }
         os << "\n";
     }
 }

@@ -77,7 +77,10 @@ class Histogram
 
     uint64_t totalSamples() const { return samples_; }
     double mean() const;
-    /** Value below which fraction p of samples fall (bin-granular). */
+    /** Value below which fraction p of samples fall (bin-granular).
+     *  Returns +infinity when the requested mass lies in the overflow
+     *  bucket — the histogram cannot bound such a value, and clamping
+     *  it to the top bin edge would understate tail latencies. */
     double percentile(double p) const;
     const std::vector<uint64_t> &bins() const { return bins_; }
     uint64_t underflow() const { return underflow_; }
@@ -118,7 +121,10 @@ class StatGroup
     /** Append another group's entries under "prefix.". */
     void adopt(const std::string &prefix, const StatGroup &other);
 
-    /** Dump as "name value # desc" lines. */
+    /** Dump as "name value # desc" lines: name left-aligned, value
+     *  right-aligned and lossless (integral values keep every digit);
+     *  histogram entries append their sample/underflow/overflow
+     *  counts so clipped mass is visible. */
     void dump(std::ostream &os) const;
 
     /** Look up a dumped value by name (formulas evaluated); NaN if absent. */

@@ -175,6 +175,29 @@ TEST(FastForwardDiff, FaultInjectionRuleTotals)
     EXPECT_EQ(o.naive.timingViolations, o.fast.timingViolations);
 }
 
+// -- Covert-channel sender: cycle-keyed trace modulation -----------
+//
+// The modulated sender keys its memory intensity on the simulated
+// bus cycle via TraceGenerator::observeCycle(), which only executed
+// ticks deliver. This is safe because ticks that dispatch records
+// are never skippable — and this test is the proof: if fast-forward
+// ever skipped past a modulation window edge, the sender's waveform
+// (and with it the receiver's audited timeline) would shift.
+
+TEST(FastForwardDiff, ModulatedSenderWaveformIdentical)
+{
+    for (const char *scheme : {"baseline", "fs_rp", "tp_bp"}) {
+        Config c = diffConfig(scheme, "probe,modsender,modsender,"
+                                      "modsender", 1);
+        c.set("leak.window", 500);
+        c.set("leak.secret_bits", 16);
+        const DiffOutcome o = runBothModes(c);
+        EXPECT_EQ(resultDigest(o.naive), resultDigest(o.fast))
+            << scheme << " with modulated sender";
+        EXPECT_EQ(o.naive.cyclesSkipped, 0u);
+    }
+}
+
 // -- Sanity: the fast path actually fires where it should ----------
 //
 // A differential test that never skips proves nothing. The fixed

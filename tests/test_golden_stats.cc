@@ -29,6 +29,7 @@
 #include "dram/timing.hh"
 #include "harness/campaign.hh"
 #include "harness/experiment.hh"
+#include "leakage/channel.hh"
 
 using namespace memsec;
 using namespace memsec::harness;
@@ -155,6 +156,48 @@ TEST(GoldenStats, Fig06PerformanceCampaign)
         campaignDigest({"fs_rp", "fs_reordered_bp", "tp_bp",
                         "fs_np_triple", "tp_np"},
                        {"milc", "astar"}));
+}
+
+TEST(GoldenStats, FigLeakageCampaign)
+{
+    // Scaled-down covert-channel sweep: one leaking and two closed
+    // points. The digest pins both the run's simulated observables
+    // (resultDigest, timeline included) and every metric of the
+    // leakage analysis (leakageDigest, hexfloat throughout), so any
+    // drift in the attack harness, the extractor, the MI estimator,
+    // or the decoder shows up as a byte diff.
+    Campaign campaign;
+    const std::vector<std::string> schemes = {"baseline", "fs_rp",
+                                              "tp_bp"};
+    for (const auto &s : schemes) {
+        Config c = defaultConfig();
+        c.merge(schemeConfig(s));
+        c.set("workload", "probe,modsender,modsender,modsender");
+        c.set("cores", 4);
+        c.set("sim.warmup", 0);
+        c.set("sim.measure", 45000);
+        c.set("audit.core", 0);
+        c.set("leak.window", 1500);
+        c.set("leak.secret_seed", 0xC0FFEE);
+        c.set("leak.secret_bits", 16);
+        c.set("leak.skip_windows", 2);
+        campaign.add(s, c);
+    }
+    CampaignOptions opts;
+    opts.jobs = 3; // the runner guarantees serial-identical results
+    campaign.run(opts);
+
+    std::ostringstream os;
+    for (size_t i = 0; i < schemes.size(); ++i) {
+        const auto &res = campaign.result(i);
+        const auto params = leakage::ChannelParams::fromConfig(
+            campaign.outcome(i).config);
+        os << "== " << schemes[i] << " ==\n"
+           << leakage::leakageDigest(
+                  leakage::analyzeLeakage(res.timelines.at(0), params))
+           << resultDigest(res);
+    }
+    compareOrRegen("fig_leakage.digest", os.str());
 }
 
 TEST(GoldenStats, TabSolverAnalytics)

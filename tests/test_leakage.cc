@@ -1,0 +1,312 @@
+/**
+ * @file
+ * Unit tests for the empirical leakage meter (src/leakage/): the
+ * secret bitstring, the shuffle-corrected MI estimator, the window
+ * observation extractor, and the threshold/majority-vote decoder.
+ * Calibration tests pin the estimator's two anchor points: a perfect
+ * 1-bit channel measures ~1 bit and an independent channel measures
+ * ~0 bits *after* shuffle correction.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "core/noninterference.hh"
+#include "leakage/channel.hh"
+#include "leakage/mi.hh"
+#include "leakage/secret.hh"
+#include "sim/config.hh"
+#include "util/random.hh"
+
+using namespace memsec;
+using namespace memsec::leakage;
+
+// -- secret bitstrings ---------------------------------------------
+
+TEST(Secret, DeterministicGivenSeed)
+{
+    const auto a = secretBits(42, 128);
+    const auto b = secretBits(42, 128);
+    EXPECT_EQ(a, b);
+    ASSERT_EQ(a.size(), 128u);
+    for (const auto bit : a)
+        EXPECT_LE(bit, 1u);
+}
+
+TEST(Secret, SeedsProduceDifferentStrings)
+{
+    EXPECT_NE(secretBits(1, 64), secretBits(2, 64));
+}
+
+TEST(Secret, RoughlyBalanced)
+{
+    // The decoder's BER floor and the MI estimate both assume the two
+    // symbols occur with comparable frequency.
+    for (uint64_t seed : {1ull, 7ull, 0xC0FFEEull}) {
+        const auto bits = secretBits(seed, 256);
+        size_t ones = 0;
+        for (const auto b : bits)
+            ones += b;
+        EXPECT_GT(ones, 256u * 3 / 10) << "seed " << seed;
+        EXPECT_LT(ones, 256u * 7 / 10) << "seed " << seed;
+    }
+}
+
+TEST(Secret, ZeroBitsPanics)
+{
+    EXPECT_THROW(secretBits(1, 0), std::logic_error);
+}
+
+// -- mutual-information estimator ----------------------------------
+
+TEST(MutualInformation, PerfectOneBitChannelMeasuresOneBit)
+{
+    // Observation is a deterministic function of the bit: I(B;O) must
+    // be the full entropy of the (balanced) bit, ~1 bit, and the
+    // shuffle floor must not eat it.
+    std::vector<uint8_t> bits;
+    std::vector<double> obs;
+    Rng rng(7);
+    for (int i = 0; i < 400; ++i) {
+        const uint8_t b = static_cast<uint8_t>(rng.next() & 1u);
+        bits.push_back(b);
+        obs.push_back(b ? 200.0 : 100.0);
+    }
+    const MiEstimate est = mutualInformationBits(bits, obs);
+    EXPECT_NEAR(est.pluginBits, 1.0, 0.02);
+    EXPECT_NEAR(est.correctedBits, 1.0, 0.05);
+    EXPECT_LT(est.shuffleMeanBits, 0.05);
+    EXPECT_EQ(est.samples, 400u);
+}
+
+TEST(MutualInformation, IndependentStreamsMeasureZeroAfterCorrection)
+{
+    // Observations independent of the bits: the plug-in estimate is
+    // biased upward on finite samples, but the shuffle baseline has
+    // the same bias, so the corrected estimate sits at ~0.
+    std::vector<uint8_t> bits;
+    std::vector<double> obs;
+    Rng rng(11);
+    for (int i = 0; i < 400; ++i) {
+        bits.push_back(static_cast<uint8_t>(rng.next() & 1u));
+        obs.push_back(static_cast<double>(rng.below(1000)));
+    }
+    const MiEstimate est = mutualInformationBits(bits, obs);
+    EXPECT_GT(est.pluginBits, 0.0); // the bias is real...
+    EXPECT_LT(est.correctedBits, 0.02); // ...and the correction works
+}
+
+TEST(MutualInformation, ConstantObservationsCarryNothing)
+{
+    std::vector<uint8_t> bits = {0, 1, 0, 1, 1, 0, 1, 0};
+    std::vector<double> obs(bits.size(), 55.0);
+    const MiEstimate est = mutualInformationBits(bits, obs);
+    EXPECT_EQ(est.pluginBits, 0.0);
+    EXPECT_EQ(est.correctedBits, 0.0);
+}
+
+TEST(MutualInformation, DeterministicGivenInputs)
+{
+    std::vector<uint8_t> bits;
+    std::vector<double> obs;
+    Rng rng(3);
+    for (int i = 0; i < 100; ++i) {
+        bits.push_back(static_cast<uint8_t>(rng.next() & 1u));
+        obs.push_back(static_cast<double>(rng.below(50)));
+    }
+    const MiEstimate a = mutualInformationBits(bits, obs);
+    const MiEstimate b = mutualInformationBits(bits, obs);
+    EXPECT_EQ(a.pluginBits, b.pluginBits);
+    EXPECT_EQ(a.shuffleMeanBits, b.shuffleMeanBits);
+    EXPECT_EQ(a.correctedBits, b.correctedBits);
+}
+
+TEST(MutualInformation, EmptyInputReturnsZeros)
+{
+    const MiEstimate est = mutualInformationBits({}, {});
+    EXPECT_EQ(est.pluginBits, 0.0);
+    EXPECT_EQ(est.correctedBits, 0.0);
+    EXPECT_EQ(est.samples, 0u);
+}
+
+TEST(MutualInformation, MismatchedSizesPanic)
+{
+    EXPECT_THROW(
+        mutualInformationBits({0, 1}, {1.0}), std::logic_error);
+}
+
+// -- observation extraction ----------------------------------------
+
+namespace {
+
+ChannelParams
+testParams()
+{
+    ChannelParams p;
+    p.windowCycles = 100;
+    p.secretSeed = 5;
+    p.secretBits = 8;
+    p.skipWindows = 0;
+    p.guardFraction = 0.0;
+    return p;
+}
+
+} // namespace
+
+TEST(ExtractObservations, BinsByArrivalWindow)
+{
+    core::VictimTimeline tl;
+    tl.recordService(10, 50);   // window 0, latency 40
+    tl.recordService(30, 90);   // window 0, latency 60
+    tl.recordService(150, 170); // window 1, latency 20
+    tl.recordService(210, 230); // window 2 (truncated -> dropped)
+    const auto obs = extractObservations(tl, testParams());
+    const auto secret = secretBits(5, 8);
+    ASSERT_EQ(obs.size(), 2u);
+    EXPECT_EQ(obs[0].window, 0u);
+    EXPECT_EQ(obs[0].samples, 2u);
+    EXPECT_DOUBLE_EQ(obs[0].meanLatency, 50.0);
+    EXPECT_EQ(obs[0].bit, secret[0]);
+    EXPECT_EQ(obs[1].window, 1u);
+    EXPECT_DOUBLE_EQ(obs[1].meanLatency, 20.0);
+    EXPECT_EQ(obs[1].bit, secret[1]);
+}
+
+TEST(ExtractObservations, SkipsWarmupAndEmptyWindows)
+{
+    core::VictimTimeline tl;
+    tl.recordService(10, 20);  // window 0: skipped (cold start)
+    tl.recordService(110, 130); // window 1
+    // window 2 empty
+    tl.recordService(310, 330); // window 3
+    tl.recordService(410, 420); // window 4 (truncated -> dropped)
+    ChannelParams p = testParams();
+    p.skipWindows = 1;
+    const auto obs = extractObservations(tl, p);
+    ASSERT_EQ(obs.size(), 2u);
+    EXPECT_EQ(obs[0].window, 1u);
+    EXPECT_EQ(obs[1].window, 3u);
+}
+
+TEST(ExtractObservations, GuardBandDropsWindowHead)
+{
+    core::VictimTimeline tl;
+    tl.recordService(10, 20);  // first 25% of window 0 -> guarded out
+    tl.recordService(60, 100); // kept, latency 40
+    tl.recordService(120, 150); // window 1 head -> guarded out
+    tl.recordService(250, 280); // window 2 (truncated -> dropped)
+    ChannelParams p = testParams();
+    p.guardFraction = 0.25;
+    const auto obs = extractObservations(tl, p);
+    ASSERT_EQ(obs.size(), 1u);
+    EXPECT_EQ(obs[0].window, 0u);
+    EXPECT_EQ(obs[0].samples, 1u);
+    EXPECT_DOUBLE_EQ(obs[0].meanLatency, 40.0);
+}
+
+TEST(ExtractObservations, SecretRepeatsCyclically)
+{
+    core::VictimTimeline tl;
+    for (Cycle w = 0; w < 20; ++w)
+        tl.recordService(w * 100 + 50, w * 100 + 60);
+    const auto obs = extractObservations(tl, testParams());
+    const auto secret = secretBits(5, 8);
+    ASSERT_EQ(obs.size(), 19u); // truncated final window dropped
+    for (const auto &o : obs)
+        EXPECT_EQ(o.bit, secret[o.window % 8]) << o.window;
+}
+
+// -- decoder / full meter ------------------------------------------
+
+TEST(AnalyzeLeakage, PerfectChannelDecodesAtZeroBer)
+{
+    // Window means track the secret exactly: ON windows at 200
+    // cycles, OFF windows at 100. The blind median threshold lands
+    // between them, so every window decodes correctly.
+    ChannelParams p = testParams();
+    const auto secret = secretBits(p.secretSeed, p.secretBits);
+    core::VictimTimeline tl;
+    for (Cycle w = 0; w < 64; ++w) {
+        const Cycle lat = secret[w % 8] ? 200 : 100;
+        tl.recordService(w * 100 + 40, w * 100 + 40 + lat);
+        tl.recordService(w * 100 + 70, w * 100 + 70 + lat);
+    }
+    const LeakageReport rep = analyzeLeakage(tl, p);
+    EXPECT_EQ(rep.windows, 63u);
+    EXPECT_EQ(rep.rawErrors, 0u);
+    EXPECT_EQ(rep.rawBer, 0.0);
+    EXPECT_EQ(rep.votedErrors, 0u);
+    EXPECT_EQ(rep.votedBits, 8u);
+    // A noiseless channel transfers the full entropy of the secret
+    // bit — which is below 1 bit when the 8-bit secret is unbalanced.
+    size_t ones = 0;
+    for (Cycle w = 0; w < 63; ++w)
+        ones += secret[w % 8];
+    const double p1 = static_cast<double>(ones) / 63.0;
+    const double entropy =
+        -p1 * std::log2(p1) - (1.0 - p1) * std::log2(1.0 - p1);
+    EXPECT_NEAR(rep.mi.correctedBits, entropy, 0.05);
+    EXPECT_GT(rep.bitsPerSecond, 0.0);
+}
+
+TEST(AnalyzeLeakage, FlatChannelDecodesAtChance)
+{
+    // A leak-free scheduler gives identical window means: every
+    // window decodes to 0, so the BER is exactly the fraction of
+    // 1-bits in the observed windows, and the MI is zero.
+    ChannelParams p = testParams();
+    const auto secret = secretBits(p.secretSeed, p.secretBits);
+    core::VictimTimeline tl;
+    size_t ones = 0;
+    for (Cycle w = 0; w < 64; ++w)
+        tl.recordService(w * 100 + 40, w * 100 + 90);
+    const LeakageReport rep = analyzeLeakage(tl, p);
+    for (Cycle w = 0; w < 63; ++w)
+        ones += secret[w % 8];
+    EXPECT_EQ(rep.mi.pluginBits, 0.0);
+    EXPECT_EQ(rep.mi.correctedBits, 0.0);
+    EXPECT_DOUBLE_EQ(
+        rep.rawBer,
+        static_cast<double>(ones) / static_cast<double>(rep.rawBits));
+    EXPECT_EQ(rep.bitsPerSecond, 0.0);
+}
+
+TEST(AnalyzeLeakage, DigestIsFullPrecisionAndDeterministic)
+{
+    ChannelParams p = testParams();
+    core::VictimTimeline tl;
+    for (Cycle w = 0; w < 32; ++w)
+        tl.recordService(w * 100 + 40, w * 100 + 90 + (w % 3));
+    const LeakageReport a = analyzeLeakage(tl, p);
+    const LeakageReport b = analyzeLeakage(tl, p);
+    EXPECT_EQ(leakageDigest(a), leakageDigest(b));
+    // hexfloat rendering, so bit-equality is what's compared.
+    EXPECT_NE(leakageDigest(a).find("0x"), std::string::npos);
+}
+
+TEST(ChannelParams, FromConfigReadsEveryKey)
+{
+    Config c;
+    c.set("leak.window", 2000);
+    c.set("leak.secret_seed", 99);
+    c.set("leak.secret_bits", 16);
+    c.set("leak.skip_windows", 3);
+    c.set("leak.guard", 0.125);
+    c.set("leak.off_factor", 0.05);
+    c.set("leak.mi_bins", 4);
+    c.set("leak.mi_shuffles", 16);
+    c.set("leak.shuffle_seed", 777);
+    const ChannelParams p = ChannelParams::fromConfig(c);
+    EXPECT_EQ(p.windowCycles, 2000u);
+    EXPECT_EQ(p.secretSeed, 99u);
+    EXPECT_EQ(p.secretBits, 16u);
+    EXPECT_EQ(p.skipWindows, 3u);
+    EXPECT_DOUBLE_EQ(p.guardFraction, 0.125);
+    EXPECT_DOUBLE_EQ(p.offFactor, 0.05);
+    EXPECT_EQ(p.mi.bins, 4u);
+    EXPECT_EQ(p.mi.shuffles, 16u);
+    EXPECT_EQ(p.mi.shuffleSeed, 777u);
+}

@@ -52,10 +52,27 @@ TEST(Noninterference, ProgressDivergenceMeasured)
 {
     auto a = sampleTimeline();
     auto b = sampleTimeline();
-    b.progress[2] = 385; // 10% slower at the third checkpoint
+    b.progress[2] = 385; // slower at the third checkpoint
     const AuditResult r = compareTimelines(a, b);
     EXPECT_FALSE(r.identical);
-    EXPECT_NEAR(r.maxProgressSkewPct, 10.0, 0.01);
+    // Normalised by the larger checkpoint: |350-385|/385.
+    EXPECT_NEAR(r.maxProgressSkewPct, 100.0 * 35.0 / 385.0, 0.01);
+}
+
+TEST(Noninterference, ProgressSkewIsCommutative)
+{
+    // Regression: the skew denominator used only a.progress[i], so
+    // compareTimelines(a, b) and compareTimelines(b, a) reported
+    // different percentages for the same divergence.
+    auto a = sampleTimeline();
+    auto b = sampleTimeline();
+    b.progress[1] = 440; // exactly 2x a's checkpoint
+    const AuditResult ab = compareTimelines(a, b);
+    const AuditResult ba = compareTimelines(b, a);
+    EXPECT_DOUBLE_EQ(ab.maxProgressSkewPct, ba.maxProgressSkewPct);
+    // Normalised by the larger checkpoint: |220-440|/440 = 50%.
+    EXPECT_NEAR(ab.maxProgressSkewPct, 50.0, 1e-9);
+    EXPECT_EQ(ab.identical, ba.identical);
 }
 
 TEST(Noninterference, OrdinalsAssignedSequentially)

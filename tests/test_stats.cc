@@ -69,6 +69,38 @@ TEST(Stats, HistogramPercentile)
     EXPECT_NEAR(h.percentile(0.99), 99.0, 1.0);
 }
 
+TEST(Stats, HistogramPercentileOverflowIsExplicit)
+{
+    // Regression: overflow mass is part of samples_ but used to be
+    // unreachable by the bin walk, so a percentile landing in the
+    // overflow silently returned the top bin edge (understating tail
+    // latencies). It must now be an explicit +inf.
+    Histogram h;
+    h.init(0.0, 1.0, 10);
+    for (int i = 0; i < 90; ++i)
+        h.sample(0.5);
+    for (int i = 0; i < 10; ++i)
+        h.sample(1e9); // overflow
+    EXPECT_DOUBLE_EQ(h.percentile(0.5), 1.0);
+    EXPECT_TRUE(std::isinf(h.percentile(0.95)));
+    EXPECT_TRUE(std::isinf(h.percentile(1.0)));
+    // With no overflow, p=1.0 still lands on a real bin edge.
+    Histogram g;
+    g.init(0.0, 1.0, 10);
+    g.sample(9.5);
+    EXPECT_DOUBLE_EQ(g.percentile(1.0), 10.0);
+}
+
+TEST(Stats, HistogramPercentileUnderflowClampsToLowEdge)
+{
+    Histogram h;
+    h.init(10.0, 1.0, 4);
+    h.sample(0.0);  // underflow
+    h.sample(10.5); // bin 0
+    EXPECT_DOUBLE_EQ(h.percentile(0.25), 10.0);
+    EXPECT_DOUBLE_EQ(h.percentile(1.0), 11.0);
+}
+
 TEST(Stats, HistogramMean)
 {
     Histogram h;
@@ -98,6 +130,81 @@ TEST(Stats, GroupDumpAndLookup)
     g.dump(os);
     EXPECT_NE(os.str().find("count"), std::string::npos);
     EXPECT_NE(os.str().find("a counter"), std::string::npos);
+}
+
+TEST(Stats, DumpPrintsLargeCountersLosslesslyAndRoundTrips)
+{
+    // Regression: the sticky std::left manipulator bled into the
+    // value column and the default 6-significant-digit formatting
+    // truncated large cycle counters (1234567890 printed as
+    // 1.23457e+09). Values must round-trip through the dump text.
+    Counter big;
+    big.inc(1234567890123456ull);
+    Scalar frac;
+    frac.set(0.30000000000000004);
+    StatGroup g("fmt");
+    g.add("cycles", &big, "a large counter");
+    g.add("ratio", &frac);
+
+    std::ostringstream os;
+    g.dump(os);
+    const std::string text = os.str();
+    EXPECT_NE(text.find("1234567890123456"), std::string::npos)
+        << text;
+    EXPECT_EQ(text.find("e+"), std::string::npos) << text;
+
+    // Parse each line back: second whitespace-separated token is the
+    // value; it must equal the registered value exactly.
+    std::istringstream in(text);
+    std::string line;
+    std::getline(in, line);
+    {
+        std::istringstream ls(line);
+        std::string name, value;
+        ls >> name >> value;
+        EXPECT_EQ(name, "cycles");
+        EXPECT_EQ(std::stod(value), 1234567890123456.0);
+    }
+    std::getline(in, line);
+    {
+        std::istringstream ls(line);
+        std::string name, value;
+        ls >> name >> value;
+        EXPECT_EQ(name, "ratio");
+        EXPECT_EQ(std::stod(value), 0.30000000000000004);
+    }
+}
+
+TEST(Stats, DumpValueColumnIsRightAligned)
+{
+    Counter c;
+    c.inc(7);
+    StatGroup g("align");
+    g.add("small", &c);
+    std::ostringstream os;
+    g.dump(os);
+    const std::string line = os.str();
+    // name (44, left) + space + value (16, right): the single digit
+    // sits at the END of the value field, i.e. column 44+1+16-1 = 60.
+    ASSERT_GE(line.size(), 61u);
+    EXPECT_EQ(line[60], '7') << "'" << line << "'";
+    for (size_t i = 45; i < 60; ++i)
+        EXPECT_EQ(line[i], ' ') << "column " << i;
+}
+
+TEST(Stats, DumpSurfacesHistogramOverflow)
+{
+    Histogram h;
+    h.init(0.0, 1.0, 4);
+    h.sample(0.5);
+    h.sample(100.0); // overflow
+    h.sample(-5.0);  // underflow
+    StatGroup g("hist");
+    g.add("lat", &h, "latency");
+    std::ostringstream os;
+    g.dump(os);
+    EXPECT_NE(os.str().find("[n=3 uf=1 of=1]"), std::string::npos)
+        << os.str();
 }
 
 TEST(Stats, GroupAdoptPrefixes)

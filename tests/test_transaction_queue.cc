@@ -79,6 +79,36 @@ TEST(TransactionQueue, FindOldestNoMatch)
               nullptr);
 }
 
+TEST(TransactionQueue, FindOldestIsConstCorrect)
+{
+    // Regression: the single const findOldest handed out a mutable
+    // MemRequest*, so a const queue could be modified through it.
+    // The const overload must return a pointer-to-const, the
+    // non-const overload a mutable pointer.
+    using Pred = const std::function<bool(const MemRequest &)> &;
+    static_assert(
+        std::is_same_v<decltype(std::declval<const TransactionQueue &>()
+                                    .findOldest(std::declval<Pred>())),
+                       const MemRequest *>,
+        "const queue must hand out const requests");
+    static_assert(
+        std::is_same_v<decltype(std::declval<TransactionQueue &>()
+                                    .findOldest(std::declval<Pred>())),
+                       MemRequest *>,
+        "mutable queue keeps the mutable overload");
+
+    TransactionQueue q(8, 8);
+    q.push(mk(1, ReqType::Read, 0));
+    const TransactionQueue &cq = q;
+    const MemRequest *r =
+        cq.findOldest([](const MemRequest &) { return true; });
+    ASSERT_NE(r, nullptr);
+    EXPECT_EQ(r->id, 1u);
+    MemRequest *m =
+        q.findOldest([](const MemRequest &) { return true; });
+    EXPECT_EQ(m, r);
+}
+
 TEST(TransactionQueue, TakeRemovesSpecificEntry)
 {
     TransactionQueue q(8, 8);
