@@ -16,16 +16,57 @@
 #include <cstdlib>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "core/noninterference.hh"
 #include "fault/fault_injector.hh"
+#include "harness/campaign.hh"
 #include "harness/experiment.hh"
 #include "util/logging.hh"
+#include "util/serialize.hh"
 #include "util/table.hh"
 
 using namespace memsec;
 
 namespace {
+
+/** The kinds that corrupt the checkpoint-load path instead of the
+ *  simulation; they need a snapshot on disk to have anything to
+ *  damage. */
+bool
+isDurabilityKind(fault::FaultKind kind)
+{
+    return kind == fault::FaultKind::SnapshotTruncate ||
+           kind == fault::FaultKind::SnapshotBitflip ||
+           kind == fault::FaultKind::SnapshotVersion ||
+           kind == fault::FaultKind::JournalStale;
+}
+
+/**
+ * Point cfg's ckpt.dir at a fresh temp directory seeded with a valid
+ * mid-run snapshot, so the durability fault has bytes to corrupt and
+ * the load-path guard has something to reject.
+ */
+void
+seedSnapshot(Config &cfg)
+{
+    std::string tmpl = "/tmp/memsec-faultcamp-XXXXXX";
+    std::vector<char> buf(tmpl.begin(), tmpl.end());
+    buf.push_back('\0');
+    fatal_if(mkdtemp(buf.data()) == nullptr, "mkdtemp failed for {}",
+             tmpl);
+    cfg.set("ckpt.dir", std::string(buf.data()));
+
+    // The durability kinds never attach the injector to the
+    // controllers, so this partial run produces a clean snapshot.
+    harness::ExperimentSystem sys(cfg);
+    sys.step(cfg.getUint("sim.measure") / 3);
+    Serializer s;
+    sys.saveState(s);
+    const std::string fp = harness::Campaign::fingerprint(cfg);
+    writeFileAtomic(cfg.getString("ckpt.dir") + "/" + fp + ".snap",
+                    encodeSnapshot(fp, s.data()));
+}
 
 Config
 campaignConfig(const std::string &kind, uint64_t seed, uint64_t measure,
@@ -105,7 +146,10 @@ main(int argc, char **argv)
         fault::FaultKind::CmdRetarget,   fault::FaultKind::CmdSpurious,
         fault::FaultKind::TimingDrift,   fault::FaultKind::RefreshSuppress,
         fault::FaultKind::RefreshStorm,  fault::FaultKind::QueueOverflow,
-        fault::FaultKind::SlotSkew,
+        fault::FaultKind::SlotSkew,      fault::FaultKind::SnapshotTruncate,
+        fault::FaultKind::SnapshotBitflip,
+        fault::FaultKind::SnapshotVersion,
+        fault::FaultKind::JournalStale,
     };
 
     Table t;
@@ -115,12 +159,14 @@ main(int argc, char **argv)
         const std::string name = fault::faultKindName(kind);
 
         // Quiet/noisy pair so the noninterference audit can weigh in.
-        const auto quiet =
-            harness::runExperiment(campaignConfig(name, seed, measure,
-                                                  "idle"));
-        const auto noisy =
-            harness::runExperiment(campaignConfig(name, seed, measure,
-                                                  "hog"));
+        Config cfgQuiet = campaignConfig(name, seed, measure, "idle");
+        Config cfgNoisy = campaignConfig(name, seed, measure, "hog");
+        if (isDurabilityKind(kind)) {
+            seedSnapshot(cfgQuiet);
+            seedSnapshot(cfgNoisy);
+        }
+        const auto quiet = harness::runExperiment(cfgQuiet);
+        const auto noisy = harness::runExperiment(cfgNoisy);
         const auto audit = core::compareTimelines(noisy.timelines.at(0),
                                                   quiet.timelines.at(0));
 

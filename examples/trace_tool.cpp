@@ -1,18 +1,29 @@
 /**
  * @file
- * Trace utility: export the synthetic workloads to USIMM-style trace
- * files, or inspect an existing trace.
+ * Trace utility: export the synthetic workloads to trace files,
+ * convert between the text and binary formats, and inspect or verify
+ * an existing trace.
  *
- *   ./trace_tool record <profile> <count> <out.txt> [seed]
- *   ./trace_tool info <trace.txt>
+ *   ./trace_tool record <profile> <count> <out> [seed] [--binary]
+ *   ./trace_tool convert <in> <out>
+ *   ./trace_tool inspect <trace-file>
+ *   ./trace_tool verify <trace-file>
  *   ./trace_tool list
  *
+ * Text is the USIMM-style debug view ("<gap> R|W <hex-addr>");
+ * binary is the CRC32C-block format documented in cpu/trace_file.hh
+ * and docs/CHECKPOINT.md. convert flips whichever format it is given.
+ * verify parses without replaying and reports the first corrupt
+ * record/block with its byte offset, exiting nonzero.
+ *
  * Recorded traces replay bit-identically through the simulator with
- * `workload = trace:<path>`.
+ * `workload = trace:<path>` in either format.
  */
 
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 
 #include "cpu/trace_file.hh"
@@ -29,8 +40,11 @@ int
 usage()
 {
     std::cout << "usage:\n"
-                 "  trace_tool record <profile> <count> <out> [seed]\n"
-                 "  trace_tool info <trace-file>\n"
+                 "  trace_tool record <profile> <count> <out> [seed] "
+                 "[--binary]\n"
+                 "  trace_tool convert <in> <out>\n"
+                 "  trace_tool inspect <trace-file>\n"
+                 "  trace_tool verify <trace-file>\n"
                  "  trace_tool list\n";
     return 1;
 }
@@ -44,6 +58,24 @@ parseUint(const char *what, const char *text)
     fatal_if(end == text || *end != '\0',
              "{} must be a non-negative integer, got '{}'", what, text);
     return v;
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    fatal_if(!in, "cannot open trace file '{}'", path);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+}
+
+void
+writeFile(const std::string &path, const std::string &bytes)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    fatal_if(!out, "cannot open '{}' for writing", path);
+    out << bytes;
 }
 
 } // namespace
@@ -67,20 +99,70 @@ main(int argc, char **argv)
     if (cmd == "record") {
         if (argc < 5)
             return usage();
+        bool binary = false;
+        uint64_t seed = 1;
+        for (int i = 5; i < argc; ++i) {
+            if (std::string(argv[i]) == "--binary")
+                binary = true;
+            else
+                seed = parseUint("seed", argv[i]);
+        }
         const auto profile = profileByName(argv[2]);
         const size_t count = parseUint("count", argv[3]);
-        const uint64_t seed = argc > 5 ? parseUint("seed", argv[5]) : 1;
         fatal_if(count == 0, "count must be positive");
         SyntheticTraceGenerator gen(profile, seed);
-        recordTrace(gen, count, argv[4]);
+        recordTrace(gen, count, argv[4], binary);
         std::cout << "wrote " << count << " records of '" << argv[2]
-                  << "' (seed " << seed << ") to " << argv[4] << "\n";
+                  << "' (seed " << seed << ", "
+                  << (binary ? "binary" : "text") << ") to " << argv[4]
+                  << "\n";
         return 0;
     }
 
-    if (cmd == "info") {
+    if (cmd == "convert") {
+        if (argc < 4)
+            return usage();
+        const std::string bytes = readFile(argv[2]);
+        const bool fromBinary = isBinaryTrace(bytes);
+        std::vector<TraceRecord> records;
+        TraceParseError err;
+        const bool ok = fromBinary
+                            ? tryParseBinaryTrace(bytes, records, err)
+                            : tryParseTrace(bytes, records, err);
+        fatal_if(!ok, "trace file '{}': {}", argv[2], err.toString());
+        writeFile(argv[3], fromBinary ? formatTrace(records)
+                                      : formatBinaryTrace(records));
+        std::cout << "converted " << records.size() << " records: "
+                  << (fromBinary ? "binary -> text" : "text -> binary")
+                  << " (" << argv[3] << ")\n";
+        return 0;
+    }
+
+    if (cmd == "verify") {
         if (argc < 3)
             return usage();
+        const std::string bytes = readFile(argv[2]);
+        const bool binary = isBinaryTrace(bytes);
+        std::vector<TraceRecord> records;
+        TraceParseError err;
+        const bool ok = binary
+                            ? tryParseBinaryTrace(bytes, records, err)
+                            : tryParseTrace(bytes, records, err);
+        if (!ok) {
+            std::cerr << "CORRUPT: " << argv[2] << ": " << err.toString()
+                      << "\n";
+            return 2;
+        }
+        std::cout << "OK: " << records.size() << " records ("
+                  << (binary ? "binary" : "text") << ", "
+                  << bytes.size() << " bytes)\n";
+        return 0;
+    }
+
+    if (cmd == "inspect" || cmd == "info") {
+        if (argc < 3)
+            return usage();
+        const bool binary = isBinaryTrace(readFile(argv[2]));
         FileTraceGenerator gen(argv[2]);
         uint64_t instrs = 0;
         uint64_t stores = 0;
@@ -96,6 +178,7 @@ main(int argc, char **argv)
         }
         Table t;
         t.header({"metric", "value"});
+        t.row({"format", binary ? "binary (MSTRACE1)" : "text"});
         t.row({"records", std::to_string(n)});
         t.row({"instructions", std::to_string(instrs)});
         t.row({"memory ops / 1k instr",

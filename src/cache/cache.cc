@@ -2,6 +2,7 @@
 
 #include "util/bitops.hh"
 #include "util/logging.hh"
+#include "util/serialize.hh"
 
 namespace memsec::cache {
 
@@ -112,6 +113,45 @@ Cache::markDirty(Addr addr)
 {
     if (Line *line = find(addr))
         line->dirty = true;
+}
+
+void
+Cache::saveState(Serializer &s) const
+{
+    s.section("cache");
+    s.putU64(sets_.size());
+    for (const Set &set : sets_) {
+        for (const Line &line : set.ways) {
+            s.putU64(line.tag);
+            s.putBool(line.valid);
+            s.putBool(line.dirty);
+            s.putBool(line.prefetched);
+            s.putU64(line.lruStamp);
+        }
+    }
+    s.putU64(stamp_);
+    hits_.saveState(s);
+    misses_.saveState(s);
+}
+
+void
+Cache::restoreState(Deserializer &d)
+{
+    d.section("cache");
+    if (d.getU64() != sets_.size())
+        d.fail("cache set count mismatch");
+    for (Set &set : sets_) {
+        for (Line &line : set.ways) {
+            line.tag = d.getU64();
+            line.valid = d.getBool();
+            line.dirty = d.getBool();
+            line.prefetched = d.getBool();
+            line.lruStamp = d.getU64();
+        }
+    }
+    stamp_ = d.getU64();
+    hits_.restoreState(d);
+    misses_.restoreState(d);
 }
 
 } // namespace memsec::cache

@@ -18,6 +18,11 @@
 #include "sim/types.hh"
 #include "stats/stats.hh"
 
+namespace memsec {
+class Serializer;
+class Deserializer;
+} // namespace memsec
+
 namespace memsec::cache {
 
 /** Result of a cache access. */
@@ -66,6 +71,9 @@ class Cache
 
     const Counter &hits() const { return hits_; }
     const Counter &misses() const { return misses_; }
+
+    void saveState(Serializer &s) const;
+    void restoreState(Deserializer &d);
 
   private:
     struct Line

@@ -5,6 +5,7 @@
 #include <algorithm>
 
 #include "util/logging.hh"
+#include "util/serialize.hh"
 
 namespace memsec::cpu {
 
@@ -37,6 +38,9 @@ CoreModel::CoreModel(std::string name, DomainId domain,
     fatal_if(params.robSize == 0 || params.retireWidth == 0,
              "core parameters must be nonzero");
     nextProgressMark_ = params.progressInterval;
+    // Checkpoint restore rebinds request client pointers through this
+    // registry, so every core must be reachable by its domain id.
+    mc.registerClient(domain, this);
 
     // Functional cache warmup: replay a trace prefix through the LLC
     // with no timing so measurement starts from a warm cache, as the
@@ -157,6 +161,166 @@ CoreModel::fastForward(Cycle from, Cycle to)
     const uint64_t subCycles = (to - from) * params_.cpuMult;
     cpuCycles_ += subCycles;
     robStallCycles_.inc(subCycles);
+}
+
+void
+CoreModel::saveState(Serializer &s) const
+{
+    s.section("core");
+    trace_->saveState(s);
+    llc_.saveState(s);
+    prefetcher_.saveState(s);
+
+    s.putU64(rob_.size());
+    for (const Record &rec : rob_) {
+        s.putU64(rec.instrs);
+        s.putU64(rec.retiredOfThis);
+        s.putBool(rec.isStore);
+        s.putU64(rec.addr);
+        s.putU8(static_cast<uint8_t>(rec.state));
+        s.putU64(rec.doneAt);
+    }
+    s.putU64(robInstrs_);
+
+    // MSHR waiters are pointers into rob_; encode them as ROB indices
+    // (deque element addresses are stable, so the scan is exact).
+    s.putU64(mshr_.size());
+    for (const auto &[addr, entry] : mshr_) {
+        s.putU64(addr);
+        s.putBool(entry.fillDirty);
+        s.putBool(entry.isPrefetch);
+        s.putBool(entry.demandTouched);
+        s.putU64(entry.waiters.size());
+        for (const Record *w : entry.waiters) {
+            size_t idx = rob_.size();
+            for (size_t i = 0; i < rob_.size(); ++i) {
+                if (&rob_[i] == w) {
+                    idx = i;
+                    break;
+                }
+            }
+            panic_if(idx == rob_.size(),
+                     "{}: MSHR waiter not found in ROB", name());
+            s.putU64(idx);
+        }
+    }
+    s.putU64(prefetchInflight_);
+
+    s.putU64(pendingStoreFetches_.size());
+    for (Addr a : pendingStoreFetches_)
+        s.putU64(a);
+    s.putU64(writebacks_.size());
+    for (Addr a : writebacks_)
+        s.putU64(a);
+
+    s.putU64(memNow_);
+    s.putU64(cpuCycles_);
+    s.putU64(retired_);
+    s.putU64(measureStartCycle_);
+    s.putU64(measureStartRetired_);
+
+    s.putU64(timeline_.service.size());
+    for (const auto &ev : timeline_.service) {
+        s.putU64(ev.ordinal);
+        s.putU64(ev.arrival);
+        s.putU64(ev.completed);
+    }
+    s.putU64(timeline_.progress.size());
+    for (uint64_t p : timeline_.progress)
+        s.putU64(p);
+    s.putU64(nextProgressMark_);
+
+    loads_.saveState(s);
+    stores_.saveState(s);
+    llcMisses_.saveState(s);
+    memReads_.saveState(s);
+    memWritebacks_.saveState(s);
+    prefetchIssued_.saveState(s);
+    prefetchUseful_.saveState(s);
+    robStallCycles_.saveState(s);
+}
+
+void
+CoreModel::restoreState(Deserializer &d)
+{
+    d.section("core");
+    trace_->restoreState(d);
+    llc_.restoreState(d);
+    prefetcher_.restoreState(d);
+
+    const uint64_t robCount = d.getU64();
+    rob_.clear();
+    for (uint64_t i = 0; i < robCount; ++i) {
+        Record rec;
+        rec.instrs = d.getU64();
+        rec.retiredOfThis = d.getU64();
+        rec.isStore = d.getBool();
+        rec.addr = d.getU64();
+        const uint8_t state = d.getU8();
+        if (state > static_cast<uint8_t>(Record::State::NeedsIssue))
+            d.fail("bad ROB record state");
+        rec.state = static_cast<Record::State>(state);
+        rec.doneAt = d.getU64();
+        rob_.push_back(rec);
+    }
+    robInstrs_ = d.getU64();
+
+    const uint64_t mshrCount = d.getU64();
+    mshr_.clear();
+    for (uint64_t i = 0; i < mshrCount; ++i) {
+        const Addr addr = d.getU64();
+        MshrEntry &entry = mshr_[addr];
+        entry.fillDirty = d.getBool();
+        entry.isPrefetch = d.getBool();
+        entry.demandTouched = d.getBool();
+        const uint64_t waiters = d.getU64();
+        for (uint64_t w = 0; w < waiters; ++w) {
+            const uint64_t idx = d.getU64();
+            if (idx >= rob_.size())
+                d.fail("MSHR waiter index out of range");
+            entry.waiters.push_back(&rob_[idx]);
+        }
+    }
+    prefetchInflight_ = d.getU64();
+
+    const uint64_t pending = d.getU64();
+    pendingStoreFetches_.clear();
+    for (uint64_t i = 0; i < pending; ++i)
+        pendingStoreFetches_.push_back(d.getU64());
+    const uint64_t wbs = d.getU64();
+    writebacks_.clear();
+    for (uint64_t i = 0; i < wbs; ++i)
+        writebacks_.push_back(d.getU64());
+
+    memNow_ = d.getU64();
+    cpuCycles_ = d.getU64();
+    retired_ = d.getU64();
+    measureStartCycle_ = d.getU64();
+    measureStartRetired_ = d.getU64();
+
+    const uint64_t events = d.getU64();
+    timeline_.service.clear();
+    for (uint64_t i = 0; i < events; ++i) {
+        core::ServiceEvent ev;
+        ev.ordinal = d.getU64();
+        ev.arrival = d.getU64();
+        ev.completed = d.getU64();
+        timeline_.service.push_back(ev);
+    }
+    const uint64_t marks = d.getU64();
+    timeline_.progress.clear();
+    for (uint64_t i = 0; i < marks; ++i)
+        timeline_.progress.push_back(d.getU64());
+    nextProgressMark_ = d.getU64();
+
+    loads_.restoreState(d);
+    stores_.restoreState(d);
+    llcMisses_.restoreState(d);
+    memReads_.restoreState(d);
+    memWritebacks_.restoreState(d);
+    prefetchIssued_.restoreState(d);
+    prefetchUseful_.restoreState(d);
+    robStallCycles_.restoreState(d);
 }
 
 void

@@ -22,8 +22,8 @@
 #define MEMSEC_CPU_CORE_MODEL_HH
 
 #include <deque>
+#include <map>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "cache/cache.hh"
@@ -66,6 +66,8 @@ class CoreModel : public Component, public mem::MemClient
     void tick(Cycle now) override;
     Cycle nextWakeCycle(Cycle now) const override;
     void fastForward(Cycle from, Cycle to) override;
+    void saveState(Serializer &s) const override;
+    void restoreState(Deserializer &d) override;
     void memResponse(const mem::MemRequest &req) override;
     void memDropped(const mem::MemRequest &req) override;
 
@@ -132,7 +134,9 @@ class CoreModel : public Component, public mem::MemClient
 
     std::deque<Record> rob_;
     uint64_t robInstrs_ = 0;
-    std::unordered_map<Addr, MshrEntry> mshr_; ///< keyed by line addr
+    /** Keyed by line addr; ordered so checkpoints serialize it in a
+     *  deterministic order. */
+    std::map<Addr, MshrEntry> mshr_;
     size_t prefetchInflight_ = 0;
     std::deque<Addr> pendingStoreFetches_;
     std::deque<Addr> writebacks_;

@@ -18,6 +18,11 @@
 #include "sim/types.hh"
 #include "stats/stats.hh"
 
+namespace memsec {
+class Serializer;
+class Deserializer;
+} // namespace memsec
+
 namespace memsec::cpu {
 
 /** Offset-candidate sandbox prefetcher. */
@@ -46,6 +51,9 @@ class SandboxPrefetcher
     const std::vector<int> &activeOffsets() const { return active_; }
 
     const Counter &issuedCandidates() const { return issued_; }
+
+    void saveState(Serializer &s) const;
+    void restoreState(Deserializer &d);
 
   private:
     Params params_;

@@ -19,6 +19,11 @@
 #include "sim/types.hh"
 #include "util/random.hh"
 
+namespace memsec {
+class Serializer;
+class Deserializer;
+} // namespace memsec
+
 namespace memsec::cpu {
 
 /** One trace step: `gap` non-memory instructions, then a memory op. */
@@ -49,6 +54,15 @@ class TraceGenerator
      * (proven by tests/test_fastforward_diff.cc).
      */
     virtual void observeCycle(Cycle now) { (void)now; }
+
+    /**
+     * Checkpoint the generator's mutable state (RNG streams, replay
+     * position, phase machinery). Stateless generators may keep the
+     * no-op defaults; stateful ones must override both so a restored
+     * run replays the exact same record sequence.
+     */
+    virtual void saveState(Serializer &s) const { (void)s; }
+    virtual void restoreState(Deserializer &d) { (void)d; }
 };
 
 /** Tunable memory behaviour of one synthetic benchmark. */
@@ -116,6 +130,9 @@ class SyntheticTraceGenerator : public TraceGenerator
 
     TraceRecord next() override;
     void observeCycle(Cycle now) override { memCycle_ = now; }
+
+    void saveState(Serializer &s) const override;
+    void restoreState(Deserializer &d) override;
 
     const WorkloadProfile &profile() const { return profile_; }
 

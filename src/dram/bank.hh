@@ -14,6 +14,11 @@
 #include "dram/timing.hh"
 #include "sim/types.hh"
 
+namespace memsec {
+class Serializer;
+class Deserializer;
+} // namespace memsec
+
 namespace memsec::dram {
 
 /** State and timing windows of one DRAM bank. */
@@ -54,6 +59,9 @@ class Bank
 
     /** Reset to the power-on state. */
     void reset();
+
+    void saveState(Serializer &s) const;
+    void restoreState(Deserializer &d);
 
   private:
     unsigned openRow_ = kNoRow;

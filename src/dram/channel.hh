@@ -10,6 +10,11 @@
 #include "dram/timing.hh"
 #include "sim/types.hh"
 
+namespace memsec {
+class Serializer;
+class Deserializer;
+} // namespace memsec
+
 namespace memsec::dram {
 
 /** Shared address/command and data buses of one channel. */
@@ -55,6 +60,9 @@ class ChannelBuses
 
     /** Total commands carried (for command-bus utilisation). */
     uint64_t commandCount() const { return commandCount_; }
+
+    void saveState(Serializer &s) const;
+    void restoreState(Deserializer &d);
 
   private:
     const TimingParams &tp_;

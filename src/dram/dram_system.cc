@@ -1,13 +1,32 @@
 #include "dram/dram_system.hh"
 
 #include <algorithm>
+#include <atomic>
+#include <fstream>
 #include <iostream>
 
 #include "fault/fault_injector.hh"
 #include "util/logging.hh"
+#include "util/serialize.hh"
 #include "util/sim_error.hh"
 
 namespace memsec::dram {
+
+namespace {
+
+/**
+ * Process-wide crash-dump attempt counter: every dump gets a unique
+ * suffix no matter which worker thread (or which retry of the same
+ * fingerprint) produced it.
+ */
+std::atomic<uint64_t> &
+crashDumpSeq()
+{
+    static std::atomic<uint64_t> seq{0};
+    return seq;
+}
+
+} // namespace
 
 DramSystem::DramSystem(const TimingParams &tp, const Geometry &geo)
     : tp_(tp), geo_(geo), buses_(tp_),
@@ -21,8 +40,58 @@ DramSystem::DramSystem(const TimingParams &tp, const Geometry &geo)
     crashHandlerId_ = addCrashHandler([this] {
         // Straight to stderr: this runs on the panic path, where the
         // quiet flag must not eat the post-mortem.
-        std::cerr << cmdLog_.snapshot();
+        const std::string dump = cmdLog_.snapshot();
+        if (crashDir_.empty()) {
+            std::cerr << dump;
+            return;
+        }
+        const uint64_t n = crashDumpSeq()++;
+        const std::string path = crashDir_ + "/cmdlog-" + crashTag_ +
+                                 "-" + std::to_string(n) + ".log";
+        std::ofstream out(path, std::ios::trunc);
+        if (!out) {
+            std::cerr << dump;
+            return;
+        }
+        out << dump;
+        std::cerr << "crash command log written to " << path << "\n";
     });
+}
+
+void
+DramSystem::setCrashDumpDir(const std::string &dir, const std::string &tag)
+{
+    crashDir_ = dir;
+    crashTag_ = tag;
+}
+
+void
+DramSystem::saveState(Serializer &s) const
+{
+    s.section("dram");
+    s.putU64(ranks_.size());
+    for (const Rank &rk : ranks_)
+        rk.saveState(s);
+    buses_.saveState(s);
+    checker_.saveState(s);
+    s.putU64(commandsIssued_);
+    s.putU64(illegalIssues_);
+    cmdLog_.saveState(s);
+}
+
+void
+DramSystem::restoreState(Deserializer &d)
+{
+    d.section("dram");
+    if (d.getU64() != ranks_.size())
+        d.fail("rank count mismatch");
+    for (Rank &rk : ranks_)
+        rk.restoreState(d);
+    buses_.restoreState(d);
+    checker_.restoreState(d);
+    commandsIssued_ = d.getU64();
+    illegalIssues_ = d.getU64();
+    cmdLog_.restoreState(d);
 }
 
 DramSystem::~DramSystem()

@@ -26,6 +26,8 @@
 
 namespace memsec {
 class RunReport;
+class Serializer;
+class Deserializer;
 namespace fault {
 class FaultInjector;
 } // namespace fault
@@ -115,6 +117,20 @@ class DramSystem
     /** Last-K-commands ring dumped as a crash snapshot on panic. */
     const fault::CommandLog &commandLog() const { return cmdLog_; }
 
+    /**
+     * Write the crash-time command-log dump to a file
+     * `<dir>/cmdlog-<tag>-<N>.log` instead of stderr. N comes from a
+     * process-wide attempt counter, so parallel campaign workers — or
+     * repeated attempts at the same config — can never overwrite each
+     * other's post-mortems even when they share a tag. The campaign
+     * harness passes the run's config fingerprint as the tag.
+     */
+    void setCrashDumpDir(const std::string &dir, const std::string &tag);
+
+    /** Device + bus + auditor state (timing params are config). */
+    void saveState(Serializer &s) const;
+    void restoreState(Deserializer &d);
+
   private:
     TimingParams tp_;
     Geometry geo_;
@@ -129,6 +145,8 @@ class DramSystem
     uint64_t illegalIssues_ = 0;
     fault::CommandLog cmdLog_{32};
     int crashHandlerId_ = -1;
+    std::string crashDir_; ///< empty = dump to stderr
+    std::string crashTag_;
 };
 
 } // namespace memsec::dram

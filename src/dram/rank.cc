@@ -3,8 +3,66 @@
 #include <algorithm>
 
 #include "util/logging.hh"
+#include "util/serialize.hh"
 
 namespace memsec::dram {
+
+void
+Rank::saveState(Serializer &s) const
+{
+    s.section("rank");
+    for (const auto &b : banks_)
+        b.saveState(s);
+    s.putU64(nextActRrd_);
+    s.putU64(actWindow_.size());
+    for (Cycle c : actWindow_)
+        s.putU64(c);
+    s.putU64(nextRead_);
+    s.putU64(nextWrite_);
+    s.putU64(refreshEnd_);
+    s.putBool(poweredDown_);
+    s.putU64(pdEnteredAt_);
+    s.putU64(pdExitReadyAt_);
+    s.putU64(energy_.activates);
+    s.putU64(energy_.reads);
+    s.putU64(energy_.writes);
+    s.putU64(energy_.suppressedActs);
+    s.putU64(energy_.suppressedCas);
+    s.putU64(energy_.refreshes);
+    s.putU64(energy_.cyclesActive);
+    s.putU64(energy_.cyclesPrecharge);
+    s.putU64(energy_.cyclesPowerDown);
+    s.putU64(energy_.cyclesRefreshing);
+}
+
+void
+Rank::restoreState(Deserializer &d)
+{
+    d.section("rank");
+    for (auto &b : banks_)
+        b.restoreState(d);
+    nextActRrd_ = d.getU64();
+    const uint64_t acts = d.getU64();
+    actWindow_.clear();
+    for (uint64_t i = 0; i < acts; ++i)
+        actWindow_.push_back(d.getU64());
+    nextRead_ = d.getU64();
+    nextWrite_ = d.getU64();
+    refreshEnd_ = d.getU64();
+    poweredDown_ = d.getBool();
+    pdEnteredAt_ = d.getU64();
+    pdExitReadyAt_ = d.getU64();
+    energy_.activates = d.getU64();
+    energy_.reads = d.getU64();
+    energy_.writes = d.getU64();
+    energy_.suppressedActs = d.getU64();
+    energy_.suppressedCas = d.getU64();
+    energy_.refreshes = d.getU64();
+    energy_.cyclesActive = d.getU64();
+    energy_.cyclesPrecharge = d.getU64();
+    energy_.cyclesPowerDown = d.getU64();
+    energy_.cyclesRefreshing = d.getU64();
+}
 
 Rank::Rank(unsigned banks, const TimingParams &tp)
     : tp_(tp), banks_(banks)

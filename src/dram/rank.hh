@@ -14,6 +14,11 @@
 #include "dram/timing.hh"
 #include "sim/types.hh"
 
+namespace memsec {
+class Serializer;
+class Deserializer;
+} // namespace memsec
+
 namespace memsec::dram {
 
 /** Power state of a rank (for the energy model). */
@@ -113,6 +118,9 @@ class Rank
 
     /** Current power state (derived). */
     PowerState powerState(Cycle now) const;
+
+    void saveState(Serializer &s) const;
+    void restoreState(Deserializer &d);
 
   private:
     const TimingParams &tp_;

@@ -27,6 +27,11 @@
 #include "dram/timing_rules.hh"
 #include "sim/types.hh"
 
+namespace memsec {
+class Serializer;
+class Deserializer;
+} // namespace memsec
+
 namespace memsec::dram {
 
 /** One detected rule violation. */
@@ -83,6 +88,10 @@ class TimingChecker
      * retention even though no inter-command constraint is broken).
      */
     void expectRefresh(uint64_t refi) { expectedRefi_ = refi; }
+
+    /** Shadow state + violation history (config/rule table excluded). */
+    void saveState(Serializer &s) const;
+    void restoreState(Deserializer &d);
 
   private:
     /** Sentinel for "no open row" (independent of Bank's). */

@@ -19,6 +19,11 @@
 #include "dram/command.hh"
 #include "sim/types.hh"
 
+namespace memsec {
+class Serializer;
+class Deserializer;
+} // namespace memsec
+
 namespace memsec::fault {
 
 /** Fixed-capacity history of (command, issue cycle) pairs. */
@@ -37,6 +42,9 @@ class CommandLog
 
     /** Human-readable dump, oldest to newest. */
     std::string snapshot() const;
+
+    void saveState(Serializer &s) const;
+    void restoreState(Deserializer &d);
 
   private:
     struct Entry

@@ -4,6 +4,7 @@
 
 #include "sim/config.hh"
 #include "util/logging.hh"
+#include "util/serialize.hh"
 
 namespace memsec::fault {
 
@@ -28,6 +29,10 @@ constexpr KindName kKindNames[] = {
     {FaultKind::QueueOverflow, "queue-overflow"},
     {FaultKind::SlotSkew, "slot-skew"},
     {FaultKind::TraceCorrupt, "trace-corrupt"},
+    {FaultKind::SnapshotTruncate, "snapshot-truncate"},
+    {FaultKind::SnapshotBitflip, "snapshot-bitflip"},
+    {FaultKind::SnapshotVersion, "snapshot-version"},
+    {FaultKind::JournalStale, "journal-stale"},
 };
 
 } // namespace
@@ -301,6 +306,80 @@ FaultInjector::corruptTraceText(const std::string &text)
         out << line << "\n";
     }
     return out.str();
+}
+
+void
+FaultInjector::corruptSnapshotBytes(std::string &bytes)
+{
+    // Container layout (util/serialize.cc): 8-byte magic, u32 version
+    // at offset 8, u64 fingerprint length at 12, fingerprint chars at
+    // 20, then payload length / CRC / payload. The corruptions below
+    // target the specific field whose guard they exercise.
+    constexpr size_t kVersionAt = 8;
+    constexpr size_t kFingerprintAt = 20;
+    const size_t minSize = kFingerprintAt + 1;
+    if (bytes.size() < minSize)
+        return; // too short to mutate meaningfully; already corrupt
+
+    switch (spec_.kind) {
+      case FaultKind::SnapshotTruncate:
+        // Tear off the tail, as an interrupted non-atomic write would.
+        ++injected_;
+        bytes.resize(minSize + rng_.below(bytes.size() - minSize));
+        break;
+
+      case FaultKind::SnapshotBitflip: {
+        // Flip one bit in the back half of the file: always payload
+        // (the header is a fixed few dozen bytes), so the block CRC
+        // must catch it.
+        ++injected_;
+        const size_t lo = bytes.size() / 2;
+        const size_t at = lo + rng_.below(bytes.size() - lo);
+        bytes[at] = static_cast<char>(
+            bytes[at] ^ static_cast<char>(1u << rng_.below(8)));
+        break;
+      }
+
+      case FaultKind::SnapshotVersion:
+        // A snapshot from a future (or mangled) format revision.
+        ++injected_;
+        bytes[kVersionAt] = static_cast<char>(bytes[kVersionAt] + 1);
+        break;
+
+      case FaultKind::JournalStale:
+        // The entry belongs to a different config: mutate a
+        // fingerprint character (outside the payload CRC, so the
+        // fingerprint check — not the CRC — must reject it).
+        ++injected_;
+        bytes[kFingerprintAt] =
+            static_cast<char>(bytes[kFingerprintAt] ^ 0x01);
+        break;
+
+      default:
+        break;
+    }
+}
+
+void
+FaultInjector::saveState(Serializer &s) const
+{
+    s.section("fault");
+    uint64_t state[4];
+    rng_.getState(state);
+    for (uint64_t w : state)
+        s.putU64(w);
+    s.putU64(injected_);
+}
+
+void
+FaultInjector::restoreState(Deserializer &d)
+{
+    d.section("fault");
+    uint64_t state[4];
+    for (uint64_t &w : state)
+        w = d.getU64();
+    rng_.setState(state);
+    injected_ = d.getU64();
 }
 
 } // namespace memsec::fault

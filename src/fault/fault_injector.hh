@@ -32,7 +32,9 @@
 
 namespace memsec {
 class Config;
-}
+class Serializer;
+class Deserializer;
+} // namespace memsec
 
 namespace memsec::fault {
 
@@ -51,6 +53,10 @@ enum class FaultKind
     QueueOverflow,   ///< ghost transactions flood the controller queue
     SlotSkew,        ///< scheduler slots shift by a few cycles
     TraceCorrupt,    ///< trace-file records get mangled
+    SnapshotTruncate, ///< checkpoint file loses its tail
+    SnapshotBitflip, ///< checkpoint payload gains a flipped bit
+    SnapshotVersion, ///< checkpoint claims an unknown format version
+    JournalStale,    ///< checkpoint/journal carries a foreign fingerprint
 };
 
 /** Canonical config-file name ("cmd-drop", "slot-skew", ...). */
@@ -129,8 +135,23 @@ class FaultInjector
      */
     std::string corruptTraceText(const std::string &text);
 
+    /**
+     * Snapshot/journal durability faults: corrupt an encoded snapshot
+     * container in place before it is decoded, exactly as a torn
+     * write, flipped medium bit, format skew, or stale journal entry
+     * would. Each kind must be *detected* by decodeSnapshot() and
+     * surfaced as a structured SimError — never a silent wrong
+     * digest. Hook point: the snapshot-load path in runExperiment().
+     * No-op (and no PRNG draw) unless the spec kind matches.
+     */
+    void corruptSnapshotBytes(std::string &bytes);
+
     /** Faults actually injected so far. */
     uint64_t injected() const { return injected_; }
+
+    /** Checkpoint the PRNG stream and injection count. */
+    void saveState(Serializer &s) const;
+    void restoreState(Deserializer &d);
 
   private:
     /** Window + rate gate; advances the PRNG when in-window. */

@@ -8,6 +8,7 @@
 #include <sstream>
 
 #include "util/logging.hh"
+#include "util/serialize.hh"
 #include "util/thread_pool.hh"
 
 namespace memsec::harness {
@@ -37,6 +38,20 @@ fnv1a64(const std::string &s)
     return h;
 }
 
+// The canonical identity of a run: its config minus durability
+// plumbing (checkpoint cadence, crash-dump routing), which affects
+// how a run persists, never what it computes.
+std::string
+canonicalConfigString(const Config &cfg)
+{
+    Config canon = cfg;
+    for (const std::string &key : cfg.keys()) {
+        if (key.rfind("ckpt.", 0) == 0 || key.rfind("crash.", 0) == 0)
+            canon.erase(key);
+    }
+    return canon.toString();
+}
+
 } // namespace
 
 std::string
@@ -44,8 +59,10 @@ CampaignSummary::toString() const
 {
     std::ostringstream os;
     os << "campaign: " << runs << " runs, " << executed << " executed, "
-       << memoHits << " memo hits, " << failures << " failed; wall "
-       << std::fixed << std::setprecision(2) << wallSeconds
+       << memoHits << " memo hits, " << journalHits
+       << " journal hits, " << snapshotResumes << " snapshot resumes, "
+       << failures << " failed; wall " << std::fixed
+       << std::setprecision(2) << wallSeconds
        << "s (serial-equivalent " << serialSeconds << "s)";
     if (simErrors > 0) {
         os << "; " << simErrors << " recoverable sim errors (";
@@ -73,7 +90,7 @@ Campaign::add(std::string label, Config cfg)
     RunOutcome o;
     o.label = std::move(label);
     o.config = std::move(cfg);
-    fingerprints_.push_back(o.config.toString());
+    fingerprints_.push_back(canonicalConfigString(o.config));
     outcomes_.push_back(std::move(o));
     return outcomes_.size() - 1;
 }
@@ -95,13 +112,51 @@ Campaign::execute(size_t idx, const CampaignOptions &opts,
 {
     RunOutcome &o = outcomes_[idx];
     const auto start = std::chrono::steady_clock::now();
-    try {
-        o.result = runner_(o.config);
-        o.ok = true;
-    } catch (const std::exception &e) {
-        o.error = e.what();
-    } catch (...) {
-        o.error = "unknown exception";
+
+    // Journal resume: a prior (possibly killed) campaign with the
+    // same ckpt.dir already completed this fingerprint — serve the
+    // persisted result instead of re-simulating. Stale or corrupt
+    // entries are warned about and ignored; the run then executes
+    // normally.
+    const std::string journalDir = o.config.getString("ckpt.dir", "");
+    std::string journalPath;
+    std::string fp;
+    if (!journalDir.empty()) {
+        ensureDirectory(journalDir);
+        fp = fingerprint(o.config);
+        journalPath = journalDir + "/" + fp + ".done";
+        std::string bytes;
+        if (readFileBytes(journalPath, bytes)) {
+            try {
+                const std::string payload = decodeSnapshot(bytes, fp);
+                Deserializer d(payload);
+                o.result = deserializeResult(d);
+                o.ok = true;
+                o.fromJournal = true;
+            } catch (const SerializeError &e) {
+                warn("journal entry {} ignored ({}); re-executing run",
+                     journalPath, e.toString());
+            }
+        }
+    }
+
+    if (!o.fromJournal) {
+        try {
+            o.result = runner_(o.config);
+            o.ok = true;
+        } catch (const std::exception &e) {
+            o.error = e.what();
+        } catch (...) {
+            o.error = "unknown exception";
+        }
+        // Persist the outcome atomically so a killed rerun skips this
+        // fingerprint. Only successful runs are journalled: failures
+        // should re-execute (and re-fail loudly) on resume.
+        if (o.ok && !journalPath.empty()) {
+            Serializer s;
+            serializeResult(s, o.result);
+            writeFileAtomic(journalPath, encodeSnapshot(fp, s.data()));
+        }
     }
     o.wallSeconds = secondsSince(start);
 
@@ -113,7 +168,9 @@ Campaign::execute(size_t idx, const CampaignOptions &opts,
     std::ostringstream line;
     line << "  [" << done << "/" << summary_.executed << "] " << o.label
          << " " << std::fixed << std::setprecision(1) << o.wallSeconds
-         << "s" << (o.ok ? "" : " FAILED: " + o.error) << "\n";
+         << "s" << (o.fromJournal ? " (journal)" : "")
+         << (o.result.resumedFromSnapshot ? " (resumed)" : "")
+         << (o.ok ? "" : " FAILED: " + o.error) << "\n";
     narrate(opts, line.str());
 }
 
@@ -173,10 +230,14 @@ Campaign::run(const CampaignOptions &opts)
     for (size_t idx : primaries) {
         const RunOutcome &o = outcomes_[idx];
         summary_.serialSeconds += o.wallSeconds;
+        if (o.fromJournal)
+            ++summary_.journalHits;
         if (!o.ok) {
             ++summary_.failures;
             continue;
         }
+        if (o.result.resumedFromSnapshot)
+            ++summary_.snapshotResumes;
         for (const SimError &e : o.result.simErrors) {
             ++summary_.simErrors;
             ++summary_.simErrorsByCategory[e.category];
@@ -212,7 +273,7 @@ Campaign::fingerprint(const Config &cfg)
 {
     std::ostringstream os;
     os << "fnv64-" << std::hex << std::setw(16) << std::setfill('0')
-       << fnv1a64(cfg.toString());
+       << fnv1a64(canonicalConfigString(cfg));
     return os.str();
 }
 

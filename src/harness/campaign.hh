@@ -60,6 +60,9 @@ struct RunOutcome
     bool ok = false;
     /** True if this run shared an earlier run's execution. */
     bool memoized = false;
+    /** True if the outcome was served from an on-disk journal entry
+     *  (ckpt.dir) written by an earlier, possibly killed, campaign. */
+    bool fromJournal = false;
     std::string error; ///< exception text when !ok
     double wallSeconds = 0.0;
     ExperimentResult result; ///< valid only when ok
@@ -71,6 +74,8 @@ struct CampaignSummary
     size_t runs = 0;     ///< submitted
     size_t executed = 0; ///< actually simulated (unique fingerprints)
     size_t memoHits = 0; ///< runs served from a sibling's execution
+    size_t journalHits = 0; ///< runs served from the on-disk journal
+    size_t snapshotResumes = 0; ///< executed runs resumed mid-flight
     size_t failures = 0; ///< runs whose experiment threw
     double wallSeconds = 0.0;   ///< whole-campaign wall clock
     double serialSeconds = 0.0; ///< sum of per-run wall clocks
@@ -120,7 +125,10 @@ class Campaign
     /**
      * Canonical fingerprint of a Config: stable across key insertion
      * order (keys are stored sorted). Runs with equal fingerprints
-     * are executed once per campaign.
+     * are executed once per campaign. Durability keys (ckpt.*,
+     * crash.*) are stripped first — they steer checkpoint plumbing,
+     * not simulated behaviour, so a resumed rerun with a different
+     * cadence still matches its journal entries.
      */
     static std::string fingerprint(const Config &cfg);
 

@@ -1,6 +1,8 @@
 #include "harness/experiment.hh"
 
 #include <algorithm>
+#include <csignal>
+#include <cstdio>
 #include <deque>
 #include <fstream>
 #include <iostream>
@@ -10,6 +12,7 @@
 #include "cpu/core_model.hh"
 #include "cpu/workload.hh"
 #include "fault/fault_injector.hh"
+#include "harness/campaign.hh"
 #include "leakage/channel.hh"
 #include "mem/address_map.hh"
 #include "mem/memory_controller.hh"
@@ -19,6 +22,7 @@
 #include "sched/tp.hh"
 #include "sim/simulator.hh"
 #include "util/logging.hh"
+#include "util/serialize.hh"
 
 namespace memsec::harness {
 
@@ -199,13 +203,45 @@ traceSeed(const std::string &profileName, unsigned coreIdx,
 
 } // namespace
 
-ExperimentResult
-runExperiment(const Config &cfg)
+/**
+ * Everything one run owns, built in dependency order: the AddressMap
+ * must outlive the controllers, the controllers their cores, and the
+ * Simulator only holds raw pointers into both.
+ */
+struct ExperimentSystem::Impl
 {
+    Config cfg;
+    unsigned cores = 0;
+    std::string schedName;
+    std::string workload;
+    dram::TimingParams tp;
+    dram::Geometry geo;
+    std::unique_ptr<AddressMap> map;
+    unsigned numMcs = 0;
+    std::vector<std::unique_ptr<MemoryController>> mcs;
+    std::unique_ptr<fault::FaultInjector> injector;
+    RunReport report;
+    int64_t auditCore = -1;
+    std::vector<std::unique_ptr<cpu::CoreModel>> coreModels;
+    Simulator sim;
+    Cycle warmup = 0;
+    Cycle measure = 0;
+    bool measurementBegun = false;
+    bool finished = false;
+};
+
+ExperimentSystem::ExperimentSystem(const Config &cfg)
+    : impl_(std::make_unique<Impl>())
+{
+    Impl &im = *impl_;
+    im.cfg = cfg;
     const unsigned cores =
         static_cast<unsigned>(cfg.getUint("cores", 8));
     const std::string schedName = cfg.getString("sched", "baseline");
     const std::string workload = cfg.getString("workload", "mcf");
+    im.cores = cores;
+    im.schedName = schedName;
+    im.workload = workload;
 
     dram::TimingParams tp = dram::TimingParams::ddr3_1600_4gb();
     dram::Geometry geo;
@@ -221,11 +257,13 @@ runExperiment(const Config &cfg)
         static_cast<unsigned>(cfg.getUint("dram.rows", 32768));
     geo.colsPerRow = static_cast<unsigned>(cfg.getUint("dram.cols", 128));
 
-    AddressMap map(geo, parsePartition(cfg.getString("map.partition",
-                                                     "none")),
-                   parseInterleave(cfg.getString("map.interleave",
-                                                 "close")),
-                   cores);
+    im.tp = tp;
+    im.geo = geo;
+    im.map = std::make_unique<AddressMap>(
+        geo, parsePartition(cfg.getString("map.partition", "none")),
+        parseInterleave(cfg.getString("map.interleave", "close")),
+        cores);
+    AddressMap &map = *im.map;
 
     MemoryController::Params mcp;
     mcp.timing = tp;
@@ -242,12 +280,23 @@ runExperiment(const Config &cfg)
              schedName);
     fatal_if(numMcs > 1 && schedName == "tp",
              "multi-channel TP is not modelled; use one channel");
-    std::vector<std::unique_ptr<MemoryController>> mcs;
+    im.numMcs = numMcs;
+    std::vector<std::unique_ptr<MemoryController>> &mcs = im.mcs;
     for (unsigned m = 0; m < numMcs; ++m) {
         mcs.push_back(std::make_unique<MemoryController>(
             "mc" + std::to_string(m), mcp, map));
     }
     MemoryController &mc = *mcs.front();
+
+    // Crash command-log dumps: with a directory configured, parallel
+    // campaign workers each write to a distinct fingerprint-tagged,
+    // sequence-numbered file instead of racing over stderr.
+    const std::string crashDir = cfg.getString("crash.dir", "");
+    if (!crashDir.empty()) {
+        const std::string tag = Campaign::fingerprint(cfg);
+        for (auto &m : mcs)
+            m->dram().setCrashDumpDir(crashDir, tag);
+    }
 
     const bool refresh = cfg.getBool("dram.refresh", false);
     if (schedName == "baseline") {
@@ -316,11 +365,18 @@ runExperiment(const Config &cfg)
     // Fault injection (fault.kind != "none"): attach the injector and
     // the recoverable-error channel to every controller. Everything
     // stays strict when disabled, so default runs are bit-identical
-    // to a build without this block.
+    // to a build without this block. Snapshot-durability kinds only
+    // perturb the checkpoint-load path, never the simulation itself.
     const fault::FaultSpec faultSpec = fault::FaultSpec::fromConfig(cfg);
-    fault::FaultInjector injector(faultSpec);
-    RunReport report;
-    if (injector.enabled()) {
+    im.injector = std::make_unique<fault::FaultInjector>(faultSpec);
+    fault::FaultInjector &injector = *im.injector;
+    RunReport &report = im.report;
+    const bool durabilityFault =
+        faultSpec.kind == fault::FaultKind::SnapshotTruncate ||
+        faultSpec.kind == fault::FaultKind::SnapshotBitflip ||
+        faultSpec.kind == fault::FaultKind::SnapshotVersion ||
+        faultSpec.kind == fault::FaultKind::JournalStale;
+    if (injector.enabled() && !durabilityFault) {
         for (auto &m : mcs) {
             m->attachFaultInjector(&injector);
             m->setReport(&report);
@@ -345,8 +401,10 @@ runExperiment(const Config &cfg)
         p.modOffFactor = leak.offFactor;
     }
     const int64_t auditCore = cfg.getInt("audit.core", -1);
+    im.auditCore = auditCore;
 
-    std::vector<std::unique_ptr<cpu::CoreModel>> coreModels;
+    std::vector<std::unique_ptr<cpu::CoreModel>> &coreModels =
+        im.coreModels;
     for (unsigned i = 0; i < cores; ++i) {
         cpu::CoreModel::Params cp;
         cp.robSize = static_cast<unsigned>(cfg.getUint("core.rob", 64));
@@ -384,7 +442,7 @@ runExperiment(const Config &cfg)
             myMc));
     }
 
-    Simulator sim;
+    Simulator &sim = im.sim;
     sim.setFastForward(cfg.getBool("sim.fastforward", true));
     for (auto &c : coreModels)
         sim.add(c.get());
@@ -395,29 +453,123 @@ runExperiment(const Config &cfg)
     if (watchdog > 0) {
         // Progress = instructions retired + DRAM commands issued; if
         // neither moves for a whole window the run is livelocked.
-        sim.setWatchdog(watchdog, [&coreModels, &mcs] {
+        // The lambda captures the Impl, whose address is stable for
+        // the system's lifetime; restoreState() overwrites the
+        // watchdog's last-progress books after this arms.
+        Impl *ip = impl_.get();
+        sim.setWatchdog(watchdog, [ip] {
             uint64_t v = 0;
-            for (const auto &c : coreModels)
+            for (const auto &c : ip->coreModels)
                 v += c->retired();
-            for (const auto &m : mcs)
+            for (const auto &m : ip->mcs)
                 v += m->dram().commandsIssued();
             return v;
         });
     }
 
-    const Cycle warmup = cfg.getUint("sim.warmup", 20000);
-    const Cycle measure = cfg.getUint("sim.measure", 200000);
-    sim.run(warmup);
-    for (auto &c : coreModels)
-        c->beginMeasurement();
-    sim.run(measure);
+    im.warmup = cfg.getUint("sim.warmup", 20000);
+    im.measure = cfg.getUint("sim.measure", 200000);
+}
+
+ExperimentSystem::~ExperimentSystem() = default;
+
+void
+ExperimentSystem::step(Cycle maxCycles)
+{
+    Impl &im = *impl_;
+    while (maxCycles > 0 && !done()) {
+        if (!im.measurementBegun) {
+            const Cycle left = im.warmup - im.sim.now();
+            const Cycle n = std::min(maxCycles, left);
+            im.sim.run(n);
+            maxCycles -= n;
+            if (im.sim.now() >= im.warmup) {
+                for (auto &c : im.coreModels)
+                    c->beginMeasurement();
+                im.measurementBegun = true;
+            }
+        } else {
+            const Cycle end = im.warmup + im.measure;
+            const Cycle n = std::min(maxCycles, end - im.sim.now());
+            im.sim.run(n);
+            maxCycles -= n;
+        }
+    }
+}
+
+bool
+ExperimentSystem::done() const
+{
+    const Impl &im = *impl_;
+    return im.measurementBegun &&
+           im.sim.now() >= im.warmup + im.measure;
+}
+
+Cycle
+ExperimentSystem::now() const
+{
+    return impl_->sim.now();
+}
+
+RunReport &
+ExperimentSystem::report()
+{
+    return impl_->report;
+}
+
+fault::FaultInjector &
+ExperimentSystem::injector()
+{
+    return *impl_->injector;
+}
+
+void
+ExperimentSystem::saveState(Serializer &s) const
+{
+    const Impl &im = *impl_;
+    s.section("experiment");
+    s.putBool(im.measurementBegun);
+    im.injector->saveState(s);
+    im.report.saveState(s);
+    im.sim.saveState(s);
+}
+
+void
+ExperimentSystem::restoreState(Deserializer &d)
+{
+    Impl &im = *impl_;
+    d.section("experiment");
+    im.measurementBegun = d.getBool();
+    im.injector->restoreState(d);
+    im.report.restoreState(d);
+    im.sim.restoreState(d);
+    if (!d.atEnd())
+        d.fail("trailing bytes after experiment state");
+}
+
+ExperimentResult
+ExperimentSystem::finish()
+{
+    Impl &im = *impl_;
+    panic_if(im.finished, "ExperimentSystem::finish() called twice");
+    im.finished = true;
+    const Config &cfg = im.cfg;
+    Simulator &sim = im.sim;
+    auto &coreModels = im.coreModels;
+    auto &mcs = im.mcs;
+    MemoryController &mc = *mcs.front();
+    const unsigned numMcs = im.numMcs;
+    const int64_t auditCore = im.auditCore;
+    fault::FaultInjector &injector = *im.injector;
+    RunReport &report = im.report;
+
     for (auto &m : mcs)
         m->scheduler().finalize(sim.now());
 
     ExperimentResult res;
-    res.scheme = cfg.getString("scheme", schedName);
-    res.workload = workload;
-    res.cores = cores;
+    res.scheme = cfg.getString("scheme", im.schedName);
+    res.workload = im.workload;
+    res.cores = im.cores;
     res.cyclesRun = sim.now();
     res.cyclesExecuted = sim.cyclesExecuted();
     res.cyclesSkipped = sim.cyclesSkipped();
@@ -467,7 +619,7 @@ runExperiment(const Config &cfg)
         res.rowHitRate = casTotal > 0 ? e.rowHits() / casTotal : 0.0;
     }
 
-    energy::PowerModel pm(energy::DeviceParams::ddr3_1600_4gb(), tp);
+    energy::PowerModel pm(energy::DeviceParams::ddr3_1600_4gb(), im.tp);
     for (auto &m : mcs) {
         for (unsigned r = 0; r < m->dram().numRanks(); ++r)
             res.energy += pm.rankEnergy(m->dram().rank(r).energy());
@@ -503,6 +655,187 @@ runExperiment(const Config &cfg)
     }
 
     return res;
+}
+
+ExperimentResult
+runExperiment(const Config &cfg)
+{
+    ExperimentSystem sys(cfg);
+
+    // Checkpoint/resume (docs/CHECKPOINT.md). ckpt.dir names the
+    // snapshot directory; a valid <fingerprint>.snap continues the
+    // run mid-flight, any rejected snapshot is reported as a
+    // structured SimError and the run restarts from cycle 0 — never
+    // a silent wrong digest.
+    const std::string ckptDir = cfg.getString("ckpt.dir", "");
+    std::string snapPath;
+    std::string fp;
+    bool resumed = false;
+    if (!ckptDir.empty()) {
+        ensureDirectory(ckptDir);
+        fp = Campaign::fingerprint(cfg);
+        snapPath = ckptDir + "/" + fp + ".snap";
+        std::string bytes;
+        if (readFileBytes(snapPath, bytes)) {
+            sys.injector().corruptSnapshotBytes(bytes);
+            try {
+                const std::string payload = decodeSnapshot(bytes, fp);
+                Deserializer d(payload);
+                sys.restoreState(d);
+                resumed = true;
+            } catch (const SerializeError &e) {
+                warn("snapshot {} rejected ({}); restarting run from "
+                     "cycle 0",
+                     snapPath, e.toString());
+                sys.report().record(SimError{
+                    sys.now(), e.category,
+                    "snapshot rejected: " + e.message});
+            }
+        }
+    }
+
+    const Cycle interval = cfg.getUint("ckpt.interval_cycles", 0);
+    // Test/CI hook: SIGKILL the process after K successful snapshot
+    // writes, simulating a mid-campaign crash at a torn moment.
+    const uint64_t killAfter =
+        cfg.getUint("ckpt.kill_after_snapshots", 0);
+    if (snapPath.empty() || interval == 0) {
+        while (!sys.done())
+            sys.step(kNoCycle);
+    } else {
+        uint64_t written = 0;
+        while (!sys.done()) {
+            sys.step(interval);
+            if (sys.done())
+                break;
+            Serializer s;
+            sys.saveState(s);
+            writeFileAtomic(snapPath, encodeSnapshot(fp, s.data()));
+            ++written;
+            if (killAfter > 0 && written >= killAfter)
+                raise(SIGKILL);
+        }
+    }
+
+    ExperimentResult res = sys.finish();
+    res.resumedFromSnapshot = resumed;
+    if (!snapPath.empty())
+        std::remove(snapPath.c_str());
+    return res;
+}
+
+void
+serializeResult(Serializer &s, const ExperimentResult &r)
+{
+    s.section("result");
+    s.putString(r.scheme);
+    s.putString(r.workload);
+    s.putU32(r.cores);
+    s.putU64(r.cyclesRun);
+    s.putU64(r.ipc.size());
+    for (double v : r.ipc)
+        s.putDouble(v);
+    s.putDouble(r.meanReadLatency);
+    s.putDouble(r.effectiveBandwidth);
+    s.putDouble(r.dummyFraction);
+    s.putDouble(r.rowHitRate);
+    s.putDouble(r.energy.backgroundNj);
+    s.putDouble(r.energy.activateNj);
+    s.putDouble(r.energy.readWriteNj);
+    s.putDouble(r.energy.refreshNj);
+    s.putU64(r.prefetchIssued);
+    s.putU64(r.prefetchUseful);
+    s.putU64(r.demandReads);
+    s.putU64(r.timelines.size());
+    for (const auto &tl : r.timelines) {
+        s.putU64(tl.service.size());
+        for (const auto &ev : tl.service) {
+            s.putU64(ev.ordinal);
+            s.putU64(ev.arrival);
+            s.putU64(ev.completed);
+        }
+        s.putU64(tl.progress.size());
+        for (uint64_t p : tl.progress)
+            s.putU64(p);
+    }
+    s.putU64(r.faultsInjected);
+    s.putU64(r.timingViolations);
+    s.putU64(r.illegalIssues);
+    s.putU64(r.violationRules.size());
+    for (const auto &kv : r.violationRules) {
+        s.putString(kv.first);
+        s.putU64(kv.second);
+    }
+    s.putU64(r.simErrors.size());
+    for (const auto &e : r.simErrors) {
+        s.putU64(e.cycle);
+        s.putString(e.category);
+        s.putString(e.message);
+    }
+    s.putU64(r.cyclesExecuted);
+    s.putU64(r.cyclesSkipped);
+    s.putBool(r.resumedFromSnapshot);
+}
+
+ExperimentResult
+deserializeResult(Deserializer &d)
+{
+    d.section("result");
+    ExperimentResult r;
+    r.scheme = d.getString();
+    r.workload = d.getString();
+    r.cores = d.getU32();
+    r.cyclesRun = d.getU64();
+    const uint64_t nIpc = d.getU64();
+    for (uint64_t i = 0; i < nIpc; ++i)
+        r.ipc.push_back(d.getDouble());
+    r.meanReadLatency = d.getDouble();
+    r.effectiveBandwidth = d.getDouble();
+    r.dummyFraction = d.getDouble();
+    r.rowHitRate = d.getDouble();
+    r.energy.backgroundNj = d.getDouble();
+    r.energy.activateNj = d.getDouble();
+    r.energy.readWriteNj = d.getDouble();
+    r.energy.refreshNj = d.getDouble();
+    r.prefetchIssued = d.getU64();
+    r.prefetchUseful = d.getU64();
+    r.demandReads = d.getU64();
+    const uint64_t nTl = d.getU64();
+    for (uint64_t t = 0; t < nTl; ++t) {
+        core::VictimTimeline tl;
+        const uint64_t nEv = d.getU64();
+        for (uint64_t i = 0; i < nEv; ++i) {
+            core::ServiceEvent ev;
+            ev.ordinal = d.getU64();
+            ev.arrival = d.getU64();
+            ev.completed = d.getU64();
+            tl.service.push_back(ev);
+        }
+        const uint64_t nPr = d.getU64();
+        for (uint64_t i = 0; i < nPr; ++i)
+            tl.progress.push_back(d.getU64());
+        r.timelines.push_back(std::move(tl));
+    }
+    r.faultsInjected = d.getU64();
+    r.timingViolations = d.getU64();
+    r.illegalIssues = d.getU64();
+    const uint64_t nRules = d.getU64();
+    for (uint64_t i = 0; i < nRules; ++i) {
+        const std::string rule = d.getString();
+        r.violationRules[rule] = d.getU64();
+    }
+    const uint64_t nErr = d.getU64();
+    for (uint64_t i = 0; i < nErr; ++i) {
+        SimError e;
+        e.cycle = d.getU64();
+        e.category = d.getString();
+        e.message = d.getString();
+        r.simErrors.push_back(std::move(e));
+    }
+    r.cyclesExecuted = d.getU64();
+    r.cyclesSkipped = d.getU64();
+    r.resumedFromSnapshot = d.getBool();
+    return r;
 }
 
 std::vector<double>

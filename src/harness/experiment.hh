@@ -15,6 +15,7 @@
 #define MEMSEC_HARNESS_EXPERIMENT_HH
 
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -23,6 +24,15 @@
 #include "sim/config.hh"
 #include "sim/types.hh"
 #include "util/sim_error.hh"
+
+namespace memsec {
+class Serializer;
+class Deserializer;
+} // namespace memsec
+
+namespace memsec::fault {
+class FaultInjector;
+} // namespace memsec::fault
 
 namespace memsec::harness {
 
@@ -64,6 +74,10 @@ struct ExperimentResult
     //    while every simulated observable stays byte-identical) --
     uint64_t cyclesExecuted = 0; ///< cycles the tick loop ran
     uint64_t cyclesSkipped = 0;  ///< cycles skipped by fast-forward
+    /** True when the run continued from an on-disk checkpoint rather
+     *  than starting at cycle 0. Not part of resultDigest(): a
+     *  resumed run's observables are byte-identical by contract. */
+    bool resumedFromSnapshot = false;
 
     /** Sum over cores of ipc[i] / baseIpc[i]. */
     double weightedIpc(const std::vector<double> &baseIpc) const;
@@ -81,7 +95,70 @@ Config schemeConfig(const std::string &scheme);
 /** All scheme names schemeConfig() accepts. */
 std::vector<std::string> allSchemes();
 
-/** Build, warm up, run, and summarise one experiment. */
+/** Codec for campaign journal entries (<fp>.done files). */
+void serializeResult(Serializer &s, const ExperimentResult &r);
+ExperimentResult deserializeResult(Deserializer &d);
+
+/**
+ * A fully constructed simulated system (cores + LLC slices + memory
+ * controllers + DRAM + fault injector), steppable in chunks so the
+ * harness can interleave execution with checkpoint writes.
+ *
+ * runExperiment() is the convenience wrapper: construct, optionally
+ * restore from `ckpt.dir`, step to completion with periodic snapshots,
+ * finish(). Long-horizon drivers use the class directly.
+ */
+class ExperimentSystem
+{
+  public:
+    explicit ExperimentSystem(const Config &cfg);
+    ~ExperimentSystem();
+    ExperimentSystem(const ExperimentSystem &) = delete;
+    ExperimentSystem &operator=(const ExperimentSystem &) = delete;
+
+    /**
+     * Advance up to `maxCycles` memory cycles, handling the
+     * warmup-to-measurement transition internally. Chunked stepping
+     * is observable-identical to one uninterrupted run.
+     */
+    void step(Cycle maxCycles);
+
+    /** True once warmup + measure cycles have elapsed. */
+    bool done() const;
+
+    /** Current simulation time in memory cycles. */
+    Cycle now() const;
+
+    /**
+     * Finalize schedulers, extract every reported metric, and run the
+     * optional stats dump. Call exactly once, after done().
+     */
+    ExperimentResult finish();
+
+    /**
+     * Serialize/restore the complete mutable simulation state: the
+     * kernel clock, every component, the fault injector's PRNG, the
+     * error report, and the measurement phase flag. A fresh
+     * ExperimentSystem built from the identical Config and restored
+     * from this stream continues with resultDigest()-byte-identical
+     * observables (tests/test_checkpoint_diff.cc).
+     */
+    void saveState(Serializer &s) const;
+    void restoreState(Deserializer &d);
+
+    /** The run's recoverable-error channel. */
+    RunReport &report();
+
+    /** The run's fault injector (snapshot corruption hooks). */
+    fault::FaultInjector &injector();
+
+  private:
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
+};
+
+/** Build, warm up, run, and summarise one experiment. Honours the
+ *  ckpt.* keys (docs/CONFIG.md) for snapshot/resume behaviour. */
 ExperimentResult runExperiment(const Config &cfg);
 
 /**

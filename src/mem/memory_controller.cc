@@ -5,6 +5,7 @@
 #include "fault/fault_injector.hh"
 #include "sched/scheduler.hh"
 #include "util/logging.hh"
+#include "util/serialize.hh"
 #include "util/sim_error.hh"
 
 namespace memsec::mem {
@@ -19,10 +20,24 @@ MemoryController::MemoryController(std::string name, const Params &params,
         queues_.emplace_back(params.queueCapacity,
                              params.queueCapacity);
     prefetchQueues_.resize(params.numDomains);
+    clients_.assign(params.numDomains, nullptr);
     stats_.readLatencyHist.init(0.0, 32.0, 64);
 }
 
 MemoryController::~MemoryController() = default;
+
+void
+MemoryController::registerClient(DomainId domain, MemClient *client)
+{
+    panic_if(domain >= clients_.size(), "bad domain {}", domain);
+    clients_[domain] = client;
+}
+
+MemClient *
+MemoryController::clientFor(DomainId domain) const
+{
+    return domain < clients_.size() ? clients_[domain] : nullptr;
+}
 
 void
 MemoryController::setScheduler(std::unique_ptr<sched::Scheduler> sched)
@@ -244,6 +259,105 @@ MemoryController::fastForward(Cycle from, Cycle to)
     // work; only the per-cycle energy state residency needs catching
     // up.
     dram_.fastForwardEnergy(from, to);
+}
+
+void
+MemoryController::saveState(Serializer &s) const
+{
+    s.section("mc");
+    dram_.saveState(s);
+    s.putU64(queues_.size());
+    for (const TransactionQueue &q : queues_)
+        q.saveState(s);
+    s.putU64(prefetchQueues_.size());
+    for (const auto &pq : prefetchQueues_) {
+        s.putU64(pq.size());
+        for (const auto &req : pq)
+            serializeRequest(s, *req);
+    }
+    // A priority_queue exposes only its top; drain a by-value copy to
+    // walk the pending completions in delivery order.
+    auto copy = completions_;
+    s.putU64(copy.size());
+    while (!copy.empty()) {
+        const PendingCompletion &pc = copy.top();
+        s.putU64(pc.at);
+        s.putU64(pc.seq);
+        serializeRequest(s, *pc.req);
+        copy.pop();
+    }
+    s.putU64(completionSeq_);
+    s.putU64(reqIdSeq_);
+    stats_.demandReads.saveState(s);
+    stats_.writes.saveState(s);
+    stats_.prefetches.saveState(s);
+    stats_.dummies.saveState(s);
+    stats_.forwarded.saveState(s);
+    stats_.mergedWrites.saveState(s);
+    stats_.mergedWithPrefetch.saveState(s);
+    stats_.realBursts.saveState(s);
+    stats_.dummyBursts.saveState(s);
+    stats_.overflowDrops.saveState(s);
+    stats_.readLatency.saveState(s);
+    stats_.readLatencyHist.saveState(s);
+    panic_if(!sched_, "saveState without a scheduler");
+    sched_->saveState(s);
+}
+
+void
+MemoryController::restoreState(Deserializer &d)
+{
+    d.section("mc");
+    dram_.restoreState(d);
+    if (d.getU64() != queues_.size())
+        d.fail("transaction queue count mismatch");
+    const auto clientOf = [this](const MemRequest &req) {
+        return clientFor(req.domain);
+    };
+    for (TransactionQueue &q : queues_)
+        q.restoreState(d, clientOf);
+    if (d.getU64() != prefetchQueues_.size())
+        d.fail("prefetch queue count mismatch");
+    for (auto &pq : prefetchQueues_) {
+        pq.clear();
+        const uint64_t n = d.getU64();
+        for (uint64_t i = 0; i < n; ++i) {
+            bool hadClient = false;
+            auto req = deserializeRequest(d, &hadClient);
+            if (hadClient)
+                req->client = clientOf(*req);
+            pq.push_back(std::move(req));
+        }
+    }
+    completions_ = {};
+    const uint64_t pending = d.getU64();
+    for (uint64_t i = 0; i < pending; ++i) {
+        PendingCompletion pc;
+        pc.at = d.getU64();
+        pc.seq = d.getU64();
+        bool hadClient = false;
+        auto req = deserializeRequest(d, &hadClient);
+        if (hadClient)
+            req->client = clientOf(*req);
+        pc.req = std::shared_ptr<MemRequest>(std::move(req));
+        completions_.push(std::move(pc));
+    }
+    completionSeq_ = d.getU64();
+    reqIdSeq_ = d.getU64();
+    stats_.demandReads.restoreState(d);
+    stats_.writes.restoreState(d);
+    stats_.prefetches.restoreState(d);
+    stats_.dummies.restoreState(d);
+    stats_.forwarded.restoreState(d);
+    stats_.mergedWrites.restoreState(d);
+    stats_.mergedWithPrefetch.restoreState(d);
+    stats_.realBursts.restoreState(d);
+    stats_.dummyBursts.restoreState(d);
+    stats_.overflowDrops.restoreState(d);
+    stats_.readLatency.restoreState(d);
+    stats_.readLatencyHist.restoreState(d);
+    panic_if(!sched_, "restoreState without a scheduler");
+    sched_->restoreState(d);
 }
 
 void

@@ -70,6 +70,17 @@ class MemoryController : public Component
 
     // ---- core-facing interface ----
 
+    /**
+     * Register the completion sink serving `domain`. Serialized
+     * requests store only a has-client bit; restoreState() rebinds
+     * them to the client registered here, so every client must
+     * register before restore (CoreModel does so in its constructor).
+     */
+    void registerClient(DomainId domain, MemClient *client);
+
+    /** Registered client for a domain, or null. */
+    MemClient *clientFor(DomainId domain) const;
+
     /** True if a new request of this type from `domain` can be
      *  queued this cycle (reads and writes budget separately). */
     bool canAccept(DomainId domain, ReqType type = ReqType::Read) const;
@@ -121,6 +132,8 @@ class MemoryController : public Component
     void tick(Cycle now) override;
     Cycle nextWakeCycle(Cycle now) const override;
     void fastForward(Cycle from, Cycle to) override;
+    void saveState(Serializer &s) const override;
+    void restoreState(Deserializer &d) override;
 
     const ControllerStats &stats() const { return stats_; }
     sched::Scheduler &scheduler();
@@ -171,6 +184,7 @@ class MemoryController : public Component
         completions_;
     uint64_t completionSeq_ = 0;
     ReqId reqIdSeq_ = 0;
+    std::vector<MemClient *> clients_; ///< completion sink per domain
     ControllerStats stats_;
     RunReport *report_ = nullptr;
     fault::FaultInjector *injector_ = nullptr;

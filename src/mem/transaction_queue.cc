@@ -1,8 +1,38 @@
 #include "mem/transaction_queue.hh"
 
 #include "util/logging.hh"
+#include "util/serialize.hh"
 
 namespace memsec::mem {
+
+void
+TransactionQueue::saveState(Serializer &s) const
+{
+    s.section("txq");
+    s.putU64(entries_.size());
+    for (const auto &e : entries_)
+        serializeRequest(s, *e);
+}
+
+void
+TransactionQueue::restoreState(
+    Deserializer &d,
+    const std::function<MemClient *(const MemRequest &)> &clientOf)
+{
+    d.section("txq");
+    const uint64_t n = d.getU64();
+    entries_.clear();
+    reads_ = 0;
+    for (uint64_t i = 0; i < n; ++i) {
+        bool hadClient = false;
+        auto req = deserializeRequest(d, &hadClient);
+        if (hadClient)
+            req->client = clientOf(*req);
+        if (req->isRead())
+            ++reads_;
+        entries_.push_back(std::move(req));
+    }
+}
 
 TransactionQueue::TransactionQueue(size_t readCapacity,
                                    size_t writeCapacity)

@@ -77,6 +77,17 @@ class TransactionQueue
     /** True if a queued entry of any type covers the line. */
     bool hasEntryFor(Addr lineAddr) const;
 
+    void saveState(Serializer &s) const;
+
+    /**
+     * Restore entries; `clientOf` maps each restored request (by
+     * domain) back to a live completion sink for requests that had a
+     * client when saved.
+     */
+    void restoreState(
+        Deserializer &d,
+        const std::function<MemClient *(const MemRequest &)> &clientOf);
+
   private:
     size_t readCap_ = 0;
     size_t writeCap_ = 0;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/logging.hh"
+#include "util/serialize.hh"
 
 namespace memsec::sched {
 
@@ -335,6 +336,55 @@ FrFcfsScheduler::registerStats(StatGroup &group) const
         "row_conflicts",
         [this] { return static_cast<double>(engine_.rowConflicts()); },
         "precharges forced by a conflicting open row");
+}
+
+void
+FrFcfsEngine::saveState(Serializer &s) const
+{
+    s.section("frfcfs-engine");
+    s.putBool(drainingWrites_);
+    s.putU64(utilWindowStart_);
+    s.putU64(utilWindowBusy_);
+    s.putBool(prefetchUtilOk_);
+    s.putU64(rowHits_);
+    s.putU64(rowMisses_);
+    s.putU64(rowConflicts_);
+}
+
+void
+FrFcfsEngine::restoreState(Deserializer &d)
+{
+    d.section("frfcfs-engine");
+    drainingWrites_ = d.getBool();
+    utilWindowStart_ = d.getU64();
+    utilWindowBusy_ = d.getU64();
+    prefetchUtilOk_ = d.getBool();
+    rowHits_ = d.getU64();
+    rowMisses_ = d.getU64();
+    rowConflicts_ = d.getU64();
+}
+
+void
+FrFcfsScheduler::saveState(Serializer &s) const
+{
+    s.section("frfcfs");
+    engine_.saveState(s);
+    s.putU64(nextRefresh_.size());
+    for (Cycle c : nextRefresh_)
+        s.putU64(c);
+    refreshes_.saveState(s);
+}
+
+void
+FrFcfsScheduler::restoreState(Deserializer &d)
+{
+    d.section("frfcfs");
+    engine_.restoreState(d);
+    if (d.getU64() != nextRefresh_.size())
+        d.fail("refresh schedule size mismatch");
+    for (Cycle &c : nextRefresh_)
+        c = d.getU64();
+    refreshes_.restoreState(d);
 }
 
 } // namespace memsec::sched

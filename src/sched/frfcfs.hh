@@ -87,6 +87,9 @@ class FrFcfsEngine
     uint64_t rowMisses() const { return rowMisses_; }
     uint64_t rowConflicts() const { return rowConflicts_; }
 
+    void saveState(Serializer &s) const;
+    void restoreState(Deserializer &d);
+
   private:
     struct Candidate
     {
@@ -130,6 +133,9 @@ class FrFcfsScheduler : public Scheduler
 
     /** Refreshes issued so far (0 when refresh is disabled). */
     uint64_t refreshes() const { return refreshes_.value(); }
+
+    void saveState(Serializer &s) const override;
+    void restoreState(Deserializer &d) override;
 
   private:
     /** Progress the per-rank refresh state machine; returns true if

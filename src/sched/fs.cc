@@ -4,6 +4,7 @@
 
 #include "fault/fault_injector.hh"
 #include "util/logging.hh"
+#include "util/serialize.hh"
 
 namespace memsec::sched {
 
@@ -512,6 +513,138 @@ FsScheduler::registerStats(StatGroup &group) const
             return total > 0 ? dummyOps_.value() / total : 0.0;
         },
         "fraction of issued slots that were dummies");
+}
+
+void
+FsScheduler::saveState(Serializer &s) const
+{
+    s.section("fs");
+    s.putU64(planned_.size());
+    for (const PlannedOp &op : planned_) {
+        s.putBool(op.req != nullptr);
+        if (op.req)
+            mem::serializeRequest(s, *op.req);
+        s.putBool(op.write);
+        s.putBool(op.dummy);
+        s.putBool(op.suppressAct);
+        s.putBool(op.suppressCas);
+        s.putU64(op.actAt);
+        s.putU64(op.casAt);
+        s.putBool(op.actIssued);
+    }
+    s.putU64(plannedBankFree_.size());
+    for (Cycle c : plannedBankFree_)
+        s.putU64(c);
+    s.putU64(rankPlan_.size());
+    for (const RankPlan &rp : rankPlan_) {
+        s.putU64(rp.nextRead);
+        s.putU64(rp.nextWrite);
+        s.putU64(rp.nextAct);
+        s.putU64(rp.acts.size());
+        for (Cycle c : rp.acts)
+            s.putU64(c);
+    }
+    s.putU64(lastRow_.size());
+    for (unsigned r : lastRow_)
+        s.putU32(r);
+    s.putU64(domainRng_.size());
+    for (const Rng &rng : domainRng_) {
+        uint64_t st[4];
+        rng.getState(st);
+        for (uint64_t w : st)
+            s.putU64(w);
+    }
+    s.putU64(dummyRr_.size());
+    for (size_t c : dummyRr_)
+        s.putU64(c);
+    s.putU64(rankDownUntil_.size());
+    for (Cycle c : rankDownUntil_)
+        s.putU64(c);
+    s.putU64(pdCreditCycles_.size());
+    for (uint64_t c : pdCreditCycles_)
+        s.putU64(c);
+    s.putU64(nextRefresh_);
+    s.putU32(refreshRankCursor_);
+    realOps_.saveState(s);
+    dummyOps_.saveState(s);
+    prefetchOps_.saveState(s);
+    skippedSlots_.saveState(s);
+    hazardDeferrals_.saveState(s);
+    boostedActs_.saveState(s);
+    skewedOps_.saveState(s);
+}
+
+void
+FsScheduler::restoreState(Deserializer &d)
+{
+    d.section("fs");
+    planned_.clear();
+    const uint64_t nops = d.getU64();
+    for (uint64_t i = 0; i < nops; ++i) {
+        PlannedOp op;
+        if (d.getBool()) {
+            bool hadClient = false;
+            op.req = mem::deserializeRequest(d, &hadClient);
+            if (hadClient)
+                op.req->client = mc_.clientFor(op.req->domain);
+        }
+        op.write = d.getBool();
+        op.dummy = d.getBool();
+        op.suppressAct = d.getBool();
+        op.suppressCas = d.getBool();
+        op.actAt = d.getU64();
+        op.casAt = d.getU64();
+        op.actIssued = d.getBool();
+        planned_.push_back(std::move(op));
+    }
+    if (d.getU64() != plannedBankFree_.size())
+        d.fail("planned bank count mismatch");
+    for (Cycle &c : plannedBankFree_)
+        c = d.getU64();
+    if (d.getU64() != rankPlan_.size())
+        d.fail("rank plan count mismatch");
+    for (RankPlan &rp : rankPlan_) {
+        rp.nextRead = d.getU64();
+        rp.nextWrite = d.getU64();
+        rp.nextAct = d.getU64();
+        const uint64_t acts = d.getU64();
+        rp.acts.clear();
+        for (uint64_t i = 0; i < acts; ++i)
+            rp.acts.push_back(d.getU64());
+    }
+    if (d.getU64() != lastRow_.size())
+        d.fail("last-row table size mismatch");
+    for (unsigned &r : lastRow_)
+        r = d.getU32();
+    if (d.getU64() != domainRng_.size())
+        d.fail("domain RNG count mismatch");
+    for (Rng &rng : domainRng_) {
+        uint64_t st[4];
+        for (uint64_t &w : st)
+            w = d.getU64();
+        rng.setState(st);
+    }
+    if (d.getU64() != dummyRr_.size())
+        d.fail("dummy cursor count mismatch");
+    for (size_t &c : dummyRr_)
+        c = d.getU64();
+    if (d.getU64() != rankDownUntil_.size())
+        d.fail("rank power-down count mismatch");
+    for (Cycle &c : rankDownUntil_)
+        c = d.getU64();
+    if (d.getU64() != pdCreditCycles_.size())
+        d.fail("power-down credit count mismatch");
+    for (uint64_t &c : pdCreditCycles_)
+        c = d.getU64();
+    nextRefresh_ = d.getU64();
+    refreshRankCursor_ = d.getU32();
+    realOps_.restoreState(d);
+    dummyOps_.restoreState(d);
+    prefetchOps_.restoreState(d);
+    skippedSlots_.restoreState(d);
+    hazardDeferrals_.restoreState(d);
+    boostedActs_.restoreState(d);
+    skewedOps_.restoreState(d);
 }
 
 } // namespace memsec::sched

@@ -87,6 +87,9 @@ class FsScheduler : public Scheduler
     /** Apply deferred energy accounting (power-down credits). */
     void finalize(Cycle now) override;
 
+    void saveState(Serializer &s) const override;
+    void restoreState(Deserializer &d) override;
+
     unsigned slotSpacing() const { return l_; }
     Cycle frameLength() const { return slotsPerFrame_ * l_; }
     const core::PipelineSolution &solution() const { return sol_; }

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/logging.hh"
+#include "util/serialize.hh"
 
 namespace memsec::sched {
 
@@ -235,6 +236,83 @@ FsReorderedScheduler::registerStats(StatGroup &group) const
     group.add("dummy_ops", &dummyOps_, "slots serving dummy operations");
     group.add("hazard_deferrals", &hazardDeferrals_,
               "head-of-queue passed over for a safe transaction");
+}
+
+void
+FsReorderedScheduler::saveState(Serializer &s) const
+{
+    s.section("fs-reordered");
+    s.putU64(planned_.size());
+    for (const PlannedOp &op : planned_) {
+        s.putBool(op.req != nullptr);
+        if (op.req)
+            mem::serializeRequest(s, *op.req);
+        s.putBool(op.write);
+        s.putBool(op.dummy);
+        s.putU64(op.actAt);
+        s.putU64(op.casAt);
+        s.putU64(op.completeAt);
+        s.putBool(op.actIssued);
+    }
+    s.putU64(plannedBankFree_.size());
+    for (Cycle c : plannedBankFree_)
+        s.putU64(c);
+    s.putU64(domainRng_.size());
+    for (const Rng &rng : domainRng_) {
+        uint64_t st[4];
+        rng.getState(st);
+        for (uint64_t w : st)
+            s.putU64(w);
+    }
+    s.putU64(dummyRr_.size());
+    for (size_t c : dummyRr_)
+        s.putU64(c);
+    realOps_.saveState(s);
+    dummyOps_.saveState(s);
+    hazardDeferrals_.saveState(s);
+}
+
+void
+FsReorderedScheduler::restoreState(Deserializer &d)
+{
+    d.section("fs-reordered");
+    planned_.clear();
+    const uint64_t nops = d.getU64();
+    for (uint64_t i = 0; i < nops; ++i) {
+        PlannedOp op;
+        if (d.getBool()) {
+            bool hadClient = false;
+            op.req = mem::deserializeRequest(d, &hadClient);
+            if (hadClient)
+                op.req->client = mc_.clientFor(op.req->domain);
+        }
+        op.write = d.getBool();
+        op.dummy = d.getBool();
+        op.actAt = d.getU64();
+        op.casAt = d.getU64();
+        op.completeAt = d.getU64();
+        op.actIssued = d.getBool();
+        planned_.push_back(std::move(op));
+    }
+    if (d.getU64() != plannedBankFree_.size())
+        d.fail("planned bank count mismatch");
+    for (Cycle &c : plannedBankFree_)
+        c = d.getU64();
+    if (d.getU64() != domainRng_.size())
+        d.fail("domain RNG count mismatch");
+    for (Rng &rng : domainRng_) {
+        uint64_t st[4];
+        for (uint64_t &w : st)
+            w = d.getU64();
+        rng.setState(st);
+    }
+    if (d.getU64() != dummyRr_.size())
+        d.fail("dummy cursor count mismatch");
+    for (size_t &c : dummyRr_)
+        c = d.getU64();
+    realOps_.restoreState(d);
+    dummyOps_.restoreState(d);
+    hazardDeferrals_.restoreState(d);
 }
 
 } // namespace memsec::sched

@@ -45,6 +45,9 @@ class FsReorderedScheduler : public Scheduler
     uint64_t realOps() const { return realOps_.value(); }
     uint64_t dummyOps() const { return dummyOps_.value(); }
 
+    void saveState(Serializer &s) const override;
+    void restoreState(Deserializer &d) override;
+
   private:
     struct PlannedOp
     {

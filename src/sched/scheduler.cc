@@ -1,7 +1,24 @@
 #include "sched/scheduler.hh"
 
-// Scheduler is header-only today; this translation unit anchors the
-// vtable so every policy links against one definition.
+#include "util/logging.hh"
+
+// This translation unit anchors the vtable so every policy links
+// against one definition.
 
 namespace memsec::sched {
+
+void
+Scheduler::saveState(Serializer &s) const
+{
+    (void)s;
+    panic("scheduler {} does not implement saveState", name());
+}
+
+void
+Scheduler::restoreState(Deserializer &d)
+{
+    (void)d;
+    panic("scheduler {} does not implement restoreState", name());
+}
+
 } // namespace memsec::sched

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/logging.hh"
+#include "util/serialize.hh"
 
 namespace memsec::sched {
 
@@ -192,6 +193,57 @@ TpScheduler::registerStats(StatGroup &group) const
     group.add("served", &served_, "transactions serviced");
     group.add("idle_slots", &idleSlots_,
               "turn slots with no eligible transaction");
+}
+
+void
+TpScheduler::saveState(Serializer &s) const
+{
+    s.section("tp");
+    s.putU64(planned_.size());
+    for (const PlannedOp &op : planned_) {
+        s.putBool(op.req != nullptr);
+        if (op.req)
+            mem::serializeRequest(s, *op.req);
+        s.putBool(op.write);
+        s.putU64(op.actAt);
+        s.putU64(op.casAt);
+        s.putBool(op.actIssued);
+    }
+    s.putU64(plannedBankFree_.size());
+    for (Cycle c : plannedBankFree_)
+        s.putU64(c);
+    turns_.saveState(s);
+    served_.saveState(s);
+    idleSlots_.saveState(s);
+}
+
+void
+TpScheduler::restoreState(Deserializer &d)
+{
+    d.section("tp");
+    planned_.clear();
+    const uint64_t nops = d.getU64();
+    for (uint64_t i = 0; i < nops; ++i) {
+        PlannedOp op;
+        if (d.getBool()) {
+            bool hadClient = false;
+            op.req = mem::deserializeRequest(d, &hadClient);
+            if (hadClient)
+                op.req->client = mc_.clientFor(op.req->domain);
+        }
+        op.write = d.getBool();
+        op.actAt = d.getU64();
+        op.casAt = d.getU64();
+        op.actIssued = d.getBool();
+        planned_.push_back(std::move(op));
+    }
+    if (d.getU64() != plannedBankFree_.size())
+        d.fail("planned bank count mismatch");
+    for (Cycle &c : plannedBankFree_)
+        c = d.getU64();
+    turns_.restoreState(d);
+    served_.restoreState(d);
+    idleSlots_.restoreState(d);
 }
 
 } // namespace memsec::sched

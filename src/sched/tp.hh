@@ -63,6 +63,9 @@ class TpScheduler : public Scheduler
 
     const Params &params() const { return params_; }
 
+    void saveState(Serializer &s) const override;
+    void restoreState(Deserializer &d) override;
+
   private:
     struct PlannedOp
     {

@@ -179,7 +179,7 @@ ConfigParseError::toString() const
     std::ostringstream os;
     os << file;
     if (line > 0)
-        os << ":" << line;
+        os << ":" << line << " (byte " << byteOffset << ")";
     os << ": " << message;
     return os.str();
 }
@@ -188,9 +188,11 @@ bool
 Config::tryParseIni(const std::string &text, Config &out,
                     ConfigParseError &err, const std::string &file)
 {
-    auto failAt = [&](int lineno, const std::string &message) {
+    auto failAt = [&](int lineno, uint64_t offset,
+                      const std::string &message) {
         err.file = file;
         err.line = lineno;
+        err.byteOffset = offset;
         err.message = message;
         return false;
     };
@@ -199,8 +201,11 @@ Config::tryParseIni(const std::string &text, Config &out,
     std::string line;
     std::string section;
     int lineno = 0;
+    uint64_t offset = 0;
     while (std::getline(in, line)) {
         ++lineno;
+        const uint64_t lineStart = offset;
+        offset += line.size() + 1; // +1 for the consumed '\n'
         auto hash = line.find_first_of("#;");
         if (hash != std::string::npos)
             line = line.substr(0, hash);
@@ -209,19 +214,19 @@ Config::tryParseIni(const std::string &text, Config &out,
             continue;
         if (line.front() == '[') {
             if (line.back() != ']')
-                return failAt(lineno,
+                return failAt(lineno, lineStart,
                               "unterminated section '" + line + "'");
             section = trim(line.substr(1, line.size() - 2));
             continue;
         }
         auto eq = line.find('=');
         if (eq == std::string::npos)
-            return failAt(lineno,
+            return failAt(lineno, lineStart,
                           "expected 'key = value', got '" + line + "'");
         std::string key = trim(line.substr(0, eq));
         std::string value = trim(line.substr(eq + 1));
         if (key.empty())
-            return failAt(lineno, "empty key");
+            return failAt(lineno, lineStart, "empty key");
         if (!section.empty())
             key = section + "." + key;
         out.set(key, value);

@@ -27,9 +27,11 @@ struct ConfigParseError
 {
     std::string file; ///< "<string>" when parsing in-memory text
     int line = 0;
+    /** Byte offset into the input where the bad line starts. */
+    uint64_t byteOffset = 0;
     std::string message;
 
-    /** "file:line: message" (or "file: message" when line == 0). */
+    /** "file:line (byte B): message" ("file: message" if line == 0). */
     std::string toString() const;
 };
 

@@ -3,8 +3,45 @@
 #include <algorithm>
 
 #include "util/logging.hh"
+#include "util/serialize.hh"
 
 namespace memsec {
+
+void
+Simulator::saveState(Serializer &s) const
+{
+    s.section("simulator");
+    s.putU64(now_);
+    s.putU64(cyclesExecuted_);
+    s.putU64(cyclesSkipped_);
+    s.putU64(jumps_);
+    s.putU64(watchdogLastValue_);
+    s.putU64(watchdogLastProgress_);
+    s.putU64(components_.size());
+    for (const Component *c : components_) {
+        s.section(c->name());
+        c->saveState(s);
+    }
+}
+
+void
+Simulator::restoreState(Deserializer &d)
+{
+    d.section("simulator");
+    now_ = d.getU64();
+    cyclesExecuted_ = d.getU64();
+    cyclesSkipped_ = d.getU64();
+    jumps_ = d.getU64();
+    watchdogLastValue_ = d.getU64();
+    watchdogLastProgress_ = d.getU64();
+    const uint64_t n = d.getU64();
+    if (n != components_.size())
+        d.fail("component count mismatch");
+    for (Component *c : components_) {
+        d.section(c->name());
+        c->restoreState(d);
+    }
+}
 
 void
 Simulator::add(Component *c)

@@ -32,6 +32,9 @@
 
 namespace memsec {
 
+class Serializer;
+class Deserializer;
+
 /**
  * Base class for everything that participates in the tick loop.
  * Components are ticked in registration order each memory cycle.
@@ -74,6 +77,29 @@ class Component
     {
         (void)from;
         (void)to;
+    }
+
+    /**
+     * Serialize this component's evolving state. The obligation is
+     * exhaustive: a fresh instance built from the identical config,
+     * restored from this stream, must continue the run with every
+     * simulated observable byte-identical to an uninterrupted run
+     * (tests/test_checkpoint_diff.cc). Config-derived state (slot
+     * tables, pipeline solutions, geometry) is rebuilt by the
+     * constructor and must not be serialized. Default: stateless.
+     */
+    virtual void
+    saveState(Serializer &s) const
+    {
+        (void)s;
+    }
+
+    /** Restore state written by saveState() on an identically
+     *  configured fresh instance. */
+    virtual void
+    restoreState(Deserializer &d)
+    {
+        (void)d;
     }
 
     /** Component instance name (for stats and diagnostics). */
@@ -130,6 +156,15 @@ class Simulator
     uint64_t cyclesSkipped() const { return cyclesSkipped_; }
     /** Number of fast-forward jumps taken. */
     uint64_t fastForwardJumps() const { return jumps_; }
+
+    /**
+     * Serialize the kernel clock plus every registered component (in
+     * registration order, each under a section named after it).
+     * Watchdog config and the fast-forward flag are not serialized;
+     * the harness re-arms them before restoreState().
+     */
+    void saveState(Serializer &s) const;
+    void restoreState(Deserializer &d);
 
   private:
     /** Per-cycle watchdog check; fatal on a stall. */

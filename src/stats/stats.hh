@@ -23,6 +23,9 @@
 
 namespace memsec {
 
+class Serializer;
+class Deserializer;
+
 /** Monotonic event counter. */
 class Counter
 {
@@ -30,6 +33,9 @@ class Counter
     void inc(uint64_t n = 1) { value_ += n; }
     uint64_t value() const { return value_; }
     void reset() { value_ = 0; }
+
+    void saveState(Serializer &s) const;
+    void restoreState(Deserializer &d);
 
   private:
     uint64_t value_ = 0;
@@ -42,6 +48,9 @@ class Scalar
     void set(double v) { value_ = v; }
     double value() const { return value_; }
     void reset() { value_ = 0.0; }
+
+    void saveState(Serializer &s) const;
+    void restoreState(Deserializer &d);
 
   private:
     double value_ = 0.0;
@@ -58,6 +67,9 @@ class Average
     double min() const;
     double max() const;
     void reset();
+
+    void saveState(Serializer &s) const;
+    void restoreState(Deserializer &d);
 
   private:
     double sum_ = 0.0;
@@ -86,6 +98,10 @@ class Histogram
     uint64_t underflow() const { return underflow_; }
     uint64_t overflow() const { return overflow_; }
     void reset();
+
+    /** Bin contents only; the bin layout comes from init(). */
+    void saveState(Serializer &s) const;
+    void restoreState(Deserializer &d);
 
   private:
     double lo_ = 0.0;

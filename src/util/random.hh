@@ -43,6 +43,12 @@ class Rng
     /** Geometric-ish draw: number of failures before success(p). */
     uint64_t geometric(double p);
 
+    /** Copy the raw 256-bit state out (snapshot support). */
+    void getState(uint64_t out[4]) const;
+
+    /** Restore state previously captured with getState(). */
+    void setState(const uint64_t in[4]);
+
   private:
     uint64_t s[4];
 };

@@ -23,6 +23,9 @@
 
 namespace memsec {
 
+class Serializer;
+class Deserializer;
+
 /** One recoverable fault observed during a run. */
 struct SimError
 {
@@ -65,6 +68,10 @@ class RunReport
 
     /** "category: count" lines plus the first few messages. */
     std::string summary() const;
+
+    /** Checkpoint recorded errors (they feed the result digest). */
+    void saveState(Serializer &s) const;
+    void restoreState(Deserializer &d);
 
   private:
     size_t cap_ = 0;

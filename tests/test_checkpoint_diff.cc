@@ -1,0 +1,341 @@
+/**
+ * @file
+ * Differential proof that checkpoints are invisible: every scheduler
+ * x partitioning combination is run twice from identical seeds — once
+ * uninterrupted, once chopped into chunks with the full system state
+ * serialized at each boundary and restored into a freshly constructed
+ * ExperimentSystem — and the full-precision result digests must
+ * compare equal byte for byte. Any component whose saveState() misses
+ * a unit of mutable state, or whose restoreState() rebinds a pointer
+ * wrongly, shows up here as a digest mismatch.
+ *
+ * Also covers the runExperiment()-level snapshot lifecycle (ckpt.dir
+ * + ckpt.interval_cycles: periodic atomic writes, resume from a
+ * .snap file, cleanup on completion) and the four durability fault
+ * kinds, each of which must surface as a structured recoverable
+ * SimError — never as a silently wrong digest.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "harness/campaign.hh"
+#include "harness/experiment.hh"
+#include "util/serialize.hh"
+
+using namespace memsec;
+using namespace memsec::harness;
+
+namespace {
+
+Config
+diffConfig(const std::string &scheme, const std::string &workload,
+           uint64_t seed)
+{
+    Config c = defaultConfig();
+    c.merge(schemeConfig(scheme));
+    c.set("workload", workload);
+    c.set("cores", 4);
+    c.set("seed", seed);
+    c.set("sim.warmup", 1500);
+    c.set("sim.measure", 12000);
+    // Audit one core so the digest covers the noninterference
+    // timeline (per-request service + progress checkpoints), not
+    // just the aggregate metrics.
+    c.set("audit.core", 0);
+    c.set("audit.progress_interval", 1000);
+    return c;
+}
+
+/** Fresh unique directory for journal/snapshot files. */
+std::string
+makeTempDir()
+{
+    std::string tmpl = ::testing::TempDir() + "memsec-ckpt-XXXXXX";
+    std::vector<char> buf(tmpl.begin(), tmpl.end());
+    buf.push_back('\0');
+    const char *dir = mkdtemp(buf.data());
+    EXPECT_NE(dir, nullptr) << "mkdtemp failed for " << tmpl;
+    return std::string(buf.data());
+}
+
+bool
+fileExists(const std::string &path)
+{
+    std::string bytes;
+    return readFileBytes(path, bytes);
+}
+
+/**
+ * Run to completion, but every `chunk` cycles serialize the complete
+ * system state and carry on in a brand-new ExperimentSystem restored
+ * from those bytes. Each restore crosses a full construct/restore
+ * boundary, exactly what a killed-and-resumed process does.
+ */
+ExperimentResult
+runWithRestores(const Config &cfg, unsigned snapshots)
+{
+    auto sys = std::make_unique<ExperimentSystem>(cfg);
+    const Cycle total =
+        cfg.getUint("sim.warmup") + cfg.getUint("sim.measure");
+    const Cycle chunk = total / (snapshots + 1) + 1;
+    unsigned restores = 0;
+    while (!sys->done()) {
+        sys->step(chunk);
+        if (sys->done())
+            break;
+        Serializer s;
+        sys->saveState(s);
+        auto fresh = std::make_unique<ExperimentSystem>(cfg);
+        Deserializer d(s.data());
+        fresh->restoreState(d);
+        sys = std::move(fresh);
+        ++restores;
+    }
+    EXPECT_GT(restores, 0u)
+        << "run finished before any snapshot boundary; the "
+           "comparison proves nothing";
+    return sys->finish();
+}
+
+void
+expectIdentical(const Config &cfg, const std::string &what)
+{
+    const ExperimentResult plain = runExperiment(cfg);
+    const ExperimentResult restored = runWithRestores(cfg, 3);
+    EXPECT_EQ(resultDigest(plain), resultDigest(restored)) << what;
+}
+
+void
+expectIdentical(const std::string &scheme, const std::string &workload,
+                uint64_t seed)
+{
+    expectIdentical(diffConfig(scheme, workload, seed),
+                    scheme + "/" + workload +
+                        " seed=" + std::to_string(seed));
+}
+
+} // namespace
+
+// -- FS (fixed service) across all three partitioning modes --------
+
+TEST(CheckpointDiff, FsRankPartition)
+{
+    expectIdentical("fs_rp", "mcf", 1);
+    expectIdentical("fs_rp", "libquantum", 42);
+}
+
+TEST(CheckpointDiff, FsBankPartition)
+{
+    expectIdentical("fs_bp", "milc", 7);
+}
+
+TEST(CheckpointDiff, FsNoPartition)
+{
+    expectIdentical("fs_np", "mcf", 1);
+}
+
+// The energy variants exercise ACT suppression and precharge
+// power-down, whose rank residency counters must survive a restore.
+TEST(CheckpointDiff, FsEnergyVariants)
+{
+    expectIdentical("fs_rp_powerdown", "mcf", 1);
+}
+
+TEST(CheckpointDiff, FsWithPrefetch)
+{
+    expectIdentical("fs_rp_prefetch", "libquantum", 1);
+}
+
+// -- FS-reordered across two partitioning modes --------------------
+
+TEST(CheckpointDiff, FsReorderedBankPartition)
+{
+    expectIdentical("fs_reordered_bp", "mcf", 1);
+}
+
+TEST(CheckpointDiff, FsReorderedRankPartition)
+{
+    Config c = diffConfig("fs_reordered_bp", "milc", 42);
+    c.set("map.partition", "rank");
+    expectIdentical(c, "fs_reordered + rank partition");
+}
+
+// -- Temporal partitioning across both partitioning modes ----------
+
+TEST(CheckpointDiff, TpBankPartition)
+{
+    expectIdentical("tp_bp", "mcf", 1);
+    expectIdentical("tp_bp", "astar", 42);
+}
+
+TEST(CheckpointDiff, TpNoPartition)
+{
+    expectIdentical("tp_np", "xalancbmk", 7);
+}
+
+// -- FRFCFS baseline: no partition and channel partition -----------
+
+TEST(CheckpointDiff, FrFcfsBaseline)
+{
+    expectIdentical("baseline", "mcf", 1);
+    expectIdentical("baseline_prefetch", "mcf", 1);
+}
+
+TEST(CheckpointDiff, FrFcfsChannelPartition)
+{
+    expectIdentical("channel_part", "mcf", 1);
+}
+
+// -- Fault injection: injector PRNG state must survive a restore ---
+
+TEST(CheckpointDiff, FaultInjectionStateSurvivesRestore)
+{
+    Config c = diffConfig("fs_rp", "mcf", 1);
+    c.set("fault.kind", "slot-skew");
+    expectIdentical(c, "fs_rp with slot-skew injector");
+}
+
+// -- Three-way: naive, fast-forward, and restored-with-fast-forward
+//    must all land on the same digest --------------------------------
+
+TEST(CheckpointDiff, ThreeWayNaiveFastForwardRestored)
+{
+    Config c = diffConfig("fs_np", "mcf", 1);
+    c.set("sim.fastforward", false);
+    const ExperimentResult naive = runExperiment(c);
+    c.set("sim.fastforward", true);
+    const ExperimentResult fast = runExperiment(c);
+    const ExperimentResult restored = runWithRestores(c, 4);
+    EXPECT_EQ(resultDigest(naive), resultDigest(fast));
+    EXPECT_EQ(resultDigest(naive), resultDigest(restored));
+    // The restored run must still exercise the fast path, or the
+    // fast-forward arm of this three-way proves nothing.
+    EXPECT_GT(restored.cyclesSkipped, 0u);
+}
+
+// -- runExperiment()-level snapshot lifecycle ----------------------
+
+// Periodic snapshot writes must not perturb the run, and the .snap
+// file must be cleaned up once the run completes.
+TEST(CheckpointDiff, PeriodicSnapshotsAreInvisible)
+{
+    const Config base = diffConfig("fs_rp", "mcf", 1);
+    const ExperimentResult plain = runExperiment(base);
+
+    const std::string dir = makeTempDir();
+    Config c = base;
+    c.set("ckpt.dir", dir);
+    c.set("ckpt.interval_cycles", 3000);
+    const ExperimentResult snapped = runExperiment(c);
+
+    EXPECT_EQ(resultDigest(plain), resultDigest(snapped));
+    EXPECT_FALSE(snapped.resumedFromSnapshot);
+    const std::string snapPath =
+        dir + "/" + Campaign::fingerprint(base) + ".snap";
+    EXPECT_FALSE(fileExists(snapPath))
+        << "completed run left its mid-run snapshot behind";
+}
+
+// A pre-existing .snap file (a killed run's last checkpoint) must be
+// picked up, flagged as a resume, and produce the uninterrupted
+// run's exact digest.
+TEST(CheckpointDiff, ResumeFromSnapshotFileIsByteIdentical)
+{
+    const Config base = diffConfig("tp_bp", "mcf", 1);
+    const ExperimentResult plain = runExperiment(base);
+
+    const std::string dir = makeTempDir();
+    const std::string fp = Campaign::fingerprint(base);
+    {
+        ExperimentSystem sys(base);
+        sys.step(5000);
+        ASSERT_FALSE(sys.done());
+        Serializer s;
+        sys.saveState(s);
+        ASSERT_TRUE(writeFileAtomic(dir + "/" + fp + ".snap",
+                                    encodeSnapshot(fp, s.data())));
+    }
+    Config c = base;
+    c.set("ckpt.dir", dir);
+    const ExperimentResult resumed = runExperiment(c);
+    EXPECT_TRUE(resumed.resumedFromSnapshot);
+    EXPECT_EQ(resultDigest(plain), resultDigest(resumed));
+}
+
+// -- Durability faults: every corruption is detected and reported --
+
+namespace {
+
+/**
+ * Seed ckpt.dir with a valid mid-run snapshot, then run with a
+ * snapshot-corrupting fault kind armed. The load must reject the
+ * damaged bytes with the expected structured category, fall back to
+ * a clean from-scratch run, and still produce the uninterrupted
+ * run's observables.
+ */
+void
+expectCorruptionDetected(const std::string &kind,
+                         const std::string &category)
+{
+    const Config base = diffConfig("fs_rp", "mcf", 1);
+    const ExperimentResult clean = runExperiment(base);
+
+    const std::string dir = makeTempDir();
+    Config c = base;
+    c.set("ckpt.dir", dir);
+    c.set("fault.kind", kind);
+    c.set("fault.seed", 99);
+    // fault.* keys are part of the run's identity (only ckpt.*/crash.*
+    // are stripped), so the seeded snapshot is keyed by the faulted
+    // config's fingerprint.
+    const std::string fp = Campaign::fingerprint(c);
+    {
+        ExperimentSystem sys(base);
+        sys.step(5000);
+        Serializer s;
+        sys.saveState(s);
+        ASSERT_TRUE(writeFileAtomic(dir + "/" + fp + ".snap",
+                                    encodeSnapshot(fp, s.data())));
+    }
+    const ExperimentResult res = runExperiment(c);
+
+    ASSERT_FALSE(res.simErrors.empty())
+        << kind << ": corruption was not reported";
+    EXPECT_EQ(res.simErrors.front().category, category) << kind;
+    EXPECT_FALSE(res.resumedFromSnapshot)
+        << kind << ": restored from corrupt bytes";
+    EXPECT_EQ(res.faultsInjected, 1u) << kind;
+    // Recovery means a correct from-scratch run, not a wrong one.
+    EXPECT_EQ(res.cyclesRun, clean.cyclesRun) << kind;
+    EXPECT_EQ(res.ipc, clean.ipc) << kind;
+    EXPECT_EQ(res.meanReadLatency, clean.meanReadLatency) << kind;
+    EXPECT_EQ(res.effectiveBandwidth, clean.effectiveBandwidth) << kind;
+}
+
+} // namespace
+
+TEST(CheckpointDiff, TruncatedSnapshotDetected)
+{
+    expectCorruptionDetected("snapshot-truncate", "snapshot-truncate");
+}
+
+TEST(CheckpointDiff, BitFlippedSnapshotCaughtByCrc)
+{
+    expectCorruptionDetected("snapshot-bitflip", "snapshot-corrupt");
+}
+
+TEST(CheckpointDiff, VersionMismatchDetected)
+{
+    expectCorruptionDetected("snapshot-version", "snapshot-version");
+}
+
+TEST(CheckpointDiff, StaleFingerprintDetected)
+{
+    expectCorruptionDetected("journal-stale", "snapshot-stale");
+}

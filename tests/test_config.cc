@@ -104,7 +104,9 @@ TEST(Config, TryParseIniReportsFileAndLine)
     EXPECT_EQ(err.line, 3);
     EXPECT_NE(err.message.find("expected 'key = value'"),
               std::string::npos);
-    EXPECT_EQ(err.toString(), "sys.ini:3: " + err.message);
+    // "a = 1\n" and "b = 2\n" are 6 bytes each.
+    EXPECT_EQ(err.byteOffset, 12u);
+    EXPECT_EQ(err.toString(), "sys.ini:3 (byte 12): " + err.message);
 }
 
 TEST(Config, TryParseIniUnterminatedSection)

@@ -1,6 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <filesystem>
 #include <stdexcept>
+#include <string>
+#include <vector>
 
 #include "dram/dram_system.hh"
 
@@ -145,4 +149,38 @@ TEST_F(DramSystemTest, DataBusUtilisationCounted)
     sys.issue(mk(CmdType::Act, 0, 0, 9), 0);
     sys.issue(mk(CmdType::RdA, 0, 0, 9), tp.rcd);
     EXPECT_EQ(sys.buses().dataBusyCycles(), tp.burst);
+}
+
+// Crash handlers are a process-wide registry, so one panic dumps the
+// command log of EVERY live DramSystem. Two systems sharing a crash
+// dir and fingerprint tag (e.g. a retried run in a parallel campaign)
+// must still land in distinct files — the process-wide dump counter
+// suffixes each path.
+TEST(DramSystemCrashDump, ConcurrentDumpsGetDistinctPaths)
+{
+    std::string tmpl = ::testing::TempDir() + "memsec-crash-XXXXXX";
+    std::vector<char> buf(tmpl.begin(), tmpl.end());
+    buf.push_back('\0');
+    ASSERT_NE(mkdtemp(buf.data()), nullptr);
+    const std::string dir(buf.data());
+
+    DramSystem a(TimingParams::ddr3_1600_4gb(), Geometry{});
+    DramSystem b(TimingParams::ddr3_1600_4gb(), Geometry{});
+    a.setCrashDumpDir(dir, "sametag");
+    b.setCrashDumpDir(dir, "sametag");
+    a.issue(Command{CmdType::Act, 0, 0, 9, 0, false}, 0);
+    // Illegal issue: panics, and the panic path runs both systems'
+    // dump handlers against the same dir/tag.
+    EXPECT_THROW(a.issue(Command{CmdType::Rd, 0, 1, 9, 0, false}, 0),
+                 std::logic_error);
+
+    std::vector<std::string> dumps;
+    for (const auto &ent : std::filesystem::directory_iterator(dir)) {
+        const std::string name = ent.path().filename().string();
+        if (name.rfind("cmdlog-sametag-", 0) == 0)
+            dumps.push_back(name);
+    }
+    ASSERT_EQ(dumps.size(), 2u)
+        << "expected one uniquely named dump per live DramSystem";
+    EXPECT_NE(dumps[0], dumps[1]);
 }

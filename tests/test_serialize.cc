@@ -1,0 +1,243 @@
+/**
+ * @file
+ * Unit tests for the snapshot codec: scalar round trips (doubles are
+ * bit-exact), section markers, the snapshot container (magic /
+ * version / fingerprint / CRC32C), each structured failure category,
+ * and the atomic file helpers. Every corruption mode the durability
+ * layer claims to detect is exercised here in isolation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <limits>
+#include <string>
+
+#include "util/serialize.hh"
+
+using namespace memsec;
+
+namespace {
+
+/** Decode expecting a SerializeError of the given category. */
+SerializeError
+expectDecodeError(const std::string &bytes, const std::string &expected,
+                  const std::string &fingerprint = "fp")
+{
+    try {
+        decodeSnapshot(bytes, fingerprint);
+    } catch (const SerializeError &e) {
+        EXPECT_EQ(e.category, expected) << e.toString();
+        return e;
+    }
+    ADD_FAILURE() << "decodeSnapshot accepted bytes that should fail "
+                  << expected;
+    return {};
+}
+
+} // namespace
+
+TEST(Serialize, ScalarRoundTrip)
+{
+    Serializer s;
+    s.putU8(0xAB);
+    s.putU32(0xDEADBEEFu);
+    s.putU64(0x0123456789ABCDEFull);
+    s.putI64(-42);
+    s.putBool(true);
+    s.putBool(false);
+    s.putString("hello snapshot");
+    s.putString("");
+
+    Deserializer d(s.data());
+    EXPECT_EQ(d.getU8(), 0xAB);
+    EXPECT_EQ(d.getU32(), 0xDEADBEEFu);
+    EXPECT_EQ(d.getU64(), 0x0123456789ABCDEFull);
+    EXPECT_EQ(d.getI64(), -42);
+    EXPECT_TRUE(d.getBool());
+    EXPECT_FALSE(d.getBool());
+    EXPECT_EQ(d.getString(), "hello snapshot");
+    EXPECT_EQ(d.getString(), "");
+    EXPECT_TRUE(d.atEnd());
+}
+
+TEST(Serialize, DoublesRoundTripBitExactly)
+{
+    const double values[] = {0.0,
+                             -0.0,
+                             1.0,
+                             -1.0 / 3.0,
+                             std::numeric_limits<double>::min(),
+                             std::numeric_limits<double>::denorm_min(),
+                             std::numeric_limits<double>::max(),
+                             std::numeric_limits<double>::infinity()};
+    Serializer s;
+    for (double v : values)
+        s.putDouble(v);
+    s.putDouble(std::numeric_limits<double>::quiet_NaN());
+
+    Deserializer d(s.data());
+    for (double v : values) {
+        const double got = d.getDouble();
+        EXPECT_EQ(got, v);
+        // 0.0 == -0.0 compares true; pin the sign bit too.
+        EXPECT_EQ(std::signbit(got), std::signbit(v));
+    }
+    EXPECT_TRUE(std::isnan(d.getDouble()));
+    EXPECT_TRUE(d.atEnd());
+}
+
+TEST(Serialize, SectionMarkerVerifies)
+{
+    Serializer s;
+    s.section("dram");
+    s.putU64(7);
+
+    Deserializer ok(s.data());
+    ok.section("dram");
+    EXPECT_EQ(ok.getU64(), 7u);
+
+    Deserializer bad(s.data());
+    try {
+        bad.section("core");
+        FAIL() << "mismatched section accepted";
+    } catch (const SerializeError &e) {
+        EXPECT_EQ(e.category, "snapshot-corrupt");
+        EXPECT_EQ(e.offset, 0u);
+    }
+}
+
+TEST(Serialize, TruncatedInputReportsOffset)
+{
+    Serializer s;
+    s.putU64(1);
+    s.putU64(2);
+    const std::string cut = s.data().substr(0, 11);
+
+    Deserializer d(cut);
+    EXPECT_EQ(d.getU64(), 1u);
+    try {
+        d.getU64();
+        FAIL() << "read past the end";
+    } catch (const SerializeError &e) {
+        EXPECT_EQ(e.category, "snapshot-truncate");
+        EXPECT_EQ(e.offset, 8u);
+    }
+}
+
+TEST(Serialize, StringLengthBeyondInputIsTruncate)
+{
+    Serializer s;
+    s.putString("abcdef");
+    const std::string cut = s.data().substr(0, 10);
+    Deserializer d(cut);
+    try {
+        d.getString();
+        FAIL() << "oversized string length accepted";
+    } catch (const SerializeError &e) {
+        EXPECT_EQ(e.category, "snapshot-truncate");
+    }
+}
+
+TEST(Serialize, BadBoolByteIsCorrupt)
+{
+    const std::string bytes("\x02", 1);
+    Deserializer d(bytes);
+    try {
+        d.getBool();
+        FAIL() << "bool byte 2 accepted";
+    } catch (const SerializeError &e) {
+        EXPECT_EQ(e.category, "snapshot-corrupt");
+    }
+}
+
+TEST(Serialize, Crc32cKnownVector)
+{
+    // The canonical CRC-32C check value (RFC 3720 appendix test).
+    EXPECT_EQ(crc32c(std::string_view("123456789")), 0xE3069283u);
+    EXPECT_EQ(crc32c(std::string_view("")), 0u);
+    // Seed chaining: crc(a+b) == crc(b, seed=crc(a)).
+    EXPECT_EQ(crc32c("56789", 5, crc32c("1234", 4)),
+              crc32c(std::string_view("123456789")));
+}
+
+TEST(Serialize, SnapshotContainerRoundTrip)
+{
+    const std::string payload("pay\x00load\x01\xFF bytes", 16);
+    const std::string bytes = encodeSnapshot("fp", payload);
+    EXPECT_EQ(bytes.compare(0, 8, kSnapshotMagic, 8), 0);
+    EXPECT_EQ(decodeSnapshot(bytes, "fp"), payload);
+    // Empty expected fingerprint skips the staleness check.
+    EXPECT_EQ(decodeSnapshot(bytes, ""), payload);
+}
+
+TEST(Serialize, ShortMagicIsTruncate)
+{
+    expectDecodeError("MSEC", "snapshot-truncate");
+}
+
+TEST(Serialize, BadMagicIsCorrupt)
+{
+    std::string bytes = encodeSnapshot("fp", "payload");
+    bytes[0] ^= 0x20;
+    expectDecodeError(bytes, "snapshot-corrupt");
+}
+
+TEST(Serialize, VersionSkewIsVersionError)
+{
+    std::string bytes = encodeSnapshot("fp", "payload");
+    bytes[8] = static_cast<char>(kSnapshotVersion + 1);
+    const SerializeError e =
+        expectDecodeError(bytes, "snapshot-version");
+    EXPECT_EQ(e.offset, 8u);
+}
+
+TEST(Serialize, FingerprintMismatchIsStale)
+{
+    const std::string bytes = encodeSnapshot("fp-old", "payload");
+    expectDecodeError(bytes, "snapshot-stale", "fp-new");
+}
+
+TEST(Serialize, TruncatedPayloadDetected)
+{
+    const std::string bytes = encodeSnapshot("fp", "a longer payload");
+    expectDecodeError(bytes.substr(0, bytes.size() - 3),
+                      "snapshot-truncate");
+}
+
+TEST(Serialize, TrailingBytesDetected)
+{
+    expectDecodeError(encodeSnapshot("fp", "payload") + "x",
+                      "snapshot-corrupt");
+}
+
+TEST(Serialize, PayloadBitFlipCaughtByCrc)
+{
+    std::string bytes = encodeSnapshot("fp", "a payload to damage");
+    bytes[bytes.size() - 2] ^= 0x01;
+    expectDecodeError(bytes, "snapshot-corrupt");
+}
+
+TEST(Serialize, AtomicFileRoundTrip)
+{
+    const std::string path =
+        ::testing::TempDir() + "memsec-serialize-file-test.bin";
+    const std::string bytes("binary \x00 content", 16);
+    ASSERT_TRUE(writeFileAtomic(path, bytes));
+    std::string got;
+    ASSERT_TRUE(readFileBytes(path, got));
+    EXPECT_EQ(got, bytes);
+    // No .tmp litter after a successful rename.
+    std::string tmp;
+    EXPECT_FALSE(readFileBytes(path + ".tmp", tmp));
+    std::remove(path.c_str());
+}
+
+TEST(Serialize, ReadMissingFileReturnsFalse)
+{
+    std::string out;
+    EXPECT_FALSE(readFileBytes(
+        ::testing::TempDir() + "memsec-no-such-file.bin", out));
+}

@@ -50,7 +50,9 @@ TEST(TraceFile, TryParseReportsLineOfFirstBadRecord)
     EXPECT_EQ(err.line, 3);
     EXPECT_NE(err.message.find("expected '<gap> R|W <hex-addr>'"),
               std::string::npos);
-    EXPECT_EQ(err.toString(), "trace line 3: " + err.message);
+    // "1 R 40\n" is 7 bytes, "2 W 80\n" another 7.
+    EXPECT_EQ(err.byteOffset, 14u);
+    EXPECT_EQ(err.toString(), "trace line 3 (byte 14): " + err.message);
 }
 
 TEST(TraceFile, TryParseRejectsTruncatedRecord)
@@ -138,6 +140,148 @@ TEST(TraceFile, WorkloadMixAcceptsTraceEntries)
     EXPECT_EQ(mix[0].tracePath, "/tmp/foo.txt");
     EXPECT_EQ(mix[1].name, "mcf");
     EXPECT_TRUE(mix[1].tracePath.empty());
+}
+
+// -- Binary trace format -------------------------------------------
+
+namespace {
+
+std::vector<TraceRecord>
+sampleRecords(size_t n)
+{
+    SyntheticTraceGenerator g(profileByName("mcf"), 3);
+    std::vector<TraceRecord> recs;
+    recs.reserve(n);
+    for (size_t i = 0; i < n; ++i)
+        recs.push_back(g.next());
+    return recs;
+}
+
+} // namespace
+
+TEST(BinaryTrace, RoundTripsByteIdentically)
+{
+    // 5000 records spans two CRC blocks (4096 + 904).
+    const auto recs = sampleRecords(5000);
+    const std::string bytes = formatBinaryTrace(recs);
+    ASSERT_TRUE(isBinaryTrace(bytes));
+
+    std::vector<TraceRecord> parsed;
+    TraceParseError err;
+    ASSERT_TRUE(tryParseBinaryTrace(bytes, parsed, err))
+        << err.toString();
+    ASSERT_EQ(parsed.size(), recs.size());
+    for (size_t i = 0; i < recs.size(); ++i) {
+        EXPECT_EQ(parsed[i].gap, recs[i].gap);
+        EXPECT_EQ(parsed[i].isStore, recs[i].isStore);
+        EXPECT_EQ(parsed[i].addr, recs[i].addr);
+    }
+    // Re-encoding the parsed records reproduces the input byte for
+    // byte, and the text debug view agrees across the round trip.
+    EXPECT_EQ(formatBinaryTrace(parsed), bytes);
+    EXPECT_EQ(formatTrace(parsed), formatTrace(recs));
+}
+
+TEST(BinaryTrace, AnyFlippedBlockBitIsCaught)
+{
+    const auto recs = sampleRecords(5);
+    const std::string bytes = formatBinaryTrace(recs);
+    // Header is 24 bytes; everything after is block data (count, CRC,
+    // payload). Every single-bit flip there must fail the parse.
+    const size_t headerBytes = 24;
+    ASSERT_GT(bytes.size(), headerBytes);
+    for (size_t byte = headerBytes; byte < bytes.size(); ++byte) {
+        for (int bit = 0; bit < 8; ++bit) {
+            std::string damaged = bytes;
+            damaged[byte] ^= static_cast<char>(1 << bit);
+            std::vector<TraceRecord> out;
+            TraceParseError err;
+            EXPECT_FALSE(tryParseBinaryTrace(damaged, out, err))
+                << "flip of byte " << byte << " bit " << bit
+                << " went undetected";
+        }
+    }
+}
+
+TEST(BinaryTrace, HeaderCorruptionReportsByteOffset)
+{
+    const std::string bytes = formatBinaryTrace(sampleRecords(3));
+    std::vector<TraceRecord> out;
+    TraceParseError err;
+
+    std::string badMagic = bytes;
+    badMagic[0] ^= 0x20;
+    EXPECT_FALSE(tryParseBinaryTrace(badMagic, out, err));
+    EXPECT_EQ(err.byteOffset, 0u);
+    EXPECT_EQ(err.line, 0);
+
+    std::string badVersion = bytes;
+    badVersion[8] = 9;
+    EXPECT_FALSE(tryParseBinaryTrace(badVersion, out, err));
+    EXPECT_EQ(err.byteOffset, 8u);
+    EXPECT_NE(err.message.find("version"), std::string::npos);
+    EXPECT_EQ(err.toString(),
+              "trace byte 8: " + err.message);
+
+    EXPECT_FALSE(tryParseBinaryTrace(bytes.substr(0, 10), out, err));
+    EXPECT_NE(err.message.find("truncated"), std::string::npos);
+}
+
+TEST(BinaryTrace, TruncatedAndTrailingBytesDetected)
+{
+    const std::string bytes = formatBinaryTrace(sampleRecords(3));
+    std::vector<TraceRecord> out;
+    TraceParseError err;
+
+    // Cut mid-payload: the block payload check points at the payload.
+    EXPECT_FALSE(
+        tryParseBinaryTrace(bytes.substr(0, bytes.size() - 5), out, err));
+    EXPECT_NE(err.message.find("truncated block payload"),
+              std::string::npos);
+    EXPECT_EQ(err.byteOffset, 32u); // 24-byte header + 8-byte block head
+
+    out.clear();
+    EXPECT_FALSE(tryParseBinaryTrace(bytes + "x", out, err));
+    EXPECT_NE(err.message.find("trailing"), std::string::npos);
+    EXPECT_EQ(err.byteOffset, bytes.size());
+}
+
+TEST(BinaryTrace, GeneratorSniffsBinaryFormat)
+{
+    const std::string path = ::testing::TempDir() + "memsec_trace.bin";
+    SyntheticTraceGenerator src(profileByName("milc"), 42);
+    recordTrace(src, 500, path, /*binary=*/true);
+
+    {
+        std::ifstream f(path, std::ios::binary);
+        std::string head(8, '\0');
+        f.read(head.data(), 8);
+        EXPECT_EQ(head, "MSTRACE1");
+    }
+
+    FileTraceGenerator replay(path);
+    EXPECT_EQ(replay.size(), 500u);
+    SyntheticTraceGenerator ref(profileByName("milc"), 42);
+    for (int i = 0; i < 500; ++i) {
+        const TraceRecord a = ref.next();
+        const TraceRecord b = replay.next();
+        EXPECT_EQ(a.gap, b.gap);
+        EXPECT_EQ(a.isStore, b.isStore);
+        EXPECT_EQ(a.addr, b.addr);
+    }
+}
+
+TEST(BinaryTrace, CorruptFileFatalNamesByteOffset)
+{
+    const std::string path = ::testing::TempDir() + "memsec_corrupt.bin";
+    std::string bytes = formatBinaryTrace(sampleRecords(4));
+    bytes[bytes.size() - 1] ^= 0x01;
+    {
+        std::ofstream f(path, std::ios::binary);
+        f << bytes;
+    }
+    EXPECT_EXIT(FileTraceGenerator{path}, ::testing::ExitedWithCode(1),
+                "trace byte");
 }
 
 TEST(TraceFile, EndToEndExperimentOnRecordedTrace)
