@@ -202,6 +202,12 @@ PerfReporter::find(const std::string &name) const
     return nullptr;
 }
 
+std::string
+modeMetricName(const std::string &base, const std::string &mode)
+{
+    return mode.empty() ? base : base + "_" + mode;
+}
+
 void
 PerfReporter::writeJson(const std::string &path) const
 {
@@ -212,8 +218,10 @@ PerfReporter::writeJson(const std::string &path) const
         const PerfMetric &m = metrics_[i];
         // One object per line: the baseline comparator is a line
         // scanner, and line diffs stay readable in review.
-        out << "    { \"name\": \"" << m.name << "\""
-            << ", \"cycles_per_sec\": " << std::setprecision(6)
+        out << "    { \"name\": \"" << m.name << "\"";
+        if (!m.mode.empty())
+            out << ", \"mode\": \"" << m.mode << "\"";
+        out << ", \"cycles_per_sec\": " << std::setprecision(6)
             << m.cyclesPerSec << ", \"wall_seconds\": "
             << m.wallSeconds << ", \"skip_ratio\": " << m.skipRatio
             << ", \"sim_cycles\": " << m.simCycles << " }"

@@ -120,7 +120,18 @@ struct PerfMetric
     double wallSeconds = 0.0;  ///< total wall time measured
     double skipRatio = 0.0;    ///< skipped / (executed + skipped)
     uint64_t simCycles = 0;    ///< simulated cycles measured
+    /** Execution mode that produced the point (naive / fastforward /
+     *  compiled / compiled_verify); empty for kernel micro metrics. */
+    std::string mode;
 };
+
+/**
+ * Canonical metric name for an execution mode: `base` + "_" + mode.
+ * Keeps every BENCH_PERF.json point self-describing — a baseline row
+ * can never be compared against a run from a different kernel mode.
+ */
+std::string modeMetricName(const std::string &base,
+                           const std::string &mode);
 
 /**
  * Shared reporter for the perf harness binaries (bench/micro_perf,

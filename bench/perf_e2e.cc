@@ -1,14 +1,18 @@
 /**
  * @file
- * End-to-end perf-regression harness for the idle-skip kernel.
+ * End-to-end perf-regression harness for the simulation kernels.
  *
- * Runs full experiments (cores + controller + DRAM) with the
- * fast-forward path disabled and enabled, then:
+ * Runs full experiments (cores + controller + DRAM) in three
+ * execution modes — naive per-cycle loop, idle-skip fast-forward,
+ * and compiled-schedule replay (sim.compiled, docs/PERF.md) — then:
  *   1. writes BENCH_PERF.json (cycles/sec, wall time, skip ratio per
- *      point) via the shared bench_common reporter;
+ *      point, each name labelled with its mode) via the shared
+ *      bench_common reporter;
  *   2. asserts the fast path delivers >= 2x end-to-end cycles/sec on
- *      the idle-heavy fixed-service point (fs_np x hog) — this ratio
- *      is self-relative, so it holds on loaded CI machines;
+ *      the idle-heavy fixed-service point (fs_np x hog), and that
+ *      compiled replay delivers >= 10x over the naive loop on the
+ *      same point — both ratios are self-relative, so they hold on
+ *      loaded CI machines;
  *   3. compares every point against the committed baseline
  *      (bench/BENCH_PERF_baseline.json) with a 25% tolerance —
  *      machine-sensitive, so it can be skipped independently.
@@ -43,14 +47,38 @@ using namespace memsec::bench;
 namespace {
 
 /** Wall time and kernel accounting summed over all iterations. */
-constexpr Cycle kMeasureCycles = 150000;
+constexpr Cycle kMeasureCycles = 600000;
+
+enum class RunMode
+{
+    Naive,       ///< per-cycle tick loop
+    FastForward, ///< idle-skip hints
+    Compiled,    ///< fast-forward + table-driven replay
+};
+
+const char *
+modeLabel(RunMode mode)
+{
+    switch (mode) {
+    case RunMode::Naive:
+        return "naive";
+    case RunMode::FastForward:
+        return "fastforward";
+    case RunMode::Compiled:
+        return "compiled";
+    }
+    return "unknown";
+}
 
 struct Accum
 {
+    std::string mode;
     double wallSeconds = 0.0;
     uint64_t simCycles = 0;
     uint64_t executed = 0;
     uint64_t skipped = 0;
+    uint64_t compiledCommands = 0;
+    uint64_t compiledFallbacks = 0;
 };
 
 std::map<std::string, Accum> &
@@ -61,9 +89,9 @@ accums()
 }
 
 void
-runE2E(benchmark::State &state, const std::string &metric,
+runE2E(benchmark::State &state, const std::string &base,
        const std::string &scheme, const std::string &workload,
-       bool fastforward)
+       RunMode mode)
 {
     setQuiet(true);
     Config c = harness::defaultConfig();
@@ -76,8 +104,12 @@ runE2E(benchmark::State &state, const std::string &metric,
     // construction small, so wall time measures the kernel rather
     // than trace replay into the LLCs.
     c.set("core.functional_warmup", 4000);
-    c.set("sim.fastforward", fastforward);
+    c.set("sim.fastforward", mode != RunMode::Naive);
+    if (mode == RunMode::Compiled)
+        c.set("sim.compiled", "on");
+    const std::string metric = modeMetricName(base, modeLabel(mode));
     Accum &acc = accums()[metric];
+    acc.mode = modeLabel(mode);
     for (auto _ : state) {
         const auto t0 = std::chrono::steady_clock::now();
         const auto r = harness::runExperiment(c);
@@ -87,6 +119,8 @@ runE2E(benchmark::State &state, const std::string &metric,
         acc.simCycles += r.cyclesRun;
         acc.executed += r.cyclesExecuted;
         acc.skipped += r.cyclesSkipped;
+        acc.compiledCommands += r.compiledCommands;
+        acc.compiledFallbacks += r.compiledFallbacks;
         benchmark::DoNotOptimize(acc);
     }
     state.SetItemsProcessed(
@@ -94,49 +128,83 @@ runE2E(benchmark::State &state, const std::string &metric,
         static_cast<int64_t>(kMeasureCycles));
 }
 
-// The headline pair: the paper's basic no-partition fixed-service
+// The headline triple: the paper's basic no-partition fixed-service
 // schedule (l = 43) under the memory-hogging co-runner profile.
 // Every core spends most cycles ROB-blocked on a slot that is many
 // cycles away, so the schedule is mostly statically dead time — the
-// case the idle-skip kernel exists for (~90% of cycles skipped).
+// case the idle-skip kernel exists for (~90% of cycles skipped), and
+// whose remaining per-slot scanning the compiled table replaces.
 void
 BM_E2E_FsNp_Naive(benchmark::State &state)
 {
-    runE2E(state, "e2e_fs_np_hog_naive", "fs_np", "hog", false);
+    runE2E(state, "e2e_fs_np_hog", "fs_np", "hog", RunMode::Naive);
 }
 BENCHMARK(BM_E2E_FsNp_Naive)->Unit(benchmark::kMillisecond);
 
 void
 BM_E2E_FsNp_FastForward(benchmark::State &state)
 {
-    runE2E(state, "e2e_fs_np_hog_fastforward", "fs_np", "hog", true);
+    runE2E(state, "e2e_fs_np_hog", "fs_np", "hog",
+           RunMode::FastForward);
 }
 BENCHMARK(BM_E2E_FsNp_FastForward)->Unit(benchmark::kMillisecond);
+
+void
+BM_E2E_FsNp_Compiled(benchmark::State &state)
+{
+    runE2E(state, "e2e_fs_np_hog", "fs_np", "hog", RunMode::Compiled);
+}
+BENCHMARK(BM_E2E_FsNp_Compiled)->Unit(benchmark::kMillisecond);
 
 // Pointer-chasing mcf on the same schedule: lower skip ratio,
 // checks the win is not an artefact of one synthetic profile.
 void
 BM_E2E_FsNpMcf_FastForward(benchmark::State &state)
 {
-    runE2E(state, "e2e_fs_np_mcf_fastforward", "fs_np", "mcf", true);
+    runE2E(state, "e2e_fs_np_mcf", "fs_np", "mcf",
+           RunMode::FastForward);
 }
 BENCHMARK(BM_E2E_FsNpMcf_FastForward)->Unit(benchmark::kMillisecond);
 
-// Secondary points: rank-partitioned FS (denser schedule, less to
-// skip) and the non-secure FRFCFS baseline (busy nearly every cycle;
+void
+BM_E2E_FsNpMcf_Compiled(benchmark::State &state)
+{
+    runE2E(state, "e2e_fs_np_mcf", "fs_np", "mcf", RunMode::Compiled);
+}
+BENCHMARK(BM_E2E_FsNpMcf_Compiled)->Unit(benchmark::kMillisecond);
+
+// Secondary points: rank-partitioned FS (densest schedule, l = 7 —
+// least to skip, the hardest case for both fast paths), temporal
+// partitioning (the prior-work secure scheduler, also replayable),
+// and the non-secure FRFCFS baseline (busy nearly every cycle;
 // guards against the hint queries themselves becoming a regression).
 void
 BM_E2E_FsRp_FastForward(benchmark::State &state)
 {
-    runE2E(state, "e2e_fs_rp_mcf_fastforward", "fs_rp", "mcf", true);
+    runE2E(state, "e2e_fs_rp_mcf", "fs_rp", "mcf",
+           RunMode::FastForward);
 }
 BENCHMARK(BM_E2E_FsRp_FastForward)->Unit(benchmark::kMillisecond);
 
 void
+BM_E2E_FsRp_Compiled(benchmark::State &state)
+{
+    runE2E(state, "e2e_fs_rp_mcf", "fs_rp", "mcf", RunMode::Compiled);
+}
+BENCHMARK(BM_E2E_FsRp_Compiled)->Unit(benchmark::kMillisecond);
+
+void
+BM_E2E_TpBp_Compiled(benchmark::State &state)
+{
+    runE2E(state, "e2e_tp_bp_mcf", "tp_bp", "mcf", RunMode::Compiled);
+}
+BENCHMARK(BM_E2E_TpBp_Compiled)->Unit(benchmark::kMillisecond);
+
+void
 BM_E2E_Frfcfs_FastForward(benchmark::State &state)
 {
-    runE2E(state, "e2e_baseline_mcf_fastforward", "baseline", "mcf",
-           true);
+    runE2E(state, "e2e_baseline_mcf", "baseline", "mcf",
+           RunMode::FastForward);
 }
 BENCHMARK(BM_E2E_Frfcfs_FastForward)->Unit(benchmark::kMillisecond);
 
@@ -145,6 +213,7 @@ toMetric(const std::string &name, const Accum &a)
 {
     PerfMetric m;
     m.name = name;
+    m.mode = a.mode;
     m.wallSeconds = a.wallSeconds;
     m.simCycles = a.simCycles;
     m.cyclesPerSec = a.wallSeconds > 0
@@ -220,7 +289,41 @@ main(int argc, char **argv)
                      "incomplete under --benchmark_filter)\n";
     }
 
-    // Gate 2 (machine-sensitive): committed-baseline tolerance.
+    // Gate 2 (self-relative): compiled-schedule replay must deliver
+    // an order of magnitude over the naive loop on the same point —
+    // the headline contract of docs/PERF.md. Engagement is asserted
+    // too: a silently-declined table would otherwise coast through
+    // on fast-forward's win alone.
+    const PerfMetric *compiled =
+        reporter.find("e2e_fs_np_hog_compiled");
+    if (naive != nullptr && compiled != nullptr &&
+        naive->cyclesPerSec > 0) {
+        const Accum &acc = accums()["e2e_fs_np_hog_compiled"];
+        const double speedup =
+            compiled->cyclesPerSec / naive->cyclesPerSec;
+        std::cerr << "perf_e2e: fs_np compiled-replay speedup "
+                  << speedup << "x (gate: >= 10x)\n";
+        if (speedup < 10.0) {
+            std::cerr << "perf_e2e: FAIL — compiled-replay speedup "
+                         "below 10x on fs_np/hog\n";
+            rc = 1;
+        }
+        if (acc.compiledCommands == 0) {
+            std::cerr << "perf_e2e: FAIL — compiled point never "
+                         "replayed a command (table declined?)\n";
+            rc = 1;
+        }
+        if (acc.compiledFallbacks != 0) {
+            std::cerr << "perf_e2e: FAIL — compiled point fell back "
+                         "to interpreted scheduling mid-run\n";
+            rc = 1;
+        }
+    } else if (naive != nullptr || compiled != nullptr) {
+        std::cerr << "perf_e2e: compiled gate skipped (pair "
+                     "incomplete under --benchmark_filter)\n";
+    }
+
+    // Gate 3 (machine-sensitive): committed-baseline tolerance.
     if (std::getenv("MEMSEC_PERF_NO_BASELINE") != nullptr) {
         std::cerr << "perf_e2e: baseline comparison skipped "
                      "(MEMSEC_PERF_NO_BASELINE)\n";

@@ -81,6 +81,7 @@ CoreModel::demandMshrs() const
 void
 CoreModel::tick(Cycle now)
 {
+    wakeMemoValid_ = false;
     memNow_ = now;
     // Time-keyed generators (covert-channel senders) see the bus
     // cycle before dispatch pulls any record of this tick. Skipped
@@ -96,13 +97,53 @@ CoreModel::tick(Cycle now)
 Cycle
 CoreModel::nextWakeCycle(Cycle now) const
 {
+    if (wakeMemoValid_ && wakeMemo_ > now &&
+        (wakeMemoAcceptRead_ < 0 ||
+         wakeMemoAcceptRead_ == int8_t(mc_.canAccept(domain_))) &&
+        (wakeMemoAcceptWrite_ < 0 ||
+         wakeMemoAcceptWrite_ ==
+             int8_t(mc_.canAccept(domain_, mem::ReqType::Write)))) {
+        // Untouched since the last computation and every controller
+        // bit the computation consumed still matches: the claim
+        // "no-op until wakeMemo_" still holds, now over a shorter
+        // suffix of the same span. Bits never consumed (-1) cannot
+        // have influenced the result and are not requeried.
+        return wakeMemo_;
+    }
+    wakeMemoAcceptRead_ = -1;
+    wakeMemoAcceptWrite_ = -1;
+    const Cycle wake = computeNextWake(now);
+    wakeMemoValid_ = true;
+    wakeMemo_ = wake;
+    return wake;
+}
+
+bool
+CoreModel::probeAcceptRead() const
+{
+    if (wakeMemoAcceptRead_ < 0)
+        wakeMemoAcceptRead_ = mc_.canAccept(domain_) ? 1 : 0;
+    return wakeMemoAcceptRead_ != 0;
+}
+
+bool
+CoreModel::probeAcceptWrite() const
+{
+    if (wakeMemoAcceptWrite_ < 0)
+        wakeMemoAcceptWrite_ =
+            mc_.canAccept(domain_, mem::ReqType::Write) ? 1 : 0;
+    return wakeMemoAcceptWrite_ != 0;
+}
+
+Cycle
+CoreModel::computeNextWake(Cycle now) const
+{
     const Cycle next = now + 1;
     // Dispatch has ROB space: new trace records enter every cycle.
     if (robInstrs_ < params_.robSize || rob_.empty())
         return next;
     // Writebacks drain whenever the controller has write space.
-    if (!writebacks_.empty() &&
-        mc_.canAccept(domain_, mem::ReqType::Write))
+    if (!writebacks_.empty() && probeAcceptWrite())
         return next;
     // Mirror retryBlocked()'s gating exactly: if its next tick would
     // mutate anything, the cycle cannot be skipped. Entries it would
@@ -112,23 +153,25 @@ CoreModel::nextWakeCycle(Cycle now) const
         const Addr addr = pendingStoreFetches_.front();
         if (llc_.contains(addr) || mshr_.count(addr) > 0)
             return next;
-        if (demandMshrs() < profile_.mshrs && mc_.canAccept(domain_))
+        if (demandMshrs() < profile_.mshrs && probeAcceptRead())
             return next;
     }
-    for (const auto &rec : rob_) {
-        if (rec.state != Record::State::NeedsIssue)
-            continue;
-        auto it = mshr_.find(rec.addr);
-        if (it != mshr_.end()) {
-            if (it->second.isPrefetch && !mc_.canAccept(domain_))
-                break; // retryBlocked() stops at this entry too
-            return next; // it would re-link the waiter / upgrade
+    if (needsIssue_ > 0) {
+        for (const auto &rec : rob_) {
+            if (rec.state != Record::State::NeedsIssue)
+                continue;
+            auto it = mshr_.find(rec.addr);
+            if (it != mshr_.end()) {
+                if (it->second.isPrefetch && !probeAcceptRead())
+                    break; // retryBlocked() stops at this entry too
+                return next; // it would re-link the waiter / upgrade
+            }
+            if (llc_.contains(rec.addr))
+                return next;
+            if (demandMshrs() < profile_.mshrs && probeAcceptRead())
+                return next;
+            break;
         }
-        if (llc_.contains(rec.addr))
-            return next;
-        if (demandMshrs() < profile_.mshrs && mc_.canAccept(domain_))
-            return next;
-        break;
     }
     // Retirement: the ROB head decides. Pending gap instructions or a
     // retirable head mean work next cycle; an LLC fill completes at a
@@ -243,6 +286,7 @@ CoreModel::saveState(Serializer &s) const
 void
 CoreModel::restoreState(Deserializer &d)
 {
+    wakeMemoValid_ = false;
     d.section("core");
     trace_->restoreState(d);
     llc_.restoreState(d);
@@ -250,6 +294,7 @@ CoreModel::restoreState(Deserializer &d)
 
     const uint64_t robCount = d.getU64();
     rob_.clear();
+    needsIssue_ = 0;
     for (uint64_t i = 0; i < robCount; ++i) {
         Record rec;
         rec.instrs = d.getU64();
@@ -261,6 +306,8 @@ CoreModel::restoreState(Deserializer &d)
             d.fail("bad ROB record state");
         rec.state = static_cast<Record::State>(state);
         rec.doneAt = d.getU64();
+        if (rec.state == Record::State::NeedsIssue)
+            ++needsIssue_;
         rob_.push_back(rec);
     }
     robInstrs_ = d.getU64();
@@ -324,6 +371,16 @@ CoreModel::restoreState(Deserializer &d)
 }
 
 void
+CoreModel::setState(Record &rec, Record::State s)
+{
+    if (rec.state == Record::State::NeedsIssue)
+        --needsIssue_;
+    if (s == Record::State::NeedsIssue)
+        ++needsIssue_;
+    rec.state = s;
+}
+
+void
 CoreModel::cpuCycle()
 {
     retire();
@@ -359,9 +416,9 @@ CoreModel::executeMemOp(Record &rec)
         prefetchUseful_.inc();
     if (ar.hit) {
         if (rec.isStore) {
-            rec.state = Record::State::Done;
+            setState(rec, Record::State::Done);
         } else {
-            rec.state = Record::State::LlcPending;
+            setState(rec, Record::State::LlcPending);
             rec.doneAt = cpuCycles_ + params_.llcHitLatency;
         }
         return;
@@ -376,9 +433,9 @@ CoreModel::executeMemOp(Record &rec)
         if (fr.evictedDirty)
             writebacks_.push_back(fr.writebackAddr);
         if (rec.isStore) {
-            rec.state = Record::State::Done;
+            setState(rec, Record::State::Done);
         } else {
-            rec.state = Record::State::LlcPending;
+            setState(rec, Record::State::LlcPending);
             rec.doneAt = cpuCycles_ + params_.llcHitLatency;
         }
         return;
@@ -397,8 +454,8 @@ CoreModel::executeMemOp(Record &rec)
         // slot). Whichever response arrives first fills the line.
         if (entry.isPrefetch) {
             if (!mc_.canAccept(domain_)) {
-                rec.state = rec.isStore ? Record::State::Done
-                                        : Record::State::NeedsIssue;
+                setState(rec, rec.isStore ? Record::State::Done
+                                          : Record::State::NeedsIssue);
                 if (rec.isStore)
                     pendingStoreFetches_.push_back(rec.addr);
                 return;
@@ -409,10 +466,10 @@ CoreModel::executeMemOp(Record &rec)
         }
         if (rec.isStore) {
             entry.fillDirty = true;
-            rec.state = Record::State::Done;
+            setState(rec, Record::State::Done);
         } else {
             entry.waiters.push_back(&rec);
-            rec.state = Record::State::MemPending;
+            setState(rec, Record::State::MemPending);
         }
         return;
     }
@@ -420,11 +477,11 @@ CoreModel::executeMemOp(Record &rec)
     if (rec.isStore) {
         // Fetch-for-ownership; the store itself retires via the
         // store buffer.
-        rec.state = Record::State::Done;
+        setState(rec, Record::State::Done);
         issueStoreFetch(rec.addr);
     } else {
         if (!tryIssueLoad(rec))
-            rec.state = Record::State::NeedsIssue;
+            setState(rec, Record::State::NeedsIssue);
     }
     if (params_.prefetchEnabled)
         issuePrefetches(rec.addr);
@@ -449,7 +506,7 @@ CoreModel::tryIssueLoad(Record &rec)
         return false;
     MshrEntry &entry = mshr_[rec.addr];
     entry.waiters.push_back(&rec);
-    rec.state = Record::State::MemPending;
+    setState(rec, Record::State::MemPending);
     sendRead(rec.addr);
     return true;
 }
@@ -522,6 +579,8 @@ CoreModel::retire()
         ++retired_;
         --budget;
         robInstrs_ -= head.instrs;
+        if (head.state == Record::State::NeedsIssue)
+            --needsIssue_; // defensive: a retirable head is never one
         rob_.pop_front();
     }
     if (stalled)
@@ -538,6 +597,7 @@ CoreModel::retire()
 void
 CoreModel::memResponse(const MemRequest &req)
 {
+    wakeMemoValid_ = false;
     if (req.type == ReqType::Write)
         return;
     const Addr line = lineOf(req.addr);
@@ -559,12 +619,13 @@ CoreModel::memResponse(const MemRequest &req)
     if (fr.evictedDirty)
         writebacks_.push_back(fr.writebackAddr);
     for (Record *rec : entry.waiters)
-        rec->state = Record::State::Done;
+        setState(*rec, Record::State::Done);
 }
 
 void
 CoreModel::memDropped(const MemRequest &req)
 {
+    wakeMemoValid_ = false;
     // A prefetch hint was discarded: clear its MSHR entry. Any demand
     // loads that merged with it must be re-issued as real reads.
     const Addr line = lineOf(req.addr);
@@ -580,7 +641,7 @@ CoreModel::memDropped(const MemRequest &req)
     --prefetchInflight_;
     mshr_.erase(it);
     for (Record *rec : entry.waiters)
-        rec->state = Record::State::NeedsIssue;
+        setState(*rec, Record::State::NeedsIssue);
     if (entry.fillDirty)
         pendingStoreFetches_.push_back(line);
 }
@@ -616,6 +677,8 @@ CoreModel::retryBlocked()
         issueStoreFetch(addr);
     }
 
+    if (needsIssue_ == 0)
+        return;
     for (auto &rec : rob_) {
         if (rec.state != Record::State::NeedsIssue)
             continue;
@@ -630,11 +693,11 @@ CoreModel::retryBlocked()
                 sendRead(rec.addr);
             }
             it->second.waiters.push_back(&rec);
-            rec.state = Record::State::MemPending;
+            setState(rec, Record::State::MemPending);
             continue;
         }
         if (llc_.contains(rec.addr)) {
-            rec.state = Record::State::LlcPending;
+            setState(rec, Record::State::LlcPending);
             rec.doneAt = cpuCycles_ + params_.llcHitLatency;
             continue;
         }

@@ -20,6 +20,7 @@
 #include "sched/fs.hh"
 #include "sched/fs_reordered.hh"
 #include "sched/tp.hh"
+#include "sim/compiled_schedule.hh"
 #include "sim/simulator.hh"
 #include "util/logging.hh"
 #include "util/serialize.hh"
@@ -76,6 +77,17 @@ defaultConfig()
     // Idle-skip fast forward (byte-identical to the naive loop; see
     // tests/test_fastforward_diff.cc). Off = force the naive loop.
     c.set("sim.fastforward", true);
+    // Table-driven schedule replay (docs/PERF.md): off | on | verify.
+    // Policies that cannot prove their template decline and keep the
+    // interpreted path; "verify" replays with the TimingChecker and
+    // completion predictions cross-checked every command.
+    c.set("sim.compiled", "off");
+    c.set("sim.compiled_ring", 64);
+    c.set("sim.compiled_intervals", 4096);
+    // Fixed-capacity request pool for scheduler-internal operations
+    // (dummies); heap fallback beyond this is a structured SimError,
+    // never UB (tests/test_fixed_pool.cc).
+    c.set("mc.request_pool", 64);
     return c;
 }
 
@@ -270,6 +282,7 @@ ExperimentSystem::ExperimentSystem(const Config &cfg)
     mcp.geo = geo;
     mcp.numDomains = cores;
     mcp.queueCapacity = cfg.getUint("mc.queue_capacity", 16);
+    mcp.requestPoolCapacity = cfg.getUint("mc.request_pool", 64);
     // One controller per channel; all domains' queues exist on each
     // controller, but a core only ever talks to its own channel's.
     const unsigned numMcs = geo.channels;
@@ -382,6 +395,26 @@ ExperimentSystem::ExperimentSystem(const Config &cfg)
             m->setReport(&report);
             if (faultSpec.kind == fault::FaultKind::RefreshSuppress)
                 m->dram().checker().expectRefresh(tp.refi);
+        }
+    }
+
+    // Compiled-schedule replay (sim.compiled, docs/PERF.md): decided
+    // last so the offer sees the final scheduler/injector wiring.
+    // Simulation-perturbing injection always keeps the interpreted
+    // path (the schedulers decline independently as well); snapshot-
+    // durability kinds never touch the simulation and may replay.
+    const CompiledMode compiledMode =
+        parseCompiledMode(cfg.getString("sim.compiled", "off"));
+    if (compiledMode != CompiledMode::Off &&
+        (!injector.enabled() || durabilityFault)) {
+        sched::CompiledReplayOptions copts;
+        copts.mode = compiledMode;
+        copts.ringCapacity = cfg.getUint("sim.compiled_ring", 64);
+        const size_t intervalCap =
+            cfg.getUint("sim.compiled_intervals", 4096);
+        for (auto &m : mcs) {
+            if (m->scheduler().enableCompiledReplay(copts))
+                m->dram().setCompiledMode(compiledMode, intervalCap);
         }
     }
 
@@ -573,6 +606,10 @@ ExperimentSystem::finish()
     res.cyclesRun = sim.now();
     res.cyclesExecuted = sim.cyclesExecuted();
     res.cyclesSkipped = sim.cyclesSkipped();
+    for (auto &m : mcs) {
+        res.compiledCommands += m->scheduler().compiledCommands();
+        res.compiledFallbacks += m->scheduler().compiledFallbacks();
+    }
     for (auto &c : coreModels) {
         res.ipc.push_back(c->ipc());
         res.prefetchIssued += c->prefetchIssued();
@@ -774,6 +811,8 @@ serializeResult(Serializer &s, const ExperimentResult &r)
     }
     s.putU64(r.cyclesExecuted);
     s.putU64(r.cyclesSkipped);
+    s.putU64(r.compiledCommands);
+    s.putU64(r.compiledFallbacks);
     s.putBool(r.resumedFromSnapshot);
 }
 
@@ -834,6 +873,8 @@ deserializeResult(Deserializer &d)
     }
     r.cyclesExecuted = d.getU64();
     r.cyclesSkipped = d.getU64();
+    r.compiledCommands = d.getU64();
+    r.compiledFallbacks = d.getU64();
     r.resumedFromSnapshot = d.getBool();
     return r;
 }

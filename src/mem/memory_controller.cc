@@ -13,7 +13,8 @@ namespace memsec::mem {
 MemoryController::MemoryController(std::string name, const Params &params,
                                    const AddressMap &map)
     : Component(std::move(name)), map_(map),
-      dram_(params.timing, params.geo)
+      dram_(params.timing, params.geo),
+      requestPool_(params.requestPoolCapacity, "mc-requests")
 {
     fatal_if(params.numDomains == 0, "controller needs >= 1 domain");
     for (unsigned d = 0; d < params.numDomains; ++d)
@@ -183,10 +184,37 @@ MemoryController::prefetchQueue(DomainId d)
     return prefetchQueues_.at(d);
 }
 
+std::unique_ptr<MemRequest>
+MemoryController::acquireRequest()
+{
+    if (auto req = requestPool_.tryAcquire()) {
+        req->pooled = true;
+        return req;
+    }
+    return std::make_unique<MemRequest>();
+}
+
+void
+MemoryController::recordError(const SimError &err)
+{
+    if (report_)
+        report_->record(err);
+}
+
 void
 MemoryController::finishRequest(std::unique_ptr<MemRequest> req,
                                 Cycle completeAt)
 {
+    // A clientless non-read has no observer left: delivering it would
+    // touch no stats and notify no one (clientless *reads* — injector
+    // ghosts — still sample read latency, so they stay). Retire the
+    // storage immediately instead of round-tripping the completion
+    // queue; pooled objects go back for reuse.
+    if (!req->client && req->type != ReqType::Read) {
+        if (req->pooled)
+            requestPool_.release(std::move(req));
+        return;
+    }
     completions_.push(PendingCompletion{
         completeAt, completionSeq_++,
         std::shared_ptr<MemRequest>(std::move(req))});
@@ -205,6 +233,12 @@ void
 MemoryController::tick(Cycle now)
 {
     panic_if(!sched_, "MemoryController ticked without a scheduler");
+
+    // Compiled replay: apply every precomputed command with cycle <=
+    // now before delivering completions, so a CAS whose data burst
+    // ends this very cycle has pushed its completion in time.
+    if (sched_->compiledActive())
+        sched_->applyUpTo(now);
 
     // Queue-overflow injection: flood the queues with ghost reads
     // (no client, rotating domain) until one hits a full queue and
@@ -255,9 +289,15 @@ MemoryController::nextWakeCycle(Cycle now) const
 void
 MemoryController::fastForward(Cycle from, Cycle to)
 {
-    // The scheduler guaranteed the span free of commands and slot
-    // work; only the per-cycle energy state residency needs catching
-    // up.
+    // Under compiled replay the span may hold precomputed commands
+    // (the wake hints only guarantee no *decisions* and no
+    // *completions* inside it); apply them now so a run ending on a
+    // jump still retires every command an interpreted run would have
+    // issued before `to`.
+    if (sched_ && sched_->compiledActive())
+        sched_->applyUpTo(to - 1);
+    // Beyond that the span is quiet; only the per-cycle energy state
+    // residency needs catching up.
     dram_.fastForwardEnergy(from, to);
 }
 

@@ -25,6 +25,7 @@
 #include "sim/simulator.hh"
 #include "sim/types.hh"
 #include "stats/stats.hh"
+#include "util/fixed_pool.hh"
 
 namespace memsec::sched {
 class Scheduler;
@@ -59,6 +60,8 @@ class MemoryController : public Component
         dram::Geometry geo;
         unsigned numDomains = 8;
         size_t queueCapacity = 32;
+        /** acquireRequest() pool budget (config mc.request_pool). */
+        size_t requestPoolCapacity = 64;
     };
 
     MemoryController(std::string name, const Params &params,
@@ -127,6 +130,19 @@ class MemoryController : public Component
     /** Count a dummy operation. */
     void noteDummy() { stats_.dummies.inc(); }
 
+    /**
+     * Fresh request storage for scheduler-internal operations
+     * (dummies). Served from a fixed-capacity pool so steady-state
+     * slot shaping allocates nothing; falls back to the heap if the
+     * pool is ever exhausted (provenance travels in req->pooled).
+     * Clientless non-read requests hand their storage back through
+     * finishRequest(), closing the recycle loop.
+     */
+    std::unique_ptr<MemRequest> acquireRequest();
+
+    /** Record a recoverable fault if a report is attached. */
+    void recordError(const SimError &err);
+
     // ---- simulation ----
 
     void tick(Cycle now) override;
@@ -185,6 +201,7 @@ class MemoryController : public Component
     uint64_t completionSeq_ = 0;
     ReqId reqIdSeq_ = 0;
     std::vector<MemClient *> clients_; ///< completion sink per domain
+    FixedPool<MemRequest> requestPool_;
     ControllerStats stats_;
     RunReport *report_ = nullptr;
     fault::FaultInjector *injector_ = nullptr;

@@ -73,6 +73,13 @@ struct MemRequest
 
     MemClient *client = nullptr; ///< completion sink (null for dummies)
 
+    /**
+     * Came from the controller's fixed-capacity request pool; routes
+     * the object back there on retirement. Pure provenance — never
+     * serialized (a restored request is heap-owned again).
+     */
+    bool pooled = false;
+
     bool isRead() const
     {
         return type == ReqType::Read || type == ReqType::Prefetch ||

@@ -1,0 +1,238 @@
+/**
+ * @file
+ * Precompiled slot tables and replay machinery for the FS fast path.
+ *
+ * The paper's central observation — a fixed service schedule is a
+ * *fixed per-cycle template over a known hyperperiod* — means an FS/TP
+ * run does not need to rediscover its command timing cycle by cycle.
+ * This file holds the pieces that exploit that (docs/PERF.md):
+ *
+ *  - CompiledSchedule / CompiledSlot: one frame of the template,
+ *    flattened to per-slot command-cycle deltas. Emitted by
+ *    analysis::ScheduleVerifier::compile(), which first re-proves the
+ *    template conflict-free over the hyperperiod, so a table is only
+ *    ever produced from a verified schedule.
+ *  - ReplayRing: a fixed-capacity, timestamp-sorted queue of pending
+ *    command occurrences. Schedulers enqueue at decision time and the
+ *    controller drains lazily in global timestamp order, so device
+ *    state at every apply is identical to the interpreted path.
+ *  - CompiledEnergyAccountant: per-rank active-residency intervals
+ *    ([actAt, casAt) under closed-row auto-precharge), fed at decision
+ *    time and consumed by contiguous spans, replacing per-cycle
+ *    power-state sampling with interval arithmetic.
+ *
+ * All of this is derived state: checkpoints serialize only the
+ * interpreted representation (the planned-op deque), and replay state
+ * is rebuilt on restore, which is what makes checkpoints portable
+ * across sim.compiled modes.
+ */
+
+#ifndef MEMSEC_SIM_COMPILED_SCHEDULE_HH
+#define MEMSEC_SIM_COMPILED_SCHEDULE_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+#include "util/logging.hh"
+
+namespace memsec {
+
+/** How a run uses the compiled table (config key sim.compiled). */
+enum class CompiledMode : uint8_t
+{
+    Off,    ///< interpreted scheduling only
+    On,     ///< table-driven replay; TimingChecker not consulted
+    Verify, ///< replay, but every command still audited + predictions
+            ///  asserted against the device model
+};
+
+/** Parse "off" | "on" | "verify"; fatal on anything else. */
+CompiledMode parseCompiledMode(const std::string &text);
+
+const char *toString(CompiledMode mode);
+
+/**
+ * One slot of the compiled frame. All cycle fields are deltas from the
+ * slot's decision cycle (slot * l); the verifier's lead term is folded
+ * in, so every delta is non-negative.
+ */
+struct CompiledSlot
+{
+    DomainId domain = 0;   ///< owning security domain (round-robin)
+    unsigned group = 0;    ///< bank-group lane (triple alternation)
+    bool phantom = false;  ///< padding slot: never decided, no commands
+
+    Cycle actRead = 0;     ///< ACT delta for a read transaction
+    Cycle casRead = 0;     ///< RdA delta
+    Cycle dataRead = 0;    ///< data-burst start delta
+    Cycle completeRead = 0;  ///< data-burst end delta (request done)
+    Cycle actWrite = 0;
+    Cycle casWrite = 0;
+    Cycle dataWrite = 0;
+    Cycle completeWrite = 0;
+};
+
+/**
+ * A verified, flattened frame of the FS template plus the proof
+ * provenance it was emitted under. `valid` is false when verification
+ * failed (callers must then stay on the interpreted path).
+ */
+struct CompiledSchedule
+{
+    bool valid = false;
+    unsigned l = 0;          ///< slot width in DRAM cycles
+    Cycle lead = 0;          ///< -min(offset): shift making deltas >= 0
+    std::vector<CompiledSlot> slots; ///< one frame, phantom pads included
+
+    /* Provenance from the ScheduleVerifier run that emitted this. */
+    Cycle hyperperiod = 0;
+    uint64_t slotsChecked = 0;
+    uint64_t pairsChecked = 0;
+    std::string note;        ///< human-readable failure reason if !valid
+
+    Cycle frameCycles() const { return Cycle{slots.size()} * l; }
+
+    /** One-line summary for logs and docs. */
+    std::string describe() const;
+};
+
+/** One pending command occurrence in a ReplayRing. */
+template <typename Op>
+struct ReplayEvent
+{
+    Cycle at = 0;               ///< issue cycle
+    Cycle completeAt = kNoCycle; ///< CAS only: predicted request done
+    Op *op = nullptr;           ///< planned op this belongs to
+    bool cas = false;           ///< false = ACT, true = CAS
+};
+
+/**
+ * Fixed-capacity queue of ReplayEvents kept sorted by issue cycle.
+ * Storage is reserved once at construction; steady-state push/pop do
+ * not allocate. push() refuses (returns false) at capacity — the
+ * caller falls back to interpreted scheduling, it never loses events.
+ *
+ * Op pointers must stay stable while queued; std::deque elements
+ * (the schedulers' planned-op queues) satisfy that under push_back /
+ * pop_front.
+ */
+template <typename Op>
+class ReplayRing
+{
+  public:
+    explicit ReplayRing(size_t capacity) : capacity_(capacity)
+    {
+        events_.reserve(capacity_ + 1);
+    }
+
+    size_t capacity() const { return capacity_; }
+    size_t size() const { return events_.size(); }
+    bool empty() const { return events_.empty(); }
+
+    /** Sorted insert (stable for equal cycles); false when full. */
+    bool push(const ReplayEvent<Op> &ev)
+    {
+        if (events_.size() >= capacity_)
+            return false;
+        auto pos = std::upper_bound(
+            events_.begin(), events_.end(), ev,
+            [](const ReplayEvent<Op> &a, const ReplayEvent<Op> &b) {
+                return a.at < b.at;
+            });
+        events_.insert(pos, ev);
+        return true;
+    }
+
+    const ReplayEvent<Op> &front() const
+    {
+        panic_if(events_.empty(), "ReplayRing::front on empty ring");
+        return events_.front();
+    }
+
+    void pop()
+    {
+        panic_if(events_.empty(), "ReplayRing::pop on empty ring");
+        events_.erase(events_.begin());
+    }
+
+    /** Earliest predicted completion over queued CAS events. */
+    Cycle minCompletion() const
+    {
+        Cycle best = kNoCycle;
+        for (const auto &ev : events_)
+            if (ev.cas && ev.completeAt < best)
+                best = ev.completeAt;
+        return best;
+    }
+
+    /** Earliest queued issue cycle (kNoCycle when empty). */
+    Cycle minIssue() const
+    {
+        return events_.empty() ? kNoCycle : events_.front().at;
+    }
+
+    void clear() { events_.clear(); }
+
+  private:
+    size_t capacity_ = 0;
+    std::vector<ReplayEvent<Op>> events_; ///< ascending by `at`
+};
+
+/**
+ * Per-rank active-residency intervals for compiled energy accounting.
+ *
+ * Under FS closed-row policy a bank is open exactly over [actAt,
+ * casAt) — the ACT opens the row at issue, the auto-precharge CAS
+ * closes it at issue — so rank power state is derivable at decision
+ * time, before any command touches the device. Schedulers add one
+ * interval per planned op; the controller consumes the timeline in
+ * contiguous ascending spans (one per executed cycle or fast-forward
+ * jump) and splits each span into active vs precharge-standby cycles.
+ *
+ * Overlapping and adjacent intervals merge on insert (multiple banks
+ * of one rank active at once must not double-count), so the per-rank
+ * backlog stays at most a handful of entries; capacity overflow is a
+ * hard error rather than a silent approximation.
+ */
+class CompiledEnergyAccountant
+{
+  public:
+    /** Inactive until configured. */
+    CompiledEnergyAccountant() = default;
+
+    void configure(unsigned ranks, size_t capacityPerRank);
+    void deactivate();
+    bool active() const { return !lanes_.empty(); }
+
+    /** Record rank active over [from, to); merges into the timeline. */
+    void addInterval(unsigned rank, Cycle from, Cycle to);
+
+    /**
+     * Account the span [spanFrom, spanTo) against rank's timeline:
+     * returns the number of active cycles inside the span and drops
+     * intervals that end within it. Spans must arrive in ascending,
+     * non-overlapping order (the simulator's executed-cycle / jump
+     * sequence provides exactly that).
+     */
+    uint64_t activeCyclesIn(unsigned rank, Cycle spanFrom, Cycle spanTo);
+
+    /** Drop all recorded intervals (checkpoint restore rebuilds). */
+    void clearIntervals();
+
+  private:
+    struct Interval
+    {
+        Cycle from = 0;
+        Cycle to = 0;
+    };
+
+    size_t capacityPerRank_ = 0;
+    std::vector<std::vector<Interval>> lanes_; ///< ascending, disjoint
+};
+
+} // namespace memsec
+
+#endif // MEMSEC_SIM_COMPILED_SCHEDULE_HH

@@ -81,18 +81,55 @@ Simulator::checkWatchdog()
     }
 }
 
-Cycle
-Simulator::wakeTarget(Cycle now, Cycle end) const
+void
+Simulator::tickDue()
 {
+    // A component whose cached wake lies in the future declared this
+    // cycle a no-op; give it the equivalent fastForward() catch-up
+    // instead of a full tick. This is the same contract the global
+    // jump relies on, applied per component: blocked cores skip their
+    // ROB scans while the controller executes a slot, and vice versa.
+    //
+    // The cached hint was computed after the previous cycle, so a
+    // component ticked earlier THIS cycle may have invalidated it (a
+    // core enqueuing into an idle FR-FCFS controller, whose hint
+    // depends on queue emptiness). The global jump never faced this —
+    // it only fired when every component slept at once — so before
+    // trusting a stale hint, revalidate against live state: re-asking
+    // with the previous cycle as the anchor answers "is tick(now_)
+    // still a no-op given everything that already happened this
+    // cycle?". Mutations by LATER-ordered components need no such
+    // care: in the naive loop this component's turn precedes them
+    // within the cycle, and refreshWakes() sees them before the next.
+    for (size_t i = 0; i < components_.size(); ++i) {
+        if (wakes_[i] <= now_ ||
+            components_[i]->nextWakeCycle(now_ - 1) <= now_)
+            components_[i]->tick(now_);
+        else
+            components_[i]->fastForward(now_, now_ + 1);
+    }
+}
+
+Cycle
+Simulator::refreshWakes(Cycle end)
+{
+    // Requery every component after the tick phase, exactly as the
+    // pre-gating kernel did: cross-component mutations during this
+    // cycle (a completion delivered into a sleeping core, a request
+    // enqueued into an idle controller) are visible here, so a cached
+    // wake can never outlive the state it was computed from. No early
+    // exit: a stale conservative hint would make an idle component
+    // tick spuriously on every busy cycle, which costs far more than
+    // the (memoized) queries saved.
     Cycle wake = end;
-    for (const Component *c : components_) {
-        const Cycle w = c->nextWakeCycle(now);
+    for (size_t i = 0; i < components_.size(); ++i) {
+        const Cycle w =
+            std::max(components_[i]->nextWakeCycle(now_), now_ + 1);
+        wakes_[i] = w;
         if (w < wake)
             wake = w;
-        if (wake <= now + 1)
-            return now + 1;
     }
-    return std::max(wake, now + 1);
+    return std::max(wake, now_ + 1);
 }
 
 void
@@ -118,11 +155,25 @@ void
 Simulator::run(Cycle n)
 {
     const Cycle end = now_ + n;
+    if (!fastForward_) {
+        // Naive mode: the digest anchor. Every component ticks every
+        // cycle; no hints are consulted at all.
+        while (now_ < end) {
+            for (Component *c : components_)
+                c->tick(now_);
+            ++now_;
+            ++cyclesExecuted_;
+            checkWatchdog();
+        }
+        return;
+    }
+    // Harness code may mutate components between run() calls (fault
+    // injection, measurement boundaries); start each entry with every
+    // component due, which is always safe.
+    wakes_.assign(components_.size(), now_);
     while (now_ < end) {
-        for (Component *c : components_)
-            c->tick(now_);
-        const Cycle wake =
-            fastForward_ ? wakeTarget(now_, end) : now_ + 1;
+        tickDue();
+        const Cycle wake = refreshWakes(end);
         ++now_;
         ++cyclesExecuted_;
         checkWatchdog();
@@ -136,11 +187,20 @@ Simulator::runUntil(const std::function<bool()> &pred, Cycle maxCycles)
 {
     const Cycle start = now_;
     const Cycle end = now_ + maxCycles;
+    if (!fastForward_) {
+        while (now_ < end && !pred()) {
+            for (Component *c : components_)
+                c->tick(now_);
+            ++now_;
+            ++cyclesExecuted_;
+            checkWatchdog();
+        }
+        return now_ - start;
+    }
+    wakes_.assign(components_.size(), now_);
     while (now_ < end && !pred()) {
-        for (Component *c : components_)
-            c->tick(now_);
-        const Cycle wake =
-            fastForward_ ? wakeTarget(now_, end) : now_ + 1;
+        tickDue();
+        const Cycle wake = refreshWakes(end);
         ++now_;
         ++cyclesExecuted_;
         checkWatchdog();

@@ -17,8 +17,19 @@
  * of them agree the immediate future is dead time, jumps the clock —
  * with a fastForward() catch-up call so per-cycle accounting (CPU
  * clocks, stall counters, energy state residency) stays byte-
- * identical to the naive loop. See docs/PERF.md for the contract and
- * tests/test_fastforward_diff.cc for the proof obligations.
+ * identical to the naive loop.
+ *
+ * The same hint gates ticks per component: on an executed cycle, only
+ * components whose wake hint is due tick; the rest revalidate the
+ * hint against live state (an earlier-ordered component may have
+ * mutated them within this very cycle) and, if still asleep, get the
+ * one-cycle fastForward() equivalent. A memory-blocked core therefore
+ * never rescans its ROB just because the controller executed a slot.
+ * Hints are requeried for every component after every tick phase, so
+ * a cross-component mutation (a completion delivered into a sleeping
+ * core) invalidates the stale hint before the next cycle begins. See
+ * docs/PERF.md for the contract and tests/test_fastforward_diff.cc
+ * for the proof obligations.
  */
 
 #ifndef MEMSEC_SIM_SIMULATOR_HH
@@ -171,11 +182,21 @@ class Simulator
     void checkWatchdog();
 
     /**
-     * Minimum of the component wake hints for the cycle just ticked,
-     * clamped into [now + 1, end]. Returns now + 1 as soon as any
-     * component wants the very next cycle.
+     * Tick phase of one executed cycle: components whose cached wake
+     * hint is due tick normally; the rest revalidate their hint
+     * against live state (an earlier-ordered component may have
+     * mutated them this very cycle) and, if still asleep, receive a
+     * one-cycle fastForward() catch-up, which the hint contract
+     * guarantees is byte-identical to the tick they skipped.
      */
-    Cycle wakeTarget(Cycle now, Cycle end) const;
+    void tickDue();
+
+    /**
+     * Requery every component's wake hint after a tick phase and
+     * cache them in wakes_, returning their minimum clamped into
+     * [now + 1, end].
+     */
+    Cycle refreshWakes(Cycle end);
 
     /**
      * Jump now_ forward to `wake` if the watchdog deadline allows:
@@ -186,6 +207,9 @@ class Simulator
     void jumpTo(Cycle wake);
 
     std::vector<Component *> components_;
+    /** Cached per-component wake hints, refreshed every executed
+     *  cycle; derived state, reset on every run() entry. */
+    std::vector<Cycle> wakes_;
     Cycle now_ = 0;
 
     bool fastForward_ = true;

@@ -1,0 +1,265 @@
+/**
+ * @file
+ * Unit tests for the compiled-schedule machinery (docs/PERF.md): the
+ * mode parser, the timestamp-sorted ReplayRing, the interval-merging
+ * CompiledEnergyAccountant, and ScheduleVerifier::compile() — the
+ * only emitter of slot tables, which must refuse to produce one for a
+ * design point it cannot prove.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "analysis/schedule_verifier.hh"
+#include "core/pipeline_solver.hh"
+#include "sim/compiled_schedule.hh"
+
+using namespace memsec;
+using analysis::ScheduleVerifier;
+using analysis::VerifierConfig;
+using core::PartitionLevel;
+using core::PeriodicRef;
+
+// ---- CompiledMode ------------------------------------------------
+
+TEST(CompiledMode, ParseRoundTrip)
+{
+    EXPECT_EQ(parseCompiledMode("off"), CompiledMode::Off);
+    EXPECT_EQ(parseCompiledMode("on"), CompiledMode::On);
+    EXPECT_EQ(parseCompiledMode("verify"), CompiledMode::Verify);
+    EXPECT_STREQ(toString(CompiledMode::Off), "off");
+    EXPECT_STREQ(toString(CompiledMode::On), "on");
+    EXPECT_STREQ(toString(CompiledMode::Verify), "verify");
+}
+
+// ---- ReplayRing --------------------------------------------------
+
+namespace {
+struct DummyOp
+{
+    int tag = 0;
+};
+} // namespace
+
+TEST(ReplayRing, PopsInTimestampOrder)
+{
+    DummyOp a{1}, b{2}, c{3};
+    ReplayRing<DummyOp> ring(8);
+    EXPECT_TRUE(ring.push({50, kNoCycle, &a, false}));
+    EXPECT_TRUE(ring.push({10, kNoCycle, &b, false}));
+    EXPECT_TRUE(ring.push({30, 99, &c, true}));
+
+    EXPECT_EQ(ring.front().at, 10u);
+    EXPECT_EQ(ring.front().op->tag, 2);
+    ring.pop();
+    EXPECT_EQ(ring.front().at, 30u);
+    ring.pop();
+    EXPECT_EQ(ring.front().at, 50u);
+    ring.pop();
+    EXPECT_TRUE(ring.empty());
+}
+
+TEST(ReplayRing, EqualTimestampsStayFifo)
+{
+    // An op's ACT and another's CAS may share a cycle; application
+    // order must then match insertion (= decision) order, exactly as
+    // the interpreted issue loop scans the planned deque.
+    DummyOp first{1}, second{2};
+    ReplayRing<DummyOp> ring(4);
+    EXPECT_TRUE(ring.push({20, kNoCycle, &first, false}));
+    EXPECT_TRUE(ring.push({20, kNoCycle, &second, true}));
+    EXPECT_EQ(ring.front().op->tag, 1);
+    ring.pop();
+    EXPECT_EQ(ring.front().op->tag, 2);
+}
+
+TEST(ReplayRing, RefusesPushAtCapacity)
+{
+    DummyOp op;
+    ReplayRing<DummyOp> ring(2);
+    EXPECT_TRUE(ring.push({1, kNoCycle, &op, false}));
+    EXPECT_TRUE(ring.push({2, kNoCycle, &op, true}));
+    // Full: the caller must fall back, never silently drop.
+    EXPECT_FALSE(ring.push({3, kNoCycle, &op, false}));
+    EXPECT_EQ(ring.size(), 2u);
+}
+
+TEST(ReplayRing, MinCompletionIgnoresActsAndClientless)
+{
+    DummyOp op;
+    ReplayRing<DummyOp> ring(8);
+    EXPECT_EQ(ring.minCompletion(), kNoCycle);
+    EXPECT_TRUE(ring.push({5, kNoCycle, &op, false}));  // ACT
+    EXPECT_TRUE(ring.push({9, kNoCycle, &op, true}));   // clientless CAS
+    EXPECT_EQ(ring.minCompletion(), kNoCycle);
+    EXPECT_TRUE(ring.push({7, 120, &op, true}));
+    EXPECT_TRUE(ring.push({8, 80, &op, true}));
+    EXPECT_EQ(ring.minCompletion(), 80u);
+    EXPECT_EQ(ring.minIssue(), 5u);
+    ring.clear();
+    EXPECT_EQ(ring.minCompletion(), kNoCycle);
+}
+
+// ---- CompiledEnergyAccountant ------------------------------------
+
+TEST(CompiledEnergyAccountant, InactiveUntilConfigured)
+{
+    CompiledEnergyAccountant acct;
+    EXPECT_FALSE(acct.active());
+    acct.configure(2, 16);
+    EXPECT_TRUE(acct.active());
+    acct.deactivate();
+    EXPECT_FALSE(acct.active());
+}
+
+TEST(CompiledEnergyAccountant, CountsOverlapWithinSpan)
+{
+    CompiledEnergyAccountant acct;
+    acct.configure(1, 16);
+    acct.addInterval(0, 10, 20);
+    acct.addInterval(0, 30, 35);
+    // Span [0,50) covers both intervals fully: 10 + 5 active cycles.
+    EXPECT_EQ(acct.activeCyclesIn(0, 0, 50), 15u);
+    // Consumed: a later span sees nothing.
+    EXPECT_EQ(acct.activeCyclesIn(0, 50, 100), 0u);
+}
+
+TEST(CompiledEnergyAccountant, MergesOverlapAcrossBanksOfOneRank)
+{
+    // Two banks of one rank open concurrently must not double-count
+    // rank-active cycles.
+    CompiledEnergyAccountant acct;
+    acct.configure(1, 16);
+    acct.addInterval(0, 10, 20);
+    acct.addInterval(0, 15, 25); // overlaps the first
+    acct.addInterval(0, 25, 30); // adjacent: coalesces
+    EXPECT_EQ(acct.activeCyclesIn(0, 0, 100), 20u); // [10,30)
+}
+
+TEST(CompiledEnergyAccountant, StraddlingIntervalSplitsAcrossSpans)
+{
+    CompiledEnergyAccountant acct;
+    acct.configure(1, 16);
+    acct.addInterval(0, 90, 110);
+    // Per-cycle span then a jump, as tick + fastForwardEnergy do.
+    EXPECT_EQ(acct.activeCyclesIn(0, 90, 91), 1u);
+    EXPECT_EQ(acct.activeCyclesIn(0, 91, 100), 9u);
+    EXPECT_EQ(acct.activeCyclesIn(0, 100, 200), 10u);
+    EXPECT_EQ(acct.activeCyclesIn(0, 200, 300), 0u);
+}
+
+TEST(CompiledEnergyAccountant, RanksAreIndependent)
+{
+    CompiledEnergyAccountant acct;
+    acct.configure(2, 16);
+    acct.addInterval(0, 0, 10);
+    acct.addInterval(1, 5, 25);
+    EXPECT_EQ(acct.activeCyclesIn(0, 0, 30), 10u);
+    EXPECT_EQ(acct.activeCyclesIn(1, 0, 30), 20u);
+}
+
+// ---- ScheduleVerifier::compile -----------------------------------
+
+namespace {
+
+VerifierConfig
+paperConfig(PeriodicRef ref, PartitionLevel level, unsigned domains)
+{
+    VerifierConfig cfg;
+    cfg.ref = ref;
+    cfg.level = level;
+    cfg.numDomains = domains;
+    cfg.numRanks = 8;
+    return cfg;
+}
+
+} // namespace
+
+TEST(CompileSchedule, EmitsVerifiedTableForRankPartition)
+{
+    const auto tp = dram::TimingParams::ddr3_1600_4gb();
+    const ScheduleVerifier v(
+        tp, paperConfig(PeriodicRef::Data, PartitionLevel::Rank, 8));
+    const CompiledSchedule table = v.compile(7);
+
+    ASSERT_TRUE(table.valid) << table.note;
+    EXPECT_EQ(table.l, 7u);
+    EXPECT_EQ(table.slots.size(), 8u);
+    EXPECT_GT(table.slotsChecked, 0u);
+    EXPECT_GT(table.pairsChecked, 0u);
+    EXPECT_FALSE(table.describe().empty());
+
+    for (const CompiledSlot &slot : table.slots) {
+        EXPECT_FALSE(slot.phantom);
+        // Lead folded in: command order within the slot must hold
+        // with every delta relative to the decision cycle.
+        EXPECT_LT(slot.actRead, slot.casRead);
+        EXPECT_LT(slot.casRead, slot.dataRead);
+        EXPECT_LT(slot.actWrite, slot.casWrite);
+        EXPECT_LT(slot.casWrite, slot.dataWrite);
+        // Completion = data start + burst, the invariant the replay
+        // wake hints rely on.
+        EXPECT_EQ(slot.completeRead, slot.dataRead + tp.burst);
+        EXPECT_EQ(slot.completeWrite, slot.dataWrite + tp.burst);
+        EXPECT_EQ(slot.dataRead, slot.casRead + tp.cas);
+        EXPECT_EQ(slot.dataWrite, slot.casWrite + tp.cwd);
+    }
+}
+
+TEST(CompileSchedule, RefusesInfeasibleSlotWidth)
+{
+    const ScheduleVerifier v(
+        dram::TimingParams::ddr3_1600_4gb(),
+        paperConfig(PeriodicRef::Data, PartitionLevel::Rank, 8));
+    // l = 6 is below the proven minimum of 7; no table may exist.
+    const CompiledSchedule table = v.compile(6);
+    EXPECT_FALSE(table.valid);
+    EXPECT_FALSE(table.note.empty());
+}
+
+TEST(CompileSchedule, RefusesRefreshConfigs)
+{
+    VerifierConfig cfg =
+        paperConfig(PeriodicRef::Data, PartitionLevel::Rank, 8);
+    cfg.refresh = true;
+    const ScheduleVerifier v(dram::TimingParams::ddr3_1600_4gb(), cfg);
+    const CompiledSchedule table = v.compile(7);
+    EXPECT_FALSE(table.valid)
+        << "refresh blackouts are not frame-periodic; a table must "
+           "never be emitted";
+    EXPECT_FALSE(table.note.empty());
+}
+
+TEST(CompileSchedule, TripleAlternationCarriesGroupLanes)
+{
+    // 6 domains divide evenly by 3 groups, so the frame needs a
+    // phantom pad slot — without it the rotation would pin every
+    // domain to one group lane forever instead of visiting all three.
+    VerifierConfig cfg =
+        paperConfig(PeriodicRef::Ras, PartitionLevel::None, 6);
+    cfg.bankGroups = 3;
+    const ScheduleVerifier v(dram::TimingParams::ddr3_1600_4gb(), cfg);
+    const CompiledSchedule table = v.compile(15);
+    ASSERT_TRUE(table.valid) << table.note;
+
+    ASSERT_EQ(table.slots.size(), 7u);
+    bool sawPhantom = false;
+    for (const CompiledSlot &slot : table.slots) {
+        sawPhantom = sawPhantom || slot.phantom;
+        EXPECT_LT(slot.group, 3u);
+    }
+    EXPECT_TRUE(sawPhantom);
+
+    // An 8-domain frame already breaks the alignment by itself: no
+    // pad, all eight slots real.
+    VerifierConfig cfg8 =
+        paperConfig(PeriodicRef::Ras, PartitionLevel::None, 8);
+    cfg8.bankGroups = 3;
+    const ScheduleVerifier v8(dram::TimingParams::ddr3_1600_4gb(), cfg8);
+    const CompiledSchedule table8 = v8.compile(15);
+    ASSERT_TRUE(table8.valid) << table8.note;
+    EXPECT_EQ(table8.slots.size(), 8u);
+    for (const CompiledSlot &slot : table8.slots)
+        EXPECT_FALSE(slot.phantom);
+}

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * FixedPool: the allocation-free recycler behind the controller's
+ * acquireRequest() and (by the same ownership-transfer idiom) the
+ * replay event ring. Exhaustion must be a structured, recoverable
+ * condition — a null handle plus a categorized SimError — never
+ * undefined behaviour.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "mem/request.hh"
+#include "util/fixed_pool.hh"
+
+using namespace memsec;
+
+namespace {
+
+struct Payload
+{
+    int value = 7;
+    std::vector<int> bulk;
+};
+
+} // namespace
+
+TEST(FixedPool, AcquireUpToCapacityThenNull)
+{
+    FixedPool<Payload> pool(3, "payloads");
+    EXPECT_EQ(pool.capacity(), 3u);
+
+    std::vector<std::unique_ptr<Payload>> held;
+    for (int i = 0; i < 3; ++i) {
+        auto p = pool.tryAcquire();
+        ASSERT_NE(p, nullptr) << "acquire " << i << " within capacity";
+        held.push_back(std::move(p));
+    }
+    EXPECT_EQ(pool.outstanding(), 3u);
+    // The pool is exhausted: a structured decline, not a crash.
+    EXPECT_EQ(pool.tryAcquire(), nullptr);
+}
+
+TEST(FixedPool, ReleaseMakesRoomAndResetsObject)
+{
+    FixedPool<Payload> pool(1, "payloads");
+    auto p = pool.tryAcquire();
+    ASSERT_NE(p, nullptr);
+    p->value = 99;
+    p->bulk.assign(1000, 5);
+    pool.release(std::move(p));
+    EXPECT_EQ(pool.outstanding(), 0u);
+
+    // The recycled object must come back default-initialized: stale
+    // fields from a previous transaction would corrupt the next one.
+    auto q = pool.tryAcquire();
+    ASSERT_NE(q, nullptr);
+    EXPECT_EQ(q->value, 7);
+    EXPECT_TRUE(q->bulk.empty());
+}
+
+TEST(FixedPool, OverflowErrorIsStructured)
+{
+    FixedPool<Payload> pool(2, "mc-requests");
+    const SimError err = pool.overflowError(1234, "request burst");
+    EXPECT_EQ(err.cycle, 1234u);
+    EXPECT_EQ(err.category, "pool-exhausted");
+    EXPECT_NE(err.message.find("mc-requests"), std::string::npos);
+    EXPECT_NE(err.message.find("request burst"), std::string::npos);
+}
+
+TEST(FixedPool, ChurnNeverExceedsCapacity)
+{
+    FixedPool<Payload> pool(4, "payloads");
+    std::vector<std::unique_ptr<Payload>> held;
+    // Interleaved acquire/release churn: the invariant
+    // outstanding + free <= capacity must hold throughout.
+    for (int round = 0; round < 100; ++round) {
+        while (auto p = pool.tryAcquire())
+            held.push_back(std::move(p));
+        EXPECT_EQ(pool.outstanding(), 4u);
+        EXPECT_EQ(held.size(), 4u);
+        const size_t keep = round % 4;
+        while (held.size() > keep) {
+            pool.release(std::move(held.back()));
+            held.pop_back();
+        }
+        EXPECT_EQ(pool.outstanding(), keep);
+    }
+}
+
+// The controller-facing contract: pool requests carry provenance so
+// retirement can route them back; heap fallbacks beyond the budget
+// stay plain heap objects and must never enter the pool.
+TEST(FixedPool, MemRequestProvenanceFlag)
+{
+    FixedPool<mem::MemRequest> pool(1, "mc-requests");
+    auto pooled = pool.tryAcquire();
+    ASSERT_NE(pooled, nullptr);
+    pooled->pooled = true;
+
+    // Exhausted: the caller's fallback is a plain heap allocation.
+    ASSERT_EQ(pool.tryAcquire(), nullptr);
+    auto heap = std::make_unique<mem::MemRequest>();
+    EXPECT_FALSE(heap->pooled);
+
+    pool.release(std::move(pooled));
+    EXPECT_EQ(pool.outstanding(), 0u);
+}

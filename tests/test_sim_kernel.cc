@@ -229,11 +229,15 @@ TEST(Simulator, EarliestHintAcrossComponentsWins)
     sim.add(&slow);
     sim.add(&fast);
     sim.run(100);
-    // The 7-stride component's wakes dominate: both tick at
-    // 0, 7, 14, ..., 98 (15 wakes).
+    // The 7-stride component's wakes dominate the executed cycles:
+    // 0, 7, 14, ..., 98 (15 wakes). The 100-stride component is due
+    // only at cycle 0; per-component gating fast-forwards it through
+    // every other cycle instead of ticking it alongside.
     EXPECT_EQ(fast.ticks, 15u);
-    EXPECT_EQ(slow.ticks, 15u);
-    EXPECT_EQ(slow.ffCycles, fast.ffCycles);
+    EXPECT_EQ(slow.ticks, 1u);
+    // Tick or fast-forward, both components account all 100 cycles.
+    EXPECT_EQ(fast.ticks + fast.ffCycles, 100u);
+    EXPECT_EQ(slow.ticks + slow.ffCycles, 100u);
 }
 
 TEST(Simulator, RunUntilDoesNotJumpPastSatisfiedPredicate)

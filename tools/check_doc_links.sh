@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Verify that every relative markdown link in the top-level docs and
+# docs/*.md resolves to an existing file. External (http/https/mailto)
+# and pure-anchor links are ignored; anchors on relative links are
+# stripped before the existence check. Exits nonzero listing every
+# broken link, so CI and ctest can gate on it (docs/ARCHITECTURE.md
+# maps which job does).
+#
+# Usage: check_doc_links.sh [repo-root]   (default: script's parent)
+set -u
+
+root="${1:-$(cd "$(dirname "$0")/.." && pwd)}"
+status=0
+checked=0
+
+for doc in "$root"/*.md "$root"/docs/*.md; do
+    [ -f "$doc" ] || continue
+    dir="$(dirname "$doc")"
+    # One link target per line: everything inside ](...) up to the
+    # first closing paren. Markdown images share the syntax and are
+    # checked the same way.
+    targets="$(grep -o '](\([^)]*\))' "$doc" | sed 's/^](//; s/)$//')"
+    while IFS= read -r t; do
+        [ -n "$t" ] || continue
+        case "$t" in
+            http://*|https://*|mailto:*|\#*) continue ;;
+        esac
+        path="${t%%#*}"            # strip in-page anchor
+        [ -n "$path" ] || continue
+        checked=$((checked + 1))
+        if [ ! -e "$dir/$path" ]; then
+            echo "BROKEN: $doc -> $t" >&2
+            status=1
+        fi
+    done <<EOF
+$targets
+EOF
+done
+
+if [ "$status" -eq 0 ]; then
+    echo "doc-links: $checked relative links OK"
+else
+    echo "doc-links: broken links found" >&2
+fi
+exit $status
