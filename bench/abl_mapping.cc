@@ -31,9 +31,9 @@ main(int argc, char **argv)
     harness::Campaign campaign;
     struct Cell
     {
-        size_t baseline;
-        size_t open;
-        size_t close;
+        size_t baseline = 0;
+        size_t open = 0;
+        size_t close = 0;
     };
     std::vector<Cell> cells; // (cores x workload) in loop order
     for (unsigned cores : coreCounts) {

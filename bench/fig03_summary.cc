@@ -32,7 +32,7 @@ main(int argc, char **argv)
         const char *label;
         const char *partitioning;
         const char *scheme; // nullptr = baseline
-        double paper;
+        double paper = 0.0;
     };
     const Point points[] = {
         {"NON-SECURE BASELINE", "any", nullptr, 1.00},

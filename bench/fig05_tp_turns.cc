@@ -23,7 +23,7 @@ main(int argc, char **argv)
     {
         std::string label;
         std::string baseScheme;
-        unsigned turn;
+        unsigned turn = 0;
     };
     const std::vector<TpPoint> points = {
         {"T_TURN_BP_60", "tp_bp", 60},   {"T_TURN_BP_100", "tp_bp", 100},

@@ -33,7 +33,7 @@ main(int argc, char **argv)
     harness::Campaign campaign;
     struct CellIdx
     {
-        size_t baseline;
+        size_t baseline = 0;
         std::vector<size_t> scheme;
     };
     std::vector<std::vector<CellIdx>> idx; // [coreCount][workload]

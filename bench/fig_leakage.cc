@@ -16,6 +16,15 @@
  * secret at near-zero BER regardless of partitioning; Fixed Service,
  * reordered FS, and Temporal Partitioning sit at the shuffle-baseline
  * MI floor with BER at a coin flip.
+ *
+ * Each point also carries its static verdict: the noninterference
+ * certifier proves (or refutes) the scheduler noninterfering, and the
+ * closed-form Gong–Kiyavash-style bound derived from that verdict is
+ * printed next to the measurement (`bound` column, bits/s). The gate
+ * additionally requires measured MI <= bound for the leaky baseline
+ * and a certificate with bound exactly 0 for every secure point —
+ * bound-vs-measured in one table, proof and experiment cross-checking
+ * each other.
  */
 
 #include <cstdint>
@@ -23,6 +32,8 @@
 #include <string>
 #include <vector>
 
+#include "analysis/leakage_bounds.hh"
+#include "analysis/noninterference_certifier.hh"
 #include "bench_common.hh"
 #include "leakage/channel.hh"
 
@@ -36,8 +47,39 @@ struct Point
     std::string label;     ///< row label, "sched/partition"
     std::string scheme;    ///< harness scheme name
     std::string partition; ///< map.partition override ("" = scheme's)
-    bool expectLeak;       ///< gate: channel must be open / closed
+    bool expectLeak = false; ///< gate: channel must be open / closed
 };
+
+/**
+ * The static side of each point: a certifier configuration whose
+ * verdict fixes the closed-form bound the measurement must respect.
+ * Certification sweeps the full co-runner lattice at 4 domains
+ * (2^(n-1) grows fast and the proof argument is domain-count
+ * independent); the bound itself is evaluated at this figure's
+ * empirical shape (8 domains, capacity-16 queues, window 1500).
+ */
+analysis::CertifierConfig
+certConfigFor(const Point &pt)
+{
+    using analysis::CertScheme;
+    const auto paper = analysis::paperCertPoints();
+    analysis::CertifierConfig cfg;
+    if (pt.scheme == "baseline") {
+        cfg.scheme = CertScheme::FrFcfs;
+        cfg.horizonFrames = 8;
+    } else if (pt.scheme == "fs_rp") {
+        cfg = paper[0].cfg; // data/rank, l = 7
+    } else if (pt.scheme == "fs_bp") {
+        cfg = paper[3].cfg; // data/bank, l = 21
+    } else if (pt.scheme == "fs_np") {
+        cfg = paper[4].cfg; // ras/none, l = 43
+    } else if (pt.scheme == "fs_reordered_bp") {
+        cfg.scheme = CertScheme::FsReordered;
+    } else {
+        cfg.scheme = CertScheme::Tp;
+    }
+    return cfg;
+}
 
 Config
 pointConfig(const Point &pt)
@@ -121,7 +163,7 @@ main(int argc, char **argv)
 
     Table t;
     t.header({"point", "windows", "MI", "floor", "MIcorr", "rawBER",
-              "voteBER", "bit/s", "verdict", "digest"});
+              "voteBER", "bit/s", "bound", "verdict", "digest"});
     bool gateOk = true;
     std::vector<std::string> gateFailures;
     for (size_t i = 0; i < points.size(); ++i) {
@@ -131,6 +173,22 @@ main(int argc, char **argv)
             campaign.outcome(i).config);
         const auto rep =
             leakage::analyzeLeakage(res.timelines.at(0), params);
+
+        // Static verdict first: certify the point's scheduler, then
+        // evaluate the closed-form bound at this figure's empirical
+        // channel shape. Measurement must sit under the bound, and a
+        // certificate must collapse the bound to exactly zero.
+        const analysis::NoninterferenceCertifier cert(
+            certConfigFor(pt));
+        const bool certified = cert.certify().certified;
+        analysis::QueueModel qm;
+        qm.numDomains =
+            campaign.outcome(i).config.getUint("cores", 8);
+        qm.queueCapacity = campaign.outcome(i).config.getUint(
+            "mc.queue_capacity", 16);
+        qm.windowCycles = params.windowCycles;
+        const analysis::LeakageBound bound =
+            analysis::boundFor(qm, certified);
 
         // The channel is open when the estimate clears the shuffle
         // noise band AND the blind decoder beats chance decisively.
@@ -146,12 +204,38 @@ main(int argc, char **argv)
                                    ", measured " + verdict + " (" +
                                    rep.toString() + ")");
         }
+        if (pt.expectLeak) {
+            // Bound soundness: the measured channel may never exceed
+            // what the closed form admits.
+            if (certified || bound.bitsPerWindow <= 0.0 ||
+                rep.mi.correctedBits > bound.bitsPerWindow ||
+                rep.bitsPerSecond > bound.bitsPerSecond) {
+                gateOk = false;
+                gateFailures.push_back(
+                    pt.label + ": measured " +
+                    Table::num(rep.mi.correctedBits, 3) + " b/win, " +
+                    Table::num(rep.bitsPerSecond, 0) +
+                    " b/s exceeds closed-form bound " +
+                    Table::num(bound.bitsPerWindow, 3) + " b/win, " +
+                    Table::num(bound.bitsPerSecond, 0) + " b/s");
+            }
+        } else if (!certified || bound.bitsPerWindow != 0.0) {
+            // Secure points must be *proved* closed, not just
+            // measured closed: certificate present, bound exactly 0.
+            gateOk = false;
+            gateFailures.push_back(
+                pt.label +
+                ": no noninterference certificate (bound " +
+                Table::num(bound.bitsPerWindow, 3) +
+                " b/win instead of 0)");
+        }
         t.row({pt.label, std::to_string(rep.windows),
                Table::num(rep.mi.pluginBits, 3),
                Table::num(rep.mi.shuffleMeanBits, 3),
                Table::num(rep.mi.correctedBits, 3),
                Table::num(rep.rawBer, 3), Table::num(rep.votedBer, 3),
-               Table::num(rep.bitsPerSecond, 0), verdict,
+               Table::num(rep.bitsPerSecond, 0),
+               Table::num(bound.bitsPerSecond, 0), verdict,
                shortHash(leakageDigest(rep) +
                          harness::resultDigest(res))});
     }

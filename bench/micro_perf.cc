@@ -184,7 +184,7 @@ class PeriodicProbe : public Component
     uint64_t skipped_ = 0;
 
   private:
-    Cycle stride_;
+    Cycle stride_ = 1;
 };
 
 void

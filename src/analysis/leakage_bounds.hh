@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Closed-form leakage-rate bounds for shared memory schedulers.
+ *
+ * The empirical meter (src/leakage, bench/fig_leakage) estimates how
+ * many bits one concrete attack extracts; this module supplies the
+ * matching analytical ceiling, so the benchmark can print a
+ * bound-vs-measured column and gate on measured <= bound.
+ *
+ * Two results are encoded:
+ *
+ *  1. The Gong–Kiyavash rate for a shared two-user FCFS queue with a
+ *     memoryless Bernoulli(lambda) co-runner: the attacker, by timing
+ *     its own departures, learns the co-runner's arrival process
+ *     exactly, i.e. H_b(lambda) bits per queue slot (maximised at 1
+ *     bit/slot for lambda = 1/2). This is the unit anchor the tests
+ *     pin the implementation to.
+ *
+ *  2. A window bound for deterministic work-conserving schedulers
+ *     over this repo's queue model. Within an observation window of
+ *     W cycles, co-runner demand can displace the observer's service
+ *     by at most D_max cycles (capped by the window itself and by
+ *     the backlog the co-runners can physically enqueue and have
+ *     serviced). With cycle-accurate timing (resolution delta = 1
+ *     cycle) the observer distinguishes at most 1 + D_max/delta
+ *     interference states, so the channel carries at most
+ *     log2(1 + D_max) bits/window — and never more than the secret
+ *     entropy actually modulated per window (the on-off keying
+ *     harness encodes 1 bit/window). A noninterference certificate
+ *     (analysis/noninterference_certifier.hh) proves D_max = 0, so
+ *     the bound collapses to exactly zero — the "prove the channel
+ *     closed" half of the story.
+ */
+
+#ifndef MEMSEC_ANALYSIS_LEAKAGE_BOUNDS_HH
+#define MEMSEC_ANALYSIS_LEAKAGE_BOUNDS_HH
+
+#include <string>
+
+#include "sim/types.hh"
+
+namespace memsec::analysis {
+
+/** Binary entropy H_b(p) in bits; 0 at p = 0 and p = 1. */
+double binaryEntropy(double p);
+
+/**
+ * Gong–Kiyavash two-user FCFS leakage rate: an attacker sharing a
+ * deterministic-service FCFS queue with a Bernoulli(lambda) source
+ * learns H_b(lambda) bits per slot about the source's arrivals.
+ */
+double fcfsLeakageRateBitsPerSlot(double lambda);
+
+/** The shared-queue system as the bound sees it. */
+struct QueueModel
+{
+    unsigned numDomains = 8;
+    /** Per-domain transaction-queue capacity (controller config). */
+    size_t queueCapacity = 32;
+    /** Worst-case service footprint of one transaction, in cycles
+     *  (closed-row ACT..precharge; bounds how much backlog service
+     *  can displace the observer inside one window). */
+    Cycle serviceCycles = 43;
+    /** Attacker observation window, in cycles (leak.window). */
+    Cycle windowCycles = 1500;
+    /** Secret entropy actually modulated per window by the harness
+     *  (fig_leakage's on-off keying encodes 1 bit/window). */
+    double secretBitsPerWindow = 1.0;
+};
+
+/** Closed-form ceiling for one (scheduler, window) point. */
+struct LeakageBound
+{
+    /** A zero-leakage certificate backs this bound (bound == 0). */
+    bool certified = false;
+    /** Worst-case displacement of observer service, cycles/window. */
+    Cycle maxDisplacement = 0;
+    double bitsPerWindow = 0.0;
+    double bitsPerSecond = 0.0;
+    /** Human-readable derivation, for tables and reports. */
+    std::string basis;
+};
+
+/**
+ * Bound the leakage of a deterministic work-conserving scheduler
+ * under `m`, or report the exact-zero bound when a noninterference
+ * certificate exists. bitsPerSecond uses the leakage meter's bus
+ * clock (leakage/channel.hh kBusHz).
+ */
+LeakageBound boundFor(const QueueModel &m, bool certified);
+
+} // namespace memsec::analysis
+
+#endif // MEMSEC_ANALYSIS_LEAKAGE_BOUNDS_HH

@@ -16,12 +16,34 @@ using dram::RuleScope;
 std::string
 ConflictReport::toString() const
 {
+    // One self-contained sentence per side: slot, owning domain, type,
+    // the rule-anchored command edge, the absolute unrolled cycle and
+    // its frame-relative offset — enough to find the collision in the
+    // template without re-running the verifier.
+    const auto side = [](std::ostringstream &os, uint64_t slot,
+                         DomainId domain, bool write, dram::CmdEdge edge,
+                         Cycle cycle, Cycle frameOffset) {
+        os << "slot " << slot << " (domain ";
+        if (domain == kNoDomain)
+            os << "-";
+        else
+            os << domain;
+        os << ", " << (write ? "W" : "R") << " "
+           << dram::cmdEdgeName(edge) << ", cycle " << cycle
+           << " = frame offset " << frameOffset << ")";
+    };
     std::ostringstream os;
-    os << dram::ruleName(rule) << " violated between slot " << earlierSlot
-       << " (" << (earlierWrite ? "W" : "R") << ", cycle " << earlierCycle
-       << ") and slot " << laterSlot << " ("
-       << (laterWrite ? "W" : "R") << ", cycle " << laterCycle
-       << "): gap " << gap << " < " << need;
+    os << dram::ruleName(rule) << " violated between ";
+    side(os, earlierSlot, earlierDomain, earlierWrite, fromEdge,
+         earlierCycle, earlierFrameOffset);
+    if (againstRefreshEpoch) {
+        os << " and the refresh epoch at cycle " << laterCycle;
+    } else {
+        os << " and ";
+        side(os, laterSlot, laterDomain, laterWrite, toEdge, laterCycle,
+             laterFrameOffset);
+    }
+    os << ": gap " << gap << " < " << need;
     return os.str();
 }
 
@@ -166,8 +188,9 @@ ScheduleVerifier::checkPair(uint64_t si, uint64_t sj, bool wi, bool wj,
     const long actJ = static_cast<long>(actOf(sj, l, wj));
     const long casJ = static_cast<long>(casOf(sj, l, wj));
 
-    auto conflict = [&](RuleId id, long cycI, long cycJ, long gap,
-                        long need) {
+    const Cycle frame = static_cast<Cycle>(slotsPerFrame_) * l;
+    auto conflict = [&](RuleId id, CmdEdge from, CmdEdge to, long cycI,
+                        long cycJ, long gap, long need) {
         if (out) {
             out->rule = id;
             out->earlierSlot = si;
@@ -178,15 +201,25 @@ ScheduleVerifier::checkPair(uint64_t si, uint64_t sj, bool wi, bool wj,
             out->laterCycle = static_cast<Cycle>(cycJ);
             out->gap = gap;
             out->need = need;
+            out->earlierDomain = domainOf(si);
+            out->laterDomain = domainOf(sj);
+            out->fromEdge = from;
+            out->toEdge = to;
+            out->earlierFrameOffset = static_cast<Cycle>(cycI) % frame;
+            out->laterFrameOffset = static_cast<Cycle>(cycJ) % frame;
+            out->againstRefreshEpoch = false;
         }
         return false;
     };
 
     // Shared command bus: one command per cycle, exact collision.
-    for (long ci : {actI, casI}) {
-        for (long cj : {actJ, casJ}) {
+    for (const auto &[ei, ci] :
+         {std::pair{CmdEdge::Act, actI}, std::pair{CmdEdge::Cas, casI}}) {
+        for (const auto &[ej, cj] :
+             {std::pair{CmdEdge::Act, actJ},
+              std::pair{CmdEdge::Cas, casJ}}) {
             if (ci == cj)
-                return conflict(RuleId::CmdBus, ci, cj, 0, 1);
+                return conflict(RuleId::CmdBus, ei, ej, ci, cj, 0, 1);
         }
     }
 
@@ -220,7 +253,8 @@ ScheduleVerifier::checkPair(uint64_t si, uint64_t sj, bool wi, bool wj,
         const long from = edge(si, wi, r.from);
         const long to = edge(sj, wj, r.to);
         if (to - from < r.minGap)
-            return conflict(r.id, from, to, to - from, r.minGap);
+            return conflict(r.id, r.from, r.to, from, to, to - from,
+                            r.minGap);
     }
     return true;
 }
@@ -265,10 +299,26 @@ ScheduleVerifier::checkFawWindows(unsigned l, uint64_t slots,
                     const long to = static_cast<long>(actOf(sj, l, wj));
                     if (to - from < faw) {
                         if (out) {
-                            *out = ConflictReport{
-                                RuleId::Faw, si,   sj,
-                                wi,          wj,   static_cast<Cycle>(from),
-                                static_cast<Cycle>(to), to - from, faw};
+                            const Cycle frame =
+                                static_cast<Cycle>(slotsPerFrame_) * l;
+                            out->rule = RuleId::Faw;
+                            out->earlierSlot = si;
+                            out->laterSlot = sj;
+                            out->earlierWrite = wi;
+                            out->laterWrite = wj;
+                            out->earlierCycle = static_cast<Cycle>(from);
+                            out->laterCycle = static_cast<Cycle>(to);
+                            out->gap = to - from;
+                            out->need = faw;
+                            out->earlierDomain = domainOf(si);
+                            out->laterDomain = domainOf(sj);
+                            out->fromEdge = CmdEdge::Act;
+                            out->toEdge = CmdEdge::Act;
+                            out->earlierFrameOffset =
+                                static_cast<Cycle>(from) % frame;
+                            out->laterFrameOffset =
+                                static_cast<Cycle>(to) % frame;
+                            out->againstRefreshEpoch = false;
                         }
                         return false;
                     }
@@ -290,9 +340,25 @@ ScheduleVerifier::checkRefresh(unsigned l, uint64_t slots,
     auto conflict = [&](RuleId id, uint64_t slot, bool w, Cycle slotCyc,
                         Cycle epochCyc, long gap, long need) {
         if (out) {
-            *out = ConflictReport{id,      slot, slot, w,
-                                  w,       slotCyc, epochCyc, gap,
-                                  need};
+            out->rule = id;
+            out->earlierSlot = slot;
+            out->laterSlot = slot;
+            out->earlierWrite = w;
+            out->laterWrite = w;
+            out->earlierCycle = slotCyc;
+            out->laterCycle = epochCyc;
+            out->gap = gap;
+            out->need = need;
+            out->earlierDomain = domainOf(slot);
+            out->laterDomain = ConflictReport::kNoDomain;
+            // The epoch conflicts anchor the slot's nearest command
+            // edge; ACT is the earliest and is what the Rp/Rfc gaps
+            // are measured against.
+            out->fromEdge = CmdEdge::Act;
+            out->toEdge = CmdEdge::Act;
+            out->earlierFrameOffset = slotCyc % frame;
+            out->laterFrameOffset = epochCyc % frame;
+            out->againstRefreshEpoch = true;
         }
         return false;
     };

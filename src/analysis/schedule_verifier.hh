@@ -67,6 +67,9 @@ struct VerifierConfig
 /** A concrete violated constraint between two unrolled slots. */
 struct ConflictReport
 {
+    /** Domain field value for a phantom pad slot / the refresh epoch. */
+    static constexpr DomainId kNoDomain = ~0u;
+
     dram::RuleId rule = dram::RuleId::CmdBus;
     uint64_t earlierSlot = 0;
     uint64_t laterSlot = 0;
@@ -77,6 +80,19 @@ struct ConflictReport
     Cycle laterCycle = 0;
     long gap = 0;  ///< separation the schedule achieves
     long need = 0; ///< separation the rule demands
+
+    /** Domains owning the two slots (kNoDomain: phantom / epoch). */
+    DomainId earlierDomain = kNoDomain;
+    DomainId laterDomain = kNoDomain;
+    /** Command edges the violated rule anchors (ACT / CAS / DATA). */
+    dram::CmdEdge fromEdge = dram::CmdEdge::Act;
+    dram::CmdEdge toEdge = dram::CmdEdge::Act;
+    /** Offending cycles reduced modulo the slot frame (Q = slots*l):
+     *  where inside the repeating template the pair collides. */
+    Cycle earlierFrameOffset = 0;
+    Cycle laterFrameOffset = 0;
+    /** The "later" side is a refresh epoch, not a slot. */
+    bool againstRefreshEpoch = false;
 
     std::string toString() const;
 };

@@ -5,6 +5,17 @@
 namespace memsec::dram {
 
 const char *
+cmdEdgeName(CmdEdge e)
+{
+    switch (e) {
+      case CmdEdge::Act: return "ACT";
+      case CmdEdge::Cas: return "CAS";
+      case CmdEdge::Data: return "DATA";
+    }
+    panic("unnamed CmdEdge {}", static_cast<int>(e));
+}
+
+const char *
 ruleName(RuleId id)
 {
     switch (id) {

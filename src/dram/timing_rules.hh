@@ -65,6 +65,9 @@ const char *ruleName(RuleId id);
 /** Which command of a closed-row transaction a pairwise rule anchors. */
 enum class CmdEdge : uint8_t { Act, Cas, Data };
 
+/** Human-readable edge name ("ACT", "CAS", "DATA") for reports. */
+const char *cmdEdgeName(CmdEdge e);
+
 /**
  * Resource sharing under which a pairwise rule binds. AnyPair rules
  * constrain every transaction pair (shared buses); SameRank /

@@ -28,6 +28,7 @@ constexpr KindName kKindNames[] = {
     {FaultKind::RefreshStorm, "refresh-storm"},
     {FaultKind::QueueOverflow, "queue-overflow"},
     {FaultKind::SlotSkew, "slot-skew"},
+    {FaultKind::CrossCoupling, "cross-coupling"},
     {FaultKind::TraceCorrupt, "trace-corrupt"},
     {FaultKind::SnapshotTruncate, "snapshot-truncate"},
     {FaultKind::SnapshotBitflip, "snapshot-bitflip"},
@@ -256,6 +257,16 @@ Cycle
 FaultInjector::slotSkew(Cycle t)
 {
     if (spec_.kind != FaultKind::SlotSkew || !fires(t))
+        return 0;
+    ++injected_;
+    return spec_.magnitude;
+}
+
+Cycle
+FaultInjector::couplingSkew(Cycle t, uint64_t foreignBacklog)
+{
+    if (spec_.kind != FaultKind::CrossCoupling || foreignBacklog == 0 ||
+        !fires(t))
         return 0;
     ++injected_;
     return spec_.magnitude;

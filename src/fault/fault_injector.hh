@@ -52,6 +52,7 @@ enum class FaultKind
     RefreshStorm,    ///< refreshes double up in the audit stream
     QueueOverflow,   ///< ghost transactions flood the controller queue
     SlotSkew,        ///< scheduler slots shift by a few cycles
+    CrossCoupling,   ///< slot timing couples to other domains' backlog
     TraceCorrupt,    ///< trace-file records get mangled
     SnapshotTruncate, ///< checkpoint file loses its tail
     SnapshotBitflip, ///< checkpoint payload gains a flipped bit
@@ -120,6 +121,17 @@ class FaultInjector
      * cycle t (0 = leave it alone). Hook point: FsScheduler::plan.
      */
     Cycle slotSkew(Cycle t);
+
+    /**
+     * CrossCoupling: cycles to shift a planned operation when other
+     * domains have work queued — a scheduler whose slot timing couples
+     * to foreign backlog, i.e. a direct noninterference break (unlike
+     * SlotSkew's content-keyed drift, the dependence on co-runner
+     * demand is explicit). Returns 0 when the foreign backlog is zero,
+     * so a run with idle co-runners is never perturbed. Hook point:
+     * FsScheduler::plan.
+     */
+    Cycle couplingSkew(Cycle t, uint64_t foreignBacklog);
 
     /**
      * QueueOverflow: true if a ghost duplicate transaction should be

@@ -343,6 +343,21 @@ ExperimentSystem::ExperimentSystem(const Config &cfg)
         p.powerDown = cfg.getBool("fs.powerdown", false);
         p.refresh = refresh;
         p.rngSeed = cfg.getUint("seed", 1);
+        // Pin the periodic reference (fs.ref = data|ras|cas) instead
+        // of the per-partition smallest-l winner, so configs can
+        // reach all five paper (reference, partition) design points.
+        const std::string ref = cfg.getString("fs.ref", "");
+        if (!ref.empty()) {
+            p.pinRef = true;
+            if (ref == "data")
+                p.ref = core::PeriodicRef::Data;
+            else if (ref == "ras")
+                p.ref = core::PeriodicRef::Ras;
+            else if (ref == "cas")
+                p.ref = core::PeriodicRef::Cas;
+            else
+                fatal("unknown fs.ref '{}'", ref);
+        }
         // SLA issue-slot weights: "2,1,1,..." (one entry per domain).
         const std::string weights = cfg.getString("fs.slot_weights", "");
         if (!weights.empty()) {

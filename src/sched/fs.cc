@@ -46,7 +46,9 @@ FsScheduler::FsScheduler(mem::MemoryController &mc, const Params &params)
     : Scheduler(mc), params_(params)
 {
     const core::PipelineSolver solver(dram_.timing());
-    sol_ = solver.solveBest(levelOf(params.mode));
+    sol_ = params.pinRef
+               ? solver.solve(params.ref, levelOf(params.mode))
+               : solver.solveBest(levelOf(params.mode));
     fatal_if(!sol_.feasible, "no feasible FS pipeline for mode {}",
              fsModeName(params.mode));
     l_ = sol_.l;
@@ -356,6 +358,23 @@ FsScheduler::plan(uint64_t slot, std::unique_ptr<MemRequest> req,
     // cancel out across co-runner sets.
     if (injector_ && !dummy) {
         if (const Cycle skew = injector_->slotSkew(op.actAt)) {
+            op.actAt += skew;
+            op.casAt += skew;
+            skewedOps_.inc();
+        }
+        // Cross-coupling injection: the op drifts only when *other*
+        // domains have work queued, wiring foreign backlog straight
+        // into this domain's command timing. The scan below is the
+        // exact cross-domain flow isolint forbids in decision paths —
+        // it exists so the noninterference certifier can prove it
+        // refuses a certificate when such a flow is armed.
+        uint64_t foreign = 0;
+        for (DomainId d = 0; d < mc_.numDomains(); ++d) {
+            if (d != req->domain)
+                foreign += mc_.queue(d).size();
+        }
+        if (const Cycle skew =
+                injector_->couplingSkew(op.actAt, foreign)) {
             op.actAt += skew;
             op.casAt += skew;
             skewedOps_.inc();

@@ -53,6 +53,18 @@ class FsScheduler : public Scheduler
         /** Issue slots per domain per frame (SLA weights); empty means
          *  one slot each. */
         std::vector<unsigned> slotWeights;
+        /**
+         * Pin the pipeline's periodic reference instead of taking the
+         * smallest-l solution for the partition level (fs.ref). The
+         * paper tabulates five (reference, partition) design points,
+         * but solveBest() only ever reaches the per-level winners
+         * (data/rank l=7, RAS/bank l=15, RAS/none l=43); pinning the
+         * reference lets analyses — notably the noninterference
+         * certifier's five-point sweep — instantiate rank/RAS (l=12)
+         * and bank/data (l=21) through the real scheduler too.
+         */
+        bool pinRef = false;
+        core::PeriodicRef ref = core::PeriodicRef::Data;
         uint64_t rngSeed = 0x5eedf00d;
         /**
          * Deterministic refresh epochs: every tREFI the pipeline

@@ -16,6 +16,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "analysis/noninterference_certifier.hh"
 #include "core/noninterference.hh"
 #include "cpu/trace_file.hh"
 #include "dram/dram_system.hh"
@@ -300,6 +301,59 @@ TEST(SlotSkew, InjectedSkewBreaksNoninterference)
     const auto audit = core::compareTimelines(quiet, noisy);
     EXPECT_FALSE(audit.identical)
         << "slot-skew injection went undetected by the audit";
+}
+
+// ---------------------------------------------------------------------
+// Certifier refusal: domain-coupling faults must cost the scheduler
+// its noninterference certificate, with a concrete witness.
+// ---------------------------------------------------------------------
+
+namespace {
+
+analysis::CertifyResult
+certifyUnderFault(FaultKind kind, double rate)
+{
+    analysis::CertifierConfig cfg =
+        analysis::paperCertPoints()[0].cfg;
+    cfg.fault.kind = kind;
+    cfg.fault.rate = rate;
+    cfg.fault.magnitude = 2;
+    return analysis::NoninterferenceCertifier(cfg).certify();
+}
+
+} // namespace
+
+TEST(CertifierRefusal, SlotSkewRefusesCertificate)
+{
+    // rate < 1 so the PRNG draw count (and thus the skew pattern)
+    // depends on how many real ops the co-runners add; a rate-1.0
+    // skew would shift every run identically and prove nothing.
+    const auto res = certifyUnderFault(FaultKind::SlotSkew, 0.5);
+    ASSERT_FALSE(res.certified)
+        << "slot-skew fault went uncaught: " << res.summary();
+    ASSERT_TRUE(res.hasWitness);
+    EXPECT_FALSE(res.witness.toString().empty());
+}
+
+TEST(CertifierRefusal, CrossCouplingRefusesCertificate)
+{
+    // couplingSkew() keys directly on foreign backlog, so it is dead
+    // in the all-idle reference and live in every backlogged run:
+    // the purest noninterference break the injector models.
+    const auto res = certifyUnderFault(FaultKind::CrossCoupling, 1.0);
+    ASSERT_FALSE(res.certified)
+        << "cross-coupling fault went uncaught: " << res.summary();
+    ASSERT_TRUE(res.hasWitness);
+    // One backlogged co-runner is already distinguishable.
+    EXPECT_GE(res.witness.assignment, 1u);
+}
+
+TEST(CertifierRefusal, HealthyPointStillCertifies)
+{
+    // Control: the same design point with no fault armed keeps its
+    // certificate — refusal above is the fault's doing, not noise.
+    const auto res = certifyUnderFault(FaultKind::None, 1.0);
+    EXPECT_TRUE(res.certified) << res.summary();
 }
 
 // ---------------------------------------------------------------------

@@ -198,6 +198,61 @@ TEST(ScheduleVerifier, RefreshEpochsVerifiedOverHyperperiod)
     }
 }
 
+// ---- Conflict reports are human-readable (regression): each side
+// names its owning domain, the rule-anchored command edge, and the
+// frame-relative offset, so a collision can be located in the
+// repeating template without re-running the verifier. ----
+
+TEST(ConflictReportText, NamesDomainsEdgesAndFrameOffsets)
+{
+    const ScheduleVerifier v =
+        paperVerifier(PeriodicRef::Data, PartitionLevel::Rank);
+    const VerifyResult bad = v.verify(6); // one below the l=7 minimum
+    ASSERT_TRUE(bad.hasConflict) << bad.summary();
+    const auto &c = bad.conflict;
+
+    // Structured fields are populated, not defaulted.
+    EXPECT_NE(c.earlierDomain, analysis::ConflictReport::kNoDomain);
+    EXPECT_NE(c.laterDomain, analysis::ConflictReport::kNoDomain);
+    EXPECT_LE(c.earlierFrameOffset, c.earlierCycle);
+    EXPECT_LE(c.laterFrameOffset, c.laterCycle);
+    EXPECT_FALSE(c.againstRefreshEpoch);
+
+    const std::string text = c.toString();
+    EXPECT_NE(text.find("domain"), std::string::npos) << text;
+    EXPECT_NE(text.find("frame offset"), std::string::npos) << text;
+    // Both rule-anchored edges are spelled by name (ACT/CAS/DATA).
+    EXPECT_NE(text.find(dram::cmdEdgeName(c.fromEdge)),
+              std::string::npos)
+        << text;
+    EXPECT_NE(text.find(dram::cmdEdgeName(c.toEdge)),
+              std::string::npos)
+        << text;
+    // The long-standing substrings older tooling greps for survive.
+    EXPECT_NE(text.find("violated between slot"), std::string::npos);
+    EXPECT_NE(text.find("gap"), std::string::npos);
+}
+
+TEST(ConflictReportText, RefreshConflictNamesTheEpoch)
+{
+    dram::TimingParams tp = dram::TimingParams::ddr3_1600_4gb();
+    tp.refi = 300; // cannot fit pause + margin + one frame
+    VerifierConfig cfg = cfgOf(PeriodicRef::Data, PartitionLevel::Rank);
+    cfg.refresh = true;
+    const ScheduleVerifier v(tp, cfg);
+    const VerifyResult r = v.verify(7);
+    ASSERT_TRUE(r.hasConflict) << r.summary();
+    ASSERT_TRUE(r.conflict.againstRefreshEpoch);
+    EXPECT_EQ(r.conflict.laterDomain,
+              analysis::ConflictReport::kNoDomain);
+    const std::string text = r.conflict.toString();
+    EXPECT_NE(text.find("refresh epoch at cycle"), std::string::npos)
+        << text;
+    // The slot side still carries domain + frame-offset context.
+    EXPECT_NE(text.find("domain"), std::string::npos) << text;
+    EXPECT_NE(text.find("frame offset"), std::string::npos) << text;
+}
+
 TEST(ScheduleVerifier, TooShortRefiIsRejectedAsRetentionConflict)
 {
     dram::TimingParams tp = dram::TimingParams::ddr3_1600_4gb();
