@@ -6,27 +6,29 @@
  *
  * Core 0 runs the "probe" receiver (audited: its per-request
  * latencies become the observation stream); cores 1-7 run "modsender"
- * copies whose memory intensity is keyed on a secret bitstring (see
- * docs/LEAKAGE.md). For each point we report the mutual information
- * between the secret bit and the receiver's per-window mean latency
- * (plug-in estimate, shuffle-baseline corrected), and the decoder's
- * raw/majority-vote bit-error rate plus achieved bandwidth.
+ * copies whose memory intensity is keyed on an encoded symbol frame
+ * (pilot preamble + secret payload, leakage/codec.hh). The attacker
+ * is the trained near-capacity decoder of leakage/decoder.hh:
+ * adaptive symbol timing, pilot-selected guard band, and a
+ * multi-feature (throughput + latency) maximum-likelihood decoder
+ * with soft-decision voting. For each point we report the legacy
+ * blind meter alongside the trained attacker's LLR mutual
+ * information, ML bit-error rate, and *attacker strength* — the
+ * measured per-window information as a fraction of the closed-form
+ * Gong–Kiyavash bound.
  *
- * Expected outcome, and the exit-code gate: FR-FCFS decodes the
- * secret at near-zero BER regardless of partitioning; Fixed Service,
- * reordered FS, and Temporal Partitioning sit at the shuffle-baseline
- * MI floor with BER at a coin flip.
- *
- * Each point also carries its static verdict: the noninterference
- * certifier proves (or refutes) the scheduler noninterfering, and the
- * closed-form Gong–Kiyavash-style bound derived from that verdict is
- * printed next to the measurement (`bound` column, bits/s). The gate
- * additionally requires measured MI <= bound for the leaky baseline
- * and a certificate with bound exactly 0 for every secure point —
- * bound-vs-measured in one table, proof and experiment cross-checking
- * each other.
+ * Expected outcome, and the two-sided exit-code gate:
+ *  - FR-FCFS (any partitioning) must be decoded at >= 80% of the
+ *    closed-form bound — the meter is strong enough that a surviving
+ *    gap of 20% is attacker suboptimality, not meter weakness;
+ *  - Fixed Service, reordered FS, and Temporal Partitioning must be
+ *    *proved* closed (noninterference certificate, bound exactly 0)
+ *    and *measured* closed: shuffle-floor MI from both meters, the
+ *    trained model refusing to decode (pilot d' under the usability
+ *    floor), and voted BER at a coin flip.
  */
 
+#include <algorithm>
 #include <cstdint>
 #include <iostream>
 #include <string>
@@ -48,6 +50,11 @@ struct Point
     std::string scheme;    ///< harness scheme name
     std::string partition; ///< map.partition override ("" = scheme's)
     bool expectLeak = false; ///< gate: channel must be open / closed
+    /** Attacker-tuned symbol period: partitioned channels are slower
+     *  (less contention per window), so the sender lengthens the
+     *  symbol to keep per-window separation decodable. The bound
+     *  scales with the same window, so the strength ratio is fair. */
+    uint64_t window = 1500;
 };
 
 /**
@@ -56,7 +63,7 @@ struct Point
  * Certification sweeps the full co-runner lattice at 4 domains
  * (2^(n-1) grows fast and the proof argument is domain-count
  * independent); the bound itself is evaluated at this figure's
- * empirical shape (8 domains, capacity-16 queues, window 1500).
+ * empirical shape (8 domains, capacity-16 queues, per-point window).
  */
 analysis::CertifierConfig
 certConfigFor(const Point &pt)
@@ -95,19 +102,42 @@ pointConfig(const Point &pt)
     c.set("workload", wl);
     c.set("audit.core", 0);
     c.set("sim.warmup", 0);
-    // Longer run than the IPC figures: the decoder wants many
-    // repetitions of the 32-bit secret (window 1500 -> ~10 reps at
-    // the default scale).
-    c.set("sim.measure", 4 * c.getUint("sim.measure", 120000));
+    // The >=80%-of-bound gate needs enough windows for the pilot-
+    // trained model and the shuffle floor to settle, so this figure
+    // keeps a measurement floor even under MEMSEC_QUICK (full run is
+    // a few seconds; the quick default would leave ~40 pilots).
+    c.set("sim.measure",
+          std::max<uint64_t>(480000,
+                             4 * c.getUint("sim.measure", 120000)));
     // The covert-channel protocol (docs/CONFIG.md, leak.*). Explicit
-    // so the campaign fingerprint pins every parameter.
-    c.set("leak.window", 1500);
-    c.set("leak.secret_seed", 0xC0FFEE);
+    // so the campaign fingerprint pins every parameter. The secret
+    // seed is chosen *balanced* (16 ones in 32 bits): source entropy
+    // is exactly 1 bit/window, so measured MI is comparable to the
+    // closed-form bound and a refused decode sits at BER 0.5 exactly.
+    c.set("leak.window", pt.window);
+    c.set("leak.secret_seed", 0xC0FFF2);
     c.set("leak.secret_bits", 32);
     c.set("leak.skip_windows", 2);
     c.set("leak.off_factor", 0.02);
     c.set("leak.mi_bins", 8);
     c.set("leak.mi_shuffles", 64);
+    // The attacker's code: 9 alternating pilots per frame, payload
+    // uncoded — soft voting across cyclic frame repetitions is the
+    // repetition code. 9 + 32 makes the frame 41 windows, *prime*:
+    // any deterministic per-window periodicity in a scheduler (FS
+    // frame turns, TP turn schedule, refresh) cycles through every
+    // frame phase instead of locking onto the alternating pilot
+    // classes, so a noninterfering scheme cannot fake pilot
+    // separation by aliasing. (An even frame length lets window
+    // parity align with the pilots and produced exactly that
+    // artifact.)
+    c.set("leak.code.scheme", "onoff");
+    c.set("leak.code.preamble", 9);
+    c.set("leak.code.repeat", 1);
+    c.set("leak.code.adapt_timing", true);
+    c.set("leak.code.adapt_guard", true);
+    c.set("leak.code.min_separation", 0.5);
+    c.set("leak.code.mi_bins", 4);
     return c;
 }
 
@@ -133,15 +163,15 @@ main(int argc, char **argv)
     const BenchOptions opts = BenchOptions::parse(argc, argv);
 
     const std::vector<Point> points = {
-        {"frfcfs/none", "baseline", "", true},
-        {"frfcfs/bank", "baseline", "bank", true},
-        {"frfcfs/rank", "baseline", "rank", true},
-        {"fs/rank", "fs_rp", "", false},
-        {"fs/bank", "fs_bp", "", false},
-        {"fs/none", "fs_np", "", false},
-        {"fs_reord/bank", "fs_reordered_bp", "", false},
-        {"tp/bank", "tp_bp", "", false},
-        {"tp/none", "tp_np", "", false},
+        {"frfcfs/none", "baseline", "", true, 2000},
+        {"frfcfs/bank", "baseline", "bank", true, 3000},
+        {"frfcfs/rank", "baseline", "rank", true, 1500},
+        {"fs/rank", "fs_rp", "", false, 1500},
+        {"fs/bank", "fs_bp", "", false, 1500},
+        {"fs/none", "fs_np", "", false, 1500},
+        {"fs_reord/bank", "fs_reordered_bp", "", false, 1500},
+        {"tp/bank", "tp_bp", "", false, 1500},
+        {"tp/none", "tp_np", "", false, 1500},
     };
 
     std::cerr << "fig_leakage: covert-channel capacity/BER sweep ("
@@ -157,13 +187,15 @@ main(int argc, char **argv)
         std::cout << "\n== Empirical leakage: covert-channel capacity "
                      "and decode BER ==\n";
         std::cout << "probe receiver on core 0, 7 modulated senders; "
-                     "MI per window (bits),\nshuffle-corrected; BER "
-                     "from a blind median-threshold decoder.\n";
+                     "MIcorr = legacy meter (bits/window),\nllrMI = "
+                     "trained-decoder LLR MI, mlBER = soft-voted "
+                     "secret BER, strength = attacker\nbits/window / "
+                     "closed-form bound.\n";
     }
 
     Table t;
-    t.header({"point", "windows", "MI", "floor", "MIcorr", "rawBER",
-              "voteBER", "bit/s", "bound", "verdict", "digest"});
+    t.header({"point", "windows", "MIcorr", "llrMI", "rawBER", "mlBER",
+              "bit/s", "bound", "strength", "verdict", "digest"});
     bool gateOk = true;
     std::vector<std::string> gateFailures;
     for (size_t i = 0; i < points.size(); ++i) {
@@ -189,12 +221,22 @@ main(int argc, char **argv)
         qm.windowCycles = params.windowCycles;
         const analysis::LeakageBound bound =
             analysis::boundFor(qm, certified);
+        const double strength =
+            bound.bitsPerWindow > 0.0
+                ? rep.attackerBitsPerWindow / bound.bitsPerWindow
+                : 0.0;
 
-        // The channel is open when the estimate clears the shuffle
-        // noise band AND the blind decoder beats chance decisively.
-        const bool open = rep.mi.pluginBits > rep.mi.shuffleMaxBits &&
-                          rep.rawBer < 0.25;
+        // The channel is open when the trained attacker both finds a
+        // usable model and decodes the secret at low error; closed
+        // when both meters sit at the noise floor, the model is
+        // refused, and the voted decode is a coin flip.
+        const bool open = rep.modelUsable && rep.mlVotedBer < 0.1 &&
+                          rep.mi.pluginBits > rep.mi.shuffleMaxBits;
         const bool closed = rep.mi.correctedBits < 0.05 &&
+                            rep.llrMi.correctedBits < 0.05 &&
+                            !rep.modelUsable &&
+                            rep.mlVotedBer > 0.35 &&
+                            rep.mlVotedBer < 0.65 &&
                             rep.rawBer > 0.35 && rep.rawBer < 0.65;
         const char *verdict = open ? "OPEN" : closed ? "closed" : "?";
         if (pt.expectLeak != open || (!pt.expectLeak && !closed)) {
@@ -208,16 +250,28 @@ main(int argc, char **argv)
             // Bound soundness: the measured channel may never exceed
             // what the closed form admits.
             if (certified || bound.bitsPerWindow <= 0.0 ||
-                rep.mi.correctedBits > bound.bitsPerWindow ||
-                rep.bitsPerSecond > bound.bitsPerSecond) {
+                rep.attackerBitsPerWindow > bound.bitsPerWindow ||
+                rep.attackerBitsPerSecond > bound.bitsPerSecond) {
                 gateOk = false;
                 gateFailures.push_back(
                     pt.label + ": measured " +
-                    Table::num(rep.mi.correctedBits, 3) + " b/win, " +
-                    Table::num(rep.bitsPerSecond, 0) +
+                    Table::num(rep.attackerBitsPerWindow, 3) +
+                    " b/win, " +
+                    Table::num(rep.attackerBitsPerSecond, 0) +
                     " b/s exceeds closed-form bound " +
                     Table::num(bound.bitsPerWindow, 3) + " b/win, " +
                     Table::num(bound.bitsPerSecond, 0) + " b/s");
+            }
+            // Attacker strength: the meter must be near-capacity, or
+            // the security claim "FS/TP flatline under our attacker"
+            // is an argument from weakness.
+            if (strength < 0.80) {
+                gateOk = false;
+                gateFailures.push_back(
+                    pt.label + ": attacker strength " +
+                    Table::num(strength, 3) +
+                    " below 0.80 of the closed-form bound (" +
+                    rep.toString() + ")");
             }
         } else if (!certified || bound.bitsPerWindow != 0.0) {
             // Secure points must be *proved* closed, not just
@@ -230,12 +284,12 @@ main(int argc, char **argv)
                 " b/win instead of 0)");
         }
         t.row({pt.label, std::to_string(rep.windows),
-               Table::num(rep.mi.pluginBits, 3),
-               Table::num(rep.mi.shuffleMeanBits, 3),
                Table::num(rep.mi.correctedBits, 3),
-               Table::num(rep.rawBer, 3), Table::num(rep.votedBer, 3),
-               Table::num(rep.bitsPerSecond, 0),
-               Table::num(bound.bitsPerSecond, 0), verdict,
+               Table::num(rep.llrMi.correctedBits, 3),
+               Table::num(rep.rawBer, 3), Table::num(rep.mlVotedBer, 3),
+               Table::num(rep.attackerBitsPerSecond, 0),
+               Table::num(bound.bitsPerSecond, 0),
+               Table::num(strength, 3), verdict,
                shortHash(leakageDigest(rep) +
                          harness::resultDigest(res))});
     }

@@ -20,8 +20,12 @@ SyntheticTraceGenerator::SyntheticTraceGenerator(
                      profile.modOffFactor > 1.0,
                  "modOffFactor must be in (0,1], got {}",
                  profile.modOffFactor);
-        modSecret_ = leakage::secretBits(profile.modSecretSeed,
-                                         profile.modSecretBits);
+        // A pre-encoded symbol frame (leak.code.*) outranks the raw
+        // seed-driven secret; both drive the same keying loop below.
+        modSecret_ = profile.modSymbols.empty()
+                         ? leakage::secretBits(profile.modSecretSeed,
+                                               profile.modSecretBits)
+                         : profile.modSymbols;
     }
     const unsigned streams = std::max(1u, profile.numStreams);
     // Start streams at seed-dependent offsets: co-scheduled copies of

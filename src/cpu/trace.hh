@@ -113,6 +113,14 @@ struct WorkloadProfile
     uint64_t modSecretSeed = 1;
     unsigned modSecretBits = 32;
     double modOffFactor = 0.02;
+    /**
+     * Encoded symbol frame transmitted cyclically instead of the raw
+     * secret (leakage/codec.hh: preamble pilots + coded payload).
+     * Empty means the seed-driven secret bits are the symbols — the
+     * pre-codec sender. Populated by harness/experiment.cc from the
+     * leak.code.* keys so sender and analyzer share one frame.
+     */
+    std::vector<uint8_t> modSymbols;
 
     /**
      * Non-empty: replay this trace file (see cpu/trace_file.hh)

@@ -14,6 +14,7 @@
 #include "fault/fault_injector.hh"
 #include "harness/campaign.hh"
 #include "leakage/channel.hh"
+#include "leakage/secret.hh"
 #include "mem/address_map.hh"
 #include "mem/memory_controller.hh"
 #include "sched/frfcfs.hh"
@@ -440,6 +441,12 @@ ExperimentSystem::ExperimentSystem(const Config &cfg)
     // disagree about window length, seed, or duty factors.
     const leakage::ChannelParams leak =
         leakage::ChannelParams::fromConfig(cfg);
+    // The symbol frame (leak.code.*: pilot preamble + coded payload)
+    // is encoded once here and shared by every sender, exactly the
+    // frame the analyzer reconstructs from the same config.
+    const leakage::SymbolFrame leakFrame = leakage::encodeFrame(
+        leakage::secretBits(leak.secretSeed, leak.secretBits),
+        leak.code);
     for (auto &p : profiles) {
         if (p.name != "modsender")
             continue;
@@ -447,6 +454,7 @@ ExperimentSystem::ExperimentSystem(const Config &cfg)
         p.modSecretSeed = leak.secretSeed;
         p.modSecretBits = static_cast<unsigned>(leak.secretBits);
         p.modOffFactor = leak.offFactor;
+        p.modSymbols = leakFrame.symbols;
     }
     const int64_t auditCore = cfg.getInt("audit.core", -1);
     im.auditCore = auditCore;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "leakage/decoder.hh"
 #include "leakage/secret.hh"
 #include "sim/config.hh"
 #include "util/logging.hh"
@@ -26,6 +27,23 @@ ChannelParams::fromConfig(const Config &cfg)
         static_cast<size_t>(cfg.getUint("leak.mi_shuffles", 64));
     p.mi.shuffleSeed =
         cfg.getUint("leak.shuffle_seed", MiOptions{}.shuffleSeed);
+    const std::string binning =
+        cfg.getString("leak.mi_binning", "width");
+    if (binning == "quantile")
+        p.mi.binning = MiBinning::Quantile;
+    else if (binning != "width")
+        fatal("unknown leak.mi_binning '{}' (width|quantile)",
+              binning);
+    p.code = CodeParams::fromConfig(cfg);
+    p.adaptTiming = cfg.getBool("leak.code.adapt_timing", true);
+    p.timingSpan = cfg.getDouble("leak.code.timing_span", 0.25);
+    p.timingSteps =
+        static_cast<size_t>(cfg.getUint("leak.code.timing_steps", 41));
+    p.adaptGuard = cfg.getBool("leak.code.adapt_guard", true);
+    p.minSeparation =
+        cfg.getDouble("leak.code.min_separation", 0.5);
+    p.llrMiBins =
+        static_cast<size_t>(cfg.getUint("leak.code.mi_bins", 4));
     return p;
 }
 
@@ -43,8 +61,11 @@ extractObservations(const core::VictimTimeline &receiver,
     const Cycle guard = static_cast<Cycle>(
         params.guardFraction *
         static_cast<double>(params.windowCycles));
-    const auto secret =
-        secretBits(params.secretSeed, params.secretBits);
+    // Label each window with its *transmitted symbol*. Under the
+    // default pass-through code the frame is the secret itself, so
+    // legacy configurations are bit-identical to the pre-codec meter.
+    const SymbolFrame frame = encodeFrame(
+        secretBits(params.secretSeed, params.secretBits), params.code);
 
     // Service events are recorded in completion order; bin them by
     // arrival cycle. Accumulate per-window sums first (windows are
@@ -72,7 +93,7 @@ extractObservations(const core::VictimTimeline &receiver,
             continue;
         WindowObservation obs;
         obs.window = w;
-        obs.bit = secret[w % secret.size()];
+        obs.bit = frame.symbolAt(w);
         obs.samples = count[w];
         obs.meanLatency = sum[w] / static_cast<double>(count[w]);
         out.push_back(obs);
@@ -89,6 +110,14 @@ LeakageReport::toString() const
        << ", corrected " << mi.correctedBits << "), raw BER " << rawBer
        << ", voted BER " << votedBer << ", " << bitsPerSecond
        << " bit/s";
+    if (attackerActive) {
+        os << "; attacker: window " << estimatedWindowCycles
+           << " (score " << timingScore << "), guard " << guardUsed
+           << ", pilot d' " << pilotSeparation
+           << (modelUsable ? "" : " (unusable)") << ", ML voted BER "
+           << mlVotedBer << ", LLR MI " << llrMi.correctedBits << ", "
+           << attackerBitsPerSecond << " bit/s";
+    }
     return os.str();
 }
 
@@ -131,19 +160,27 @@ analyzeLeakage(const core::VictimTimeline &receiver,
         n % 2 == 1 ? sorted[n / 2]
                    : 0.5 * (sorted[n / 2 - 1] + sorted[n / 2]);
 
-    // Raw decode: one bit per window.
+    // Raw decode: one symbol decision per window, then a per-secret-
+    // position majority vote with the code's pilot windows skipped
+    // and Manchester halves de-inverted. Under the default pass-
+    // through code this is exactly the historic window % secretBits
+    // vote.
+    const auto secret =
+        secretBits(params.secretSeed, params.secretBits);
+    const SymbolFrame frame = encodeFrame(secret, params.code);
     std::vector<int> votes(params.secretBits, 0); // +1 for '1', -1 '0'
     std::vector<uint8_t> voted(params.secretBits, 0);
-    std::vector<uint8_t> truth(params.secretBits, 0);
     for (const auto &o : obs) {
         const uint8_t decoded =
             o.meanLatency > rep.thresholdCycles ? 1 : 0;
         ++rep.rawBits;
         rep.rawErrors += decoded != o.bit;
-        const size_t pos = o.window % params.secretBits;
-        votes[pos] += decoded ? 1 : -1;
-        voted[pos] = 1; // position observed at least once
-        truth[pos] = o.bit;
+        const SymbolRole role = frame.roleOf(o.window);
+        if (role.pilot)
+            continue;
+        const uint8_t bit = role.inverted ? 1 - decoded : decoded;
+        votes[role.bitIndex] += bit ? 1 : -1;
+        voted[role.bitIndex] = 1; // position observed at least once
     }
     rep.rawBer = static_cast<double>(rep.rawErrors) /
                  static_cast<double>(rep.rawBits);
@@ -155,13 +192,82 @@ analyzeLeakage(const core::VictimTimeline &receiver,
             continue;
         ++rep.votedBits;
         const uint8_t decoded = votes[pos] > 0 ? 1 : 0;
-        rep.votedErrors += decoded != truth[pos];
+        rep.votedErrors += decoded != secret[pos];
     }
     rep.votedBer =
         rep.votedBits
             ? static_cast<double>(rep.votedErrors) /
                   static_cast<double>(rep.votedBits)
             : 0.0;
+
+    // ---- Trained attacker: pilots enable timing recovery, guard
+    // ---- selection, model training, and ML decoding. ----
+    if (params.code.preambleSymbols == 0)
+        return rep;
+    rep.attackerActive = true;
+    rep.codeRate = params.code.codeRate(params.secretBits);
+    rep.payloadFraction =
+        1.0 - static_cast<double>(frame.pilotsPerFrame()) /
+                  static_cast<double>(frame.length());
+
+    // Symbol timing: trust the waveform over the config when the
+    // matched filter is confident; keep the hint otherwise (a leak-
+    // free channel has no waveform to lock onto).
+    Cycle window = params.windowCycles;
+    if (params.adaptTiming) {
+        const TimingEstimate est = estimateSymbolTiming(
+            receiver, frame, params.windowCycles, params.timingSpan,
+            params.timingSteps, params.skipWindows);
+        rep.timingScore = est.score;
+        if (est.converged)
+            window = est.windowCycles;
+    }
+    rep.estimatedWindowCycles = window;
+
+    // Guard band: pick the candidate maximising pilot separation —
+    // trained on known-polarity windows only, so this is calibration,
+    // not peeking at the secret.
+    std::vector<double> guards;
+    if (params.adaptGuard)
+        guards = {0.0, 0.125, 0.25, 0.375};
+    else
+        guards = {params.guardFraction};
+    std::vector<WindowFeature> bestFeatures;
+    double bestSeparation = -1.0;
+    for (const double g : guards) {
+        auto features = extractFeatures(receiver, frame, window, g,
+                                        params.skipWindows);
+        const SymbolModel model = trainSymbolModel(features);
+        if (model.separation > bestSeparation) {
+            bestSeparation = model.separation;
+            rep.guardUsed = g;
+            bestFeatures = std::move(features);
+        }
+    }
+
+    MiOptions llrOpts = params.mi;
+    llrOpts.bins = params.llrMiBins;
+    llrOpts.binning = MiBinning::Quantile;
+    const MlDecodeResult ml =
+        mlDecode(bestFeatures, frame, secret, llrOpts,
+                 params.minSeparation);
+    rep.pilotWindows = ml.pilotWindows;
+    rep.pilotSeparation = ml.separation;
+    rep.modelUsable = ml.modelUsable;
+    rep.trainedThresholdCycles =
+        trainSymbolModel(bestFeatures).thresholdCycles;
+    rep.mlRawBits = ml.rawBits;
+    rep.mlRawErrors = ml.rawErrors;
+    rep.mlRawBer = ml.rawBer;
+    rep.mlVotedBits = ml.votedBits;
+    rep.mlVotedErrors = ml.votedErrors;
+    rep.mlVotedBer = ml.votedBer;
+    rep.llrMi = ml.llrMi;
+    rep.attackerBitsPerWindow =
+        std::max(rep.mi.correctedBits, rep.llrMi.correctedBits);
+    rep.attackerBitsPerSecond =
+        rep.attackerBitsPerWindow * rep.payloadFraction * kBusHz /
+        static_cast<double>(window);
     return rep;
 }
 
@@ -184,6 +290,28 @@ leakageDigest(const LeakageReport &r)
        << " ber=" << r.votedBer << "\n";
     os << "bitsPerWindow=" << r.bitsPerWindow
        << "\nbitsPerSecond=" << r.bitsPerSecond << "\n";
+    if (r.attackerActive) {
+        os << "attacker.window=" << r.estimatedWindowCycles
+           << " score=" << r.timingScore << "\n";
+        os << "attacker.guard=" << r.guardUsed
+           << " pilots=" << r.pilotWindows
+           << " separation=" << r.pilotSeparation
+           << " usable=" << (r.modelUsable ? 1 : 0)
+           << " threshold=" << r.trainedThresholdCycles << "\n";
+        os << "attacker.mlRaw=" << r.mlRawErrors << "/" << r.mlRawBits
+           << " ber=" << r.mlRawBer << "\n";
+        os << "attacker.mlVoted=" << r.mlVotedErrors << "/"
+           << r.mlVotedBits << " ber=" << r.mlVotedBer << "\n";
+        os << "attacker.llrMi.plugin=" << r.llrMi.pluginBits
+           << "\nattacker.llrMi.shuffleMean=" << r.llrMi.shuffleMeanBits
+           << "\nattacker.llrMi.corrected=" << r.llrMi.correctedBits
+           << "\n";
+        os << "attacker.codeRate=" << r.codeRate
+           << " payloadFraction=" << r.payloadFraction << "\n";
+        os << "attacker.bitsPerWindow=" << r.attackerBitsPerWindow
+           << "\nattacker.bitsPerSecond=" << r.attackerBitsPerSecond
+           << "\n";
+    }
     return os.str();
 }
 

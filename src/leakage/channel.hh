@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "core/noninterference.hh"
+#include "leakage/codec.hh"
 #include "leakage/mi.hh"
 #include "sim/types.hh"
 
@@ -73,6 +74,23 @@ struct ChannelParams
     /** MI estimator knobs. */
     MiOptions mi;
 
+    /** Symbol code both endpoints transmit/expect (leak.code.*). */
+    CodeParams code;
+    /** Recover the symbol period from the waveform instead of
+     *  trusting leak.window (needs pilots; leak.code.adapt_timing). */
+    bool adaptTiming = true;
+    /** Half-width of the timing sweep, as a fraction of the hint. */
+    double timingSpan = 0.25;
+    /** Candidate periods in the timing sweep. */
+    size_t timingSteps = 41;
+    /** Pick the guard band maximising pilot separation instead of
+     *  trusting leak.guard (leak.code.adapt_guard). */
+    bool adaptGuard = true;
+    /** Pilot d' below which the trained decoder refuses to guess. */
+    double minSeparation = 0.5;
+    /** Quantile bins for the (symbol, LLR) MI estimate. */
+    size_t llrMiBins = 4;
+
     /** Read every leak.* key (with these defaults) from a config. */
     static ChannelParams fromConfig(const Config &cfg);
 };
@@ -81,7 +99,9 @@ struct ChannelParams
 struct WindowObservation
 {
     size_t window = 0;       ///< window index since cycle 0
-    uint8_t bit = 0;         ///< secret bit governing this window
+    /** Transmitted symbol governing this window (the secret bit
+     *  itself under the default pass-through code). */
+    uint8_t bit = 0;
     uint64_t samples = 0;    ///< receiver requests completed in it
     double meanLatency = 0.0; ///< mean (completed - arrival), cycles
 };
@@ -115,6 +135,35 @@ struct LeakageReport
     double bitsPerWindow = 0.0;
     /** bitsPerWindow scaled to wall time at the DRAM bus clock. */
     double bitsPerSecond = 0.0;
+
+    // ---- Trained attacker (decoder.hh), populated when the code
+    // ---- carries pilots (leak.code.preamble > 0). ----
+    bool attackerActive = false;
+    /** Symbol period the attacker actually decoded at (the timing
+     *  recovery's estimate, or leak.window if it didn't converge). */
+    Cycle estimatedWindowCycles = 0;
+    double timingScore = 0.0; ///< matched-filter confidence [0,1]
+    double guardUsed = 0.0;   ///< guard fraction the attacker chose
+    size_t pilotWindows = 0;  ///< training windows across all frames
+    double pilotSeparation = 0.0; ///< best single-feature pilot d'
+    bool modelUsable = false; ///< pilot d' cleared min_separation
+    /** Pilot-trained latency threshold (vs the blind median). */
+    double trainedThresholdCycles = 0.0;
+    size_t mlRawBits = 0, mlRawErrors = 0;
+    double mlRawBer = 0.0; ///< per-window LLR-sign symbol BER
+    size_t mlVotedBits = 0, mlVotedErrors = 0;
+    double mlVotedBer = 0.0; ///< soft-vote secret-bit BER
+    /** Shuffle-corrected MI of (symbol, LLR) — the attacker's
+     *  realised per-window information. */
+    MiEstimate llrMi;
+    double codeRate = 0.0;        ///< payload bits per window
+    double payloadFraction = 1.0; ///< non-pilot windows per frame
+    /** Best per-window information over both meters:
+     *  max(mi.corrected, llrMi.corrected). */
+    double attackerBitsPerWindow = 0.0;
+    /** attackerBitsPerWindow through payload windows only, scaled to
+     *  wall time at the DRAM bus clock (pilot overhead charged). */
+    double attackerBitsPerSecond = 0.0;
 
     /** Human-readable one-line summary. */
     std::string toString() const;

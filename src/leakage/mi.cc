@@ -62,22 +62,45 @@ mutualInformationBits(const std::vector<uint8_t> &labels,
     if (labels.empty())
         return est;
 
-    // Discretise observations into equal-width bins over their range.
-    const auto [loIt, hiIt] =
-        std::minmax_element(observations.begin(), observations.end());
-    const double lo = *loIt;
-    const double hi = *hiIt;
-    const size_t nbins = hi > lo ? opts.bins : 1;
-    const double width = hi > lo
-                             ? (hi - lo) / static_cast<double>(nbins)
-                             : 1.0;
-    std::vector<uint8_t> disc(observations.size());
-    for (size_t i = 0; i < observations.size(); ++i) {
-        size_t idx = static_cast<size_t>((observations[i] - lo) / width);
-        disc[i] = static_cast<uint8_t>(std::min(idx, nbins - 1));
+    // Discretise the observation axis. Binning is a function of the
+    // observation value alone (never the label), so ties always land
+    // in the same bin and a constant series collapses to one bin.
+    size_t nbins = 1;
+    std::vector<uint16_t> disc(observations.size());
+    if (opts.binning == MiBinning::Quantile) {
+        std::vector<double> sorted = observations;
+        std::sort(sorted.begin(), sorted.end());
+        const size_t n = sorted.size();
+        // Edge i sits at the i*n/k order statistic; a value belongs
+        // to the bin counting how many edges are <= it. Duplicate
+        // edges (ties, constant data) merely leave some bins empty.
+        std::vector<double> edges;
+        for (size_t i = 1; i < opts.bins; ++i)
+            edges.push_back(sorted[i * n / opts.bins]);
+        nbins = opts.bins;
+        for (size_t i = 0; i < observations.size(); ++i) {
+            const size_t idx = static_cast<size_t>(
+                std::upper_bound(edges.begin(), edges.end(),
+                                 observations[i]) -
+                edges.begin());
+            disc[i] = static_cast<uint16_t>(idx);
+        }
+    } else {
+        const auto [loIt, hiIt] = std::minmax_element(
+            observations.begin(), observations.end());
+        const double lo = *loIt;
+        const double hi = *hiIt;
+        nbins = hi > lo ? opts.bins : 1;
+        const double width =
+            hi > lo ? (hi - lo) / static_cast<double>(nbins) : 1.0;
+        for (size_t i = 0; i < observations.size(); ++i) {
+            const size_t idx =
+                static_cast<size_t>((observations[i] - lo) / width);
+            disc[i] = static_cast<uint16_t>(std::min(idx, nbins - 1));
+        }
     }
 
-    auto jointOf = [&](const std::vector<uint8_t> &obsBins) {
+    auto jointOf = [&](const std::vector<uint16_t> &obsBins) {
         std::vector<uint64_t> joint(2 * nbins, 0);
         for (size_t i = 0; i < labels.size(); ++i)
             ++joint[(labels[i] ? 1 : 0) * nbins + obsBins[i]];
@@ -89,7 +112,7 @@ mutualInformationBits(const std::vector<uint8_t> &labels,
 
     if (opts.shuffles > 0) {
         Rng rng(opts.shuffleSeed);
-        std::vector<uint8_t> shuffled = disc;
+        std::vector<uint16_t> shuffled = disc;
         double sum = 0.0;
         for (size_t s = 0; s < opts.shuffles; ++s) {
             // Fisher-Yates with the seeded Rng: deterministic given

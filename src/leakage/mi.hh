@@ -33,11 +33,29 @@
 
 namespace memsec::leakage {
 
+/** Observation discretisation strategy. */
+enum class MiBinning
+{
+    /** Equal-width bins over the observed range. */
+    Width,
+    /**
+     * Equal-count (quantile) bins: edges at the sorted sample's
+     * i*n/k order statistics. Robust to heavy-tailed observations
+     * (a single latency spike no longer swallows the whole range
+     * into one bin) — the right choice for decoder LLRs. Edges for
+     * k and 2k bins nest, so refining the bin count can only keep
+     * or increase the plug-in MI.
+     */
+    Quantile,
+};
+
 /** Estimator knobs (defaults fit a few hundred observations). */
 struct MiOptions
 {
-    /** Equal-width discretisation bins for the observations. */
+    /** Discretisation bins for the observations. */
     size_t bins = 8;
+    /** How the observation axis is discretised. */
+    MiBinning binning = MiBinning::Width;
     /** Label permutations for the bias baseline (0 disables). */
     size_t shuffles = 64;
     /** Seed for the permutation Rng. */

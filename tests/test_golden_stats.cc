@@ -181,6 +181,12 @@ TEST(GoldenStats, FigLeakageCampaign)
         c.set("leak.secret_seed", 0xC0FFEE);
         c.set("leak.secret_bits", 16);
         c.set("leak.skip_windows", 2);
+        // Pilot preamble turns on the trained attacker, so the
+        // digest also pins every attacker.* metric (timing score,
+        // chosen guard, pilot separation, ML BER, LLR MI, strength
+        // inputs). 7 + 16 = 23 frame windows, prime as in
+        // bench/fig_leakage.
+        c.set("leak.code.preamble", 7);
         campaign.add(s, c);
     }
     CampaignOptions opts;

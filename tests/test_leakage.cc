@@ -12,6 +12,8 @@
 
 #include <cmath>
 #include <stdexcept>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include "core/noninterference.hh"
@@ -309,4 +311,193 @@ TEST(ChannelParams, FromConfigReadsEveryKey)
     EXPECT_EQ(p.mi.bins, 4u);
     EXPECT_EQ(p.mi.shuffles, 16u);
     EXPECT_EQ(p.mi.shuffleSeed, 777u);
+}
+
+TEST(ChannelParams, FromConfigReadsAttackerKeys)
+{
+    Config c;
+    c.set("leak.mi_binning", "quantile");
+    c.set("leak.code.scheme", "manchester");
+    c.set("leak.code.preamble", 9);
+    c.set("leak.code.repeat", 3);
+    c.set("leak.code.adapt_timing", false);
+    c.set("leak.code.timing_span", 0.1);
+    c.set("leak.code.timing_steps", 11);
+    c.set("leak.code.adapt_guard", false);
+    c.set("leak.code.min_separation", 1.25);
+    c.set("leak.code.mi_bins", 6);
+    const ChannelParams p = ChannelParams::fromConfig(c);
+    EXPECT_EQ(p.mi.binning, MiBinning::Quantile);
+    EXPECT_EQ(p.code.scheme, CodeParams::Scheme::Manchester);
+    EXPECT_EQ(p.code.preambleSymbols, 9u);
+    EXPECT_EQ(p.code.repeat, 3u);
+    EXPECT_FALSE(p.adaptTiming);
+    EXPECT_DOUBLE_EQ(p.timingSpan, 0.1);
+    EXPECT_EQ(p.timingSteps, 11u);
+    EXPECT_FALSE(p.adaptGuard);
+    EXPECT_DOUBLE_EQ(p.minSeparation, 1.25);
+    EXPECT_EQ(p.llrMiBins, 6u);
+}
+
+// -- MI estimator properties ---------------------------------------
+
+namespace {
+
+/** Random (labels, observations) pair from a seeded Rng: labels are
+ *  fair bits, observations mix a label-dependent shift with noise so
+ *  the dependence strength varies across draws. */
+std::pair<std::vector<uint8_t>, std::vector<double>>
+randomChannel(uint64_t seed, size_t n)
+{
+    Rng rng(seed);
+    const double shift =
+        static_cast<double>(rng.below(200)); // 0 = independent
+    std::vector<uint8_t> bits;
+    std::vector<double> obs;
+    for (size_t i = 0; i < n; ++i) {
+        const uint8_t b = static_cast<uint8_t>(rng.next() & 1u);
+        bits.push_back(b);
+        obs.push_back(static_cast<double>(rng.below(100)) +
+                      (b ? shift : 0.0));
+    }
+    return {bits, obs};
+}
+
+} // namespace
+
+TEST(MiProperties, ShuffleCorrectionNeverNegative)
+{
+    // Property: for any input and either binning, the corrected
+    // estimate is clamped into [0, plugin].
+    for (uint64_t seed = 1; seed <= 24; ++seed) {
+        const auto [bits, obs] = randomChannel(seed, 150 + seed * 17);
+        for (const MiBinning binning :
+             {MiBinning::Width, MiBinning::Quantile}) {
+            MiOptions opts;
+            opts.binning = binning;
+            opts.shuffles = 16;
+            const MiEstimate est =
+                mutualInformationBits(bits, obs, opts);
+            EXPECT_GE(est.correctedBits, 0.0) << "seed " << seed;
+            EXPECT_LE(est.correctedBits, est.pluginBits)
+                << "seed " << seed;
+            EXPECT_GE(est.pluginBits, 0.0) << "seed " << seed;
+        }
+    }
+}
+
+TEST(MiProperties, InvariantUnderBinPermutation)
+{
+    // MI depends on the observation axis only through the partition
+    // it induces, never through bin order or label values. Remapping
+    // k equal-count levels through a permutation must leave plugin,
+    // shuffle floor, and corrected estimates bit-identical.
+    std::vector<uint8_t> bits;
+    std::vector<double> obs, permuted;
+    const double level[4] = {10.0, 20.0, 30.0, 40.0};
+    const double remap[4] = {40.0, 10.0, 30.0, 20.0};
+    // Exactly 100 samples per level, so each level is one quantile
+    // bin in both encodings and the remap is a pure bin permutation.
+    // (Unequal level counts would move the order-statistic edges and
+    // change the partition itself — a different estimator question.)
+    for (int i = 0; i < 400; ++i) {
+        const size_t lvl = static_cast<size_t>(i) % 4;
+        bits.push_back(lvl / 2 ? 1 : 0);
+        obs.push_back(level[lvl]);
+        permuted.push_back(remap[lvl]);
+    }
+    MiOptions opts;
+    opts.bins = 4;
+    opts.binning = MiBinning::Quantile;
+    const MiEstimate a = mutualInformationBits(bits, obs, opts);
+    const MiEstimate b = mutualInformationBits(bits, permuted, opts);
+    // Permuting bins reorders the MI summation, so equality is up to
+    // floating-point associativity, not bitwise.
+    EXPECT_NEAR(a.pluginBits, b.pluginBits, 1e-12);
+    EXPECT_NEAR(a.shuffleMeanBits, b.shuffleMeanBits, 1e-12);
+    EXPECT_NEAR(a.shuffleMaxBits, b.shuffleMaxBits, 1e-12);
+    EXPECT_NEAR(a.correctedBits, b.correctedBits, 1e-12);
+    EXPECT_GT(a.correctedBits, 0.5); // the channel is real
+}
+
+TEST(MiProperties, MonotoneUnderBinRefinement)
+{
+    // Quantile edges for k and 2k bins nest (order statistics at
+    // i*n/k are a subset of those at j*n/2k), and equal-width bins
+    // split exactly in two — so refining the partition can only
+    // preserve or increase the plug-in MI.
+    for (uint64_t seed : {3ull, 11ull, 99ull}) {
+        const auto [bits, obs] = randomChannel(seed, 600);
+        for (const MiBinning binning :
+             {MiBinning::Width, MiBinning::Quantile}) {
+            double prev = -1.0;
+            for (const size_t k : {2u, 4u, 8u, 16u}) {
+                MiOptions opts;
+                opts.bins = k;
+                opts.binning = binning;
+                opts.shuffles = 0; // plugin only: the monotone term
+                const MiEstimate est =
+                    mutualInformationBits(bits, obs, opts);
+                EXPECT_GE(est.pluginBits, prev - 1e-12)
+                    << "seed " << seed << " bins " << k;
+                prev = est.pluginBits;
+            }
+        }
+    }
+}
+
+TEST(MiProperties, QuantileBinningSurvivesHeavyTails)
+{
+    // A single extreme outlier swallows nearly the whole range of an
+    // equal-width discretisation (everything lands in one bin); the
+    // equal-count partition keeps resolving the real signal.
+    Rng rng(0x7A11);
+    std::vector<uint8_t> bits;
+    std::vector<double> obs;
+    for (int i = 0; i < 500; ++i) {
+        const uint8_t b = static_cast<uint8_t>(rng.next() & 1u);
+        bits.push_back(b);
+        obs.push_back((b ? 200.0 : 100.0) +
+                      static_cast<double>(rng.below(20)));
+    }
+    obs[13] = 1e9; // one queueing excursion
+    MiOptions width;
+    width.bins = 8;
+    MiOptions quantile;
+    quantile.bins = 8;
+    quantile.binning = MiBinning::Quantile;
+    const double w =
+        mutualInformationBits(bits, obs, width).correctedBits;
+    const double q =
+        mutualInformationBits(bits, obs, quantile).correctedBits;
+    EXPECT_LT(w, 0.1); // width binning collapsed
+    EXPECT_GT(q, 0.8); // quantile binning still sees ~1 bit
+}
+
+TEST(MiProperties, DeterministicAcrossConcurrentEstimates)
+{
+    // The estimator owns all of its randomness (a seeded Rng per
+    // call), so concurrent estimates — as a --jobs N campaign runs
+    // them — are bit-identical to the serial ones.
+    const auto [bits, obs] = randomChannel(0x5EED, 500);
+    MiOptions opts;
+    opts.binning = MiBinning::Quantile;
+    const MiEstimate serial = mutualInformationBits(bits, obs, opts);
+    std::vector<MiEstimate> out(8);
+    {
+        std::vector<std::thread> threads;
+        for (size_t t = 0; t < out.size(); ++t)
+            threads.emplace_back(
+                [&, t] {
+                    out[t] = mutualInformationBits(bits, obs, opts);
+                });
+        for (auto &th : threads)
+            th.join();
+    }
+    for (const auto &est : out) {
+        EXPECT_EQ(est.pluginBits, serial.pluginBits);
+        EXPECT_EQ(est.shuffleMeanBits, serial.shuffleMeanBits);
+        EXPECT_EQ(est.shuffleMaxBits, serial.shuffleMaxBits);
+        EXPECT_EQ(est.correctedBits, serial.correctedBits);
+    }
 }
