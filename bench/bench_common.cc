@@ -38,12 +38,12 @@ BenchOptions::parse(int argc, char **argv)
         const unsigned long v = std::strtoul(j, nullptr, 10);
         o.jobs = v > 0 ? static_cast<unsigned>(v) : 1;
     }
-    auto parseJobs = [&](const char *value, const char *flag) {
+    auto parseUnsigned = [](const char *value, const char *flag) {
         char *end = nullptr;
         const unsigned long v = std::strtoul(value, &end, 10);
         fatal_if(end == value || *end != '\0' || v == 0,
                  "{} needs a positive integer, got '{}'", flag, value);
-        o.jobs = static_cast<unsigned>(v);
+        return static_cast<unsigned>(v);
     };
     for (int i = 1; i < argc; ++i) {
         const char *a = argv[i];
@@ -51,24 +51,34 @@ BenchOptions::parse(int argc, char **argv)
             o.jobs = 1;
         } else if (std::strcmp(a, "--jobs") == 0) {
             fatal_if(i + 1 >= argc, "--jobs needs a value");
-            parseJobs(argv[++i], "--jobs");
+            o.jobs = parseUnsigned(argv[++i], "--jobs");
         } else if (std::strncmp(a, "--jobs=", 7) == 0) {
-            parseJobs(a + 7, "--jobs");
+            o.jobs = parseUnsigned(a + 7, "--jobs");
+        } else if (std::strcmp(a, "--shards") == 0) {
+            fatal_if(i + 1 >= argc, "--shards needs a value");
+            o.shards = parseUnsigned(argv[++i], "--shards");
+        } else if (std::strncmp(a, "--shards=", 9) == 0) {
+            o.shards = parseUnsigned(a + 9, "--shards");
         } else if (std::strcmp(a, "--csv") == 0) {
             o.csvOnly = true;
         } else if (std::strcmp(a, "--help") == 0 ||
                    std::strcmp(a, "-h") == 0) {
             std::printf(
-                "usage: %s [--jobs N | --serial] [--csv]\n"
-                "  --jobs N   run the experiment campaign on N worker "
+                "usage: %s [--jobs N | --serial] [--shards N] "
+                "[--csv]\n"
+                "  --jobs N    run the experiment campaign on N worker "
                 "threads\n"
-                "             (default: MEMSEC_JOBS or all hardware "
+                "              (default: MEMSEC_JOBS or all hardware "
                 "threads)\n"
-                "  --serial   same as --jobs 1\n"
-                "  --csv      print only the CSV block\n"
-                "Results are byte-identical at any --jobs value; see "
-                "docs/CONFIG.md\nfor run-length environment knobs "
-                "(MEMSEC_MEASURE/WARMUP/QUICK).\n",
+                "  --serial    same as --jobs 1\n"
+                "  --shards N  step each run's memory channels on N "
+                "threads\n"
+                "              (sim.shards; clamped to the channel "
+                "count)\n"
+                "  --csv       print only the CSV block\n"
+                "Results are byte-identical at any --jobs or --shards "
+                "value; see\ndocs/CONFIG.md for run-length environment "
+                "knobs (MEMSEC_MEASURE/WARMUP/QUICK).\n",
                 argv[0]);
             std::exit(0);
         } else {

@@ -17,6 +17,9 @@
  *   --jobs N    worker threads (default: all hardware threads,
  *               overridable via MEMSEC_JOBS)
  *   --serial    same as --jobs 1
+ *   --shards N  intra-run channel shards (sim.shards) for benches
+ *               that honour it; results are byte-identical at any
+ *               value (see docs/ARCHITECTURE.md)
  *   --csv       emit only the CSV block (machine-readable mode)
  *   --help      flag summary
  *
@@ -54,12 +57,13 @@ struct RunScale
 struct BenchOptions
 {
     unsigned jobs = 1;    ///< campaign worker threads
+    unsigned shards = 1;  ///< intra-run channel shards (sim.shards)
     bool csvOnly = false; ///< print only the CSV block
 
     /**
-     * Parse --jobs/--serial/--csv/--help (prints usage and exits 0 on
-     * --help; fatal on unknown flags). The default job count is
-     * MEMSEC_JOBS if set, else the hardware thread count.
+     * Parse --jobs/--serial/--shards/--csv/--help (prints usage and
+     * exits 0 on --help; fatal on unknown flags). The default job
+     * count is MEMSEC_JOBS if set, else the hardware thread count.
      */
     static BenchOptions parse(int argc, char **argv);
 

@@ -1,5 +1,6 @@
 #include "cpu/core_model.hh"
 
+#include "cpu/arrival.hh"
 #include "cpu/trace_file.hh"
 
 #include <algorithm>
@@ -29,7 +30,11 @@ CoreModel::CoreModel(std::string name, DomainId domain,
       profile_(profile), mc_(mc), llc_(params.llcBytes, params.llcWays),
       prefetcher_()
 {
-    if (profile.tracePath.empty()) {
+    if (!profile.trafficProcess.empty() &&
+        profile.trafficProcess != "none") {
+        trace_ = std::make_unique<ArrivalTraceGenerator>(profile,
+                                                         traceSeed);
+    } else if (profile.tracePath.empty()) {
         trace_ = std::make_unique<SyntheticTraceGenerator>(profile,
                                                            traceSeed);
     } else {
@@ -222,6 +227,7 @@ CoreModel::saveState(Serializer &s) const
         s.putU64(rec.addr);
         s.putU8(static_cast<uint8_t>(rec.state));
         s.putU64(rec.doneAt);
+        s.putU64(rec.issueAt);
     }
     s.putU64(robInstrs_);
 
@@ -306,6 +312,7 @@ CoreModel::restoreState(Deserializer &d)
             d.fail("bad ROB record state");
         rec.state = static_cast<Record::State>(state);
         rec.doneAt = d.getU64();
+        rec.issueAt = d.getU64();
         if (rec.state == Record::State::NeedsIssue)
             ++needsIssue_;
         rob_.push_back(rec);
@@ -397,6 +404,7 @@ CoreModel::dispatch()
         rec.instrs = static_cast<uint64_t>(tr.gap) + 1;
         rec.isStore = tr.isStore;
         rec.addr = lineOf(tr.addr);
+        rec.issueAt = tr.issueAt;
         rob_.push_back(rec);
         robInstrs_ += rec.instrs;
         executeMemOp(rob_.back());
@@ -462,7 +470,7 @@ CoreModel::executeMemOp(Record &rec)
             }
             entry.isPrefetch = false;
             --prefetchInflight_;
-            sendRead(rec.addr);
+            sendRead(rec.addr, rec.issueAt);
         }
         if (rec.isStore) {
             entry.fillDirty = true;
@@ -488,13 +496,14 @@ CoreModel::executeMemOp(Record &rec)
 }
 
 void
-CoreModel::sendRead(Addr addr)
+CoreModel::sendRead(Addr addr, Cycle issueAt)
 {
     memReads_.inc();
     auto req = std::make_unique<MemRequest>();
     req->domain = domain_;
     req->type = ReqType::Read;
     req->addr = addr;
+    req->issued = issueAt;
     req->client = this;
     mc_.access(std::move(req), memNow_);
 }
@@ -507,7 +516,7 @@ CoreModel::tryIssueLoad(Record &rec)
     MshrEntry &entry = mshr_[rec.addr];
     entry.waiters.push_back(&rec);
     setState(rec, Record::State::MemPending);
-    sendRead(rec.addr);
+    sendRead(rec.addr, rec.issueAt);
     return true;
 }
 
@@ -690,7 +699,7 @@ CoreModel::retryBlocked()
                     break;
                 it->second.isPrefetch = false;
                 --prefetchInflight_;
-                sendRead(rec.addr);
+                sendRead(rec.addr, rec.issueAt);
             }
             it->second.waiters.push_back(&rec);
             setState(rec, Record::State::MemPending);

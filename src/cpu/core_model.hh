@@ -102,6 +102,9 @@ class CoreModel : public Component, public mem::MemClient
             NeedsIssue, ///< load miss blocked on MSHR/queue space
         } state = State::Done;
         CpuCycle doneAt = 0; ///< for LlcPending
+        /** Open-loop issue stamp (TraceRecord::issueAt), kNoCycle
+         *  for closed-loop records. */
+        Cycle issueAt = kNoCycle;
     };
 
     struct MshrEntry
@@ -126,7 +129,7 @@ class CoreModel : public Component, public mem::MemClient
     void dispatch();
     void retire();
     void executeMemOp(Record &rec);
-    void sendRead(Addr addr);
+    void sendRead(Addr addr, Cycle issueAt = kNoCycle);
     bool tryIssueLoad(Record &rec);
     void issueStoreFetch(Addr addr);
     void issuePrefetches(Addr missAddr);

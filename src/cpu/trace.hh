@@ -32,6 +32,15 @@ struct TraceRecord
     uint32_t gap = 0;
     bool isStore = false;
     Addr addr = 0;
+    /**
+     * Open-loop issue stamp: the DRAM-bus cycle at which the
+     * arrival process scheduled this request (cpu/arrival.hh), or
+     * kNoCycle for closed-loop records. Carried through the core
+     * into MemRequest::issued so per-domain latency histograms
+     * measure client-observed latency (queueing included) rather
+     * than controller-observed latency.
+     */
+    Cycle issueAt = kNoCycle;
 };
 
 /** Abstract instruction/memory trace source. */
@@ -128,6 +137,35 @@ struct WorkloadProfile
      * ignored except `mshrs`.
      */
     std::string tracePath;
+
+    /**
+     * Open-loop arrival process ("" or "none" keeps the closed-loop
+     * synthetic generator; "poisson"/"mmpp" switch the core to an
+     * ArrivalTraceGenerator, cpu/arrival.hh). Populated by
+     * harness/experiment.cc from the traffic.* keys; the address-
+     * behaviour fields above (footprint, streams, reuse, stores)
+     * still shape what the arrivals touch.
+     */
+    std::string trafficProcess;
+    /** Mean request rate per 1000 DRAM-bus cycles (all clients). */
+    double trafficRate = 8.0;
+    /** Simulated clients multiplexed onto this domain. Poisson
+     *  superposes exactly (one aggregate process regardless of
+     *  count); MMPP instantiates min(clients, 64) burst/idle state
+     *  machines splitting the rate evenly. */
+    unsigned trafficClients = 1;
+    /** MMPP burst-state rate multiplier (x trafficRate). */
+    double trafficBurstFactor = 8.0;
+    /** MMPP idle-state rate multiplier (x trafficRate). */
+    double trafficIdleFactor = 0.25;
+    /** Mean MMPP burst duration in cycles (exponential). */
+    double trafficBurstLen = 2000.0;
+    /** Mean MMPP idle duration in cycles (exponential). */
+    double trafficIdleLen = 6000.0;
+    /** Diurnal intensity envelope period in cycles; 0 disables. */
+    double trafficDiurnalPeriod = 0.0;
+    /** Envelope amplitude in [0, 1): rate x (1 + amp sin(2pi t/T)). */
+    double trafficDiurnalAmp = 0.0;
 };
 
 /** Profile-driven synthetic generator. */

@@ -81,6 +81,13 @@ registry()
         {"modsender",
          make("modsender", 0.45, 0.30, 1 << 20, 0.30, 4, 1, 0.30, 16,
               0)},
+        // Cloud tenant address behaviour for the open-loop arrival
+        // generator (traffic.* keys drive timing, this drives what
+        // the arrivals touch): a large, mostly-uncached key-value
+        // footprint with a modest sequential-scan share. memRatio is
+        // unused in open-loop mode.
+        {"cloud",
+         make("cloud", 0.30, 0.10, 1 << 20, 0.25, 4, 1, 0.10, 16, 0)},
     };
     return reg;
 }

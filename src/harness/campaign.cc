@@ -316,6 +316,22 @@ resultDigest(const ExperimentResult &r)
         os << "simError@" << e.cycle << " " << e.category << ": "
            << e.message << "\n";
     }
+    // Per-domain latency distributions, sparsely (only occupied
+    // bins). Deliberately independent of shards/effectiveChannels:
+    // the digest must be byte-identical across serial and sharded
+    // runs and across an explicit vs. harness-widened geometry.
+    for (size_t dIdx = 0; dIdx < r.domainReadLatency.size(); ++dIdx) {
+        const auto &h = r.domainReadLatency[dIdx];
+        os << "domainLatency[" << dIdx << "]=" << h.totalSamples()
+           << ":" << h.underflow() << ":" << h.overflow() << ":"
+           << h.total() << ":";
+        const auto &bins = h.bins();
+        for (size_t b = 0; b < bins.size(); ++b) {
+            if (bins[b])
+                os << b << ":" << bins[b] << ";";
+        }
+        os << "\n";
+    }
     return os.str();
 }
 

@@ -25,6 +25,7 @@
 #include "sim/simulator.hh"
 #include "util/logging.hh"
 #include "util/serialize.hh"
+#include "util/thread_pool.hh"
 
 namespace memsec::harness {
 
@@ -89,6 +90,18 @@ defaultConfig()
     // (dummies); heap fallback beyond this is a structured SimError,
     // never UB (tests/test_fixed_pool.cc).
     c.set("mc.request_pool", 64);
+    // Open-loop arrival process ("none" keeps the closed-loop trace
+    // generators). See traffic.* in docs/CONFIG.md for the per-domain
+    // rate/burstiness keys layered on top of this switch.
+    c.set("traffic.process", "none");
+    // Channel shards stepped in parallel on the thread pool. Shards
+    // share no mutable state, so any value produces byte-identical
+    // digests (tests/test_shard_diff.cc); 1 = serial.
+    c.set("sim.shards", 1);
+    // Cycles each shard runs between barriers. Purely a scheduling
+    // granularity: shards never interact, so the epoch length cannot
+    // change observables, only synchronisation overhead.
+    c.set("sim.shard_epoch", 8192);
     return c;
 }
 
@@ -219,7 +232,18 @@ traceSeed(const std::string &profileName, unsigned coreIdx,
 /**
  * Everything one run owns, built in dependency order: the AddressMap
  * must outlive the controllers, the controllers their cores, and the
- * Simulator only holds raw pointers into both.
+ * Simulators only hold raw pointers into both.
+ *
+ * Channel sharding (sim.shards): shard k owns controllers
+ * {m : m % shards == k} plus the cores bound to them, each shard in
+ * its own Simulator. Shards share no mutable state — a core only
+ * talks to its own channel's controller, the AddressMap is immutable,
+ * and fault injection/error reporting are per-controller when more
+ * than one controller exists — so stepping the shard Simulators in
+ * parallel between deterministic epoch barriers is byte-identical to
+ * stepping one Simulator serially (tests/test_shard_diff.cc). With
+ * shards == 1 everything lands in sims[0] in exactly the historical
+ * registration order (cores ascending, then controllers ascending).
  */
 struct ExperimentSystem::Impl
 {
@@ -229,18 +253,55 @@ struct ExperimentSystem::Impl
     std::string workload;
     dram::TimingParams tp;
     dram::Geometry geo;
+    bool geometryOverridden = false;
     std::unique_ptr<AddressMap> map;
     unsigned numMcs = 0;
     std::vector<std::unique_ptr<MemoryController>> mcs;
     std::unique_ptr<fault::FaultInjector> injector;
     RunReport report;
+    /**
+     * Per-controller fault plumbing, populated only when numMcs > 1:
+     * a shared injector PRNG or error list would make outcomes depend
+     * on the order controllers tick, which sharding must not.
+     * Single-controller runs keep `injector`/`report` attached
+     * directly, bit-identical to the historical wiring.
+     */
+    std::vector<std::unique_ptr<fault::FaultInjector>> mcInjectors;
+    std::deque<RunReport> mcReports;
     int64_t auditCore = -1;
     std::vector<std::unique_ptr<cpu::CoreModel>> coreModels;
-    Simulator sim;
+    std::vector<std::unique_ptr<Simulator>> sims;
+    unsigned shards = 1;
+    Cycle shardEpoch = 0;
+    std::unique_ptr<ThreadPool> pool; ///< only when shards > 1
     Cycle warmup = 0;
     Cycle measure = 0;
     bool measurementBegun = false;
     bool finished = false;
+
+    Cycle now() const { return sims.front()->now(); }
+
+    /** Advance every shard by `n` cycles. Serial runs call straight
+     *  into the single Simulator; sharded runs dispatch one epoch per
+     *  shard onto the pool and barrier, so all shards observe the
+     *  same sequence of (epoch-aligned) stop points. */
+    void run(Cycle n)
+    {
+        if (sims.size() == 1) {
+            sims.front()->run(n);
+            return;
+        }
+        while (n > 0) {
+            const Cycle e =
+                shardEpoch > 0 ? std::min(n, shardEpoch) : n;
+            for (auto &sm : sims) {
+                Simulator *sp = sm.get();
+                pool->submit([sp, e] { sp->run(e); });
+            }
+            pool->wait();
+            n -= e;
+        }
+    }
 };
 
 ExperimentSystem::ExperimentSystem(const Config &cfg)
@@ -258,11 +319,21 @@ ExperimentSystem::ExperimentSystem(const Config &cfg)
 
     dram::TimingParams tp = dram::TimingParams::ddr3_1600_4gb();
     dram::Geometry geo;
-    geo.channels = static_cast<unsigned>(cfg.getUint("dram.channels", 1));
+    const unsigned requestedChannels =
+        static_cast<unsigned>(cfg.getUint("dram.channels", 1));
+    geo.channels = requestedChannels;
     // Convenience: channel partitioning needs one channel per domain.
+    // Say so out loud — a silently rewritten geometry makes bandwidth
+    // and energy figures impossible to interpret — and record the
+    // effective value in the result.
     if (cfg.getString("map.partition", "none") == "channel" &&
-        geo.channels < cores)
+        geo.channels < cores) {
         geo.channels = cores;
+        im.geometryOverridden = true;
+        warn("channel partitioning needs one channel per domain: "
+             "widening dram.channels {} -> {}",
+             requestedChannels, geo.channels);
+    }
     geo.ranksPerChannel =
         static_cast<unsigned>(cfg.getUint("dram.ranks", 8));
     geo.banksPerRank = static_cast<unsigned>(cfg.getUint("dram.banks", 8));
@@ -292,16 +363,12 @@ ExperimentSystem::ExperimentSystem(const Config &cfg)
              "channel partitioning runs a per-channel non-secure "
              "scheduler (nothing is shared); got '{}'",
              schedName);
-    fatal_if(numMcs > 1 && schedName == "tp",
-             "multi-channel TP is not modelled; use one channel");
     im.numMcs = numMcs;
     std::vector<std::unique_ptr<MemoryController>> &mcs = im.mcs;
     for (unsigned m = 0; m < numMcs; ++m) {
         mcs.push_back(std::make_unique<MemoryController>(
             "mc" + std::to_string(m), mcp, map));
     }
-    MemoryController &mc = *mcs.front();
-
     // Crash command-log dumps: with a directory configured, parallel
     // campaign workers each write to a distinct fingerprint-tagged,
     // sequence-numbered file instead of racing over stderr.
@@ -323,8 +390,11 @@ ExperimentSystem::ExperimentSystem(const Config &cfg)
         p.turnLength = static_cast<unsigned>(cfg.getUint("tp.turn", 60));
         p.extraDead =
             static_cast<unsigned>(cfg.getUint("tp.extra_dead", 0));
-        mc.setScheduler(std::make_unique<sched::TpScheduler>(mc, p));
-        fatal_if(numMcs > 1, "multi-channel TP is not modelled");
+        // Each channel runs its own turn wheel over every domain;
+        // domains mapped elsewhere simply present empty queues during
+        // their turns. Dead turns cost bandwidth, never isolation.
+        for (auto &m : mcs)
+            m->setScheduler(std::make_unique<sched::TpScheduler>(*m, p));
     } else if (schedName == "fs") {
         sched::FsScheduler::Params p;
         const std::string mode = cfg.getString("fs.mode", "rank");
@@ -381,12 +451,12 @@ ExperimentSystem::ExperimentSystem(const Config &cfg)
                 std::make_unique<sched::FsScheduler>(*mcs[m], pm));
         }
     } else if (schedName == "fs_reordered") {
-        fatal_if(numMcs > 1,
-                 "multi-channel reordered FS is not modelled");
         sched::FsReorderedScheduler::Params p;
         p.rngSeed = cfg.getUint("seed", 1);
-        mc.setScheduler(
-            std::make_unique<sched::FsReorderedScheduler>(mc, p));
+        for (auto &m : mcs) {
+            m->setScheduler(
+                std::make_unique<sched::FsReorderedScheduler>(*m, p));
+        }
     } else {
         fatal("unknown scheduler '{}'", schedName);
     }
@@ -406,11 +476,30 @@ ExperimentSystem::ExperimentSystem(const Config &cfg)
         faultSpec.kind == fault::FaultKind::SnapshotVersion ||
         faultSpec.kind == fault::FaultKind::JournalStale;
     if (injector.enabled() && !durabilityFault) {
-        for (auto &m : mcs) {
-            m->attachFaultInjector(&injector);
-            m->setReport(&report);
+        if (numMcs == 1) {
+            mcs.front()->attachFaultInjector(&injector);
+            mcs.front()->setReport(&report);
             if (faultSpec.kind == fault::FaultKind::RefreshSuppress)
-                m->dram().checker().expectRefresh(tp.refi);
+                mcs.front()->dram().checker().expectRefresh(tp.refi);
+        } else {
+            // One injector PRNG and one error list per controller:
+            // with a shared stream, which controller draws next would
+            // depend on tick interleaving, and channel shards must be
+            // free to tick in any order. Controller 0 keeps the
+            // configured seed; the others get a fixed per-channel mix
+            // so every stream is still reproducible from fault.seed.
+            for (unsigned m = 0; m < numMcs; ++m) {
+                fault::FaultSpec sm = faultSpec;
+                if (m > 0)
+                    sm.seed ^= 0x9E3779B97F4A7C15ull * m;
+                im.mcInjectors.push_back(
+                    std::make_unique<fault::FaultInjector>(sm));
+                im.mcReports.emplace_back();
+                mcs[m]->attachFaultInjector(im.mcInjectors.back().get());
+                mcs[m]->setReport(&im.mcReports.back());
+                if (faultSpec.kind == fault::FaultKind::RefreshSuppress)
+                    mcs[m]->dram().checker().expectRefresh(tp.refi);
+            }
         }
     }
 
@@ -456,6 +545,50 @@ ExperimentSystem::ExperimentSystem(const Config &cfg)
         p.modOffFactor = leak.offFactor;
         p.modSymbols = leakFrame.symbols;
     }
+    // Open-loop cloud traffic (traffic.*): switch a domain's timing
+    // from the closed-loop synthetic generator to an arrival process
+    // (Poisson or MMPP, optional diurnal envelope). Global keys set
+    // the default; traffic.d<i>.* overrides one domain, so a victim
+    // can stay closed-loop while its co-runners model many clients.
+    // The profile keeps supplying the address behaviour either way.
+    {
+        const std::string globalProc =
+            cfg.getString("traffic.process", "none");
+        for (unsigned i = 0; i < cores; ++i) {
+            cpu::WorkloadProfile &p = profiles[i];
+            const std::string pre =
+                "traffic.d" + std::to_string(i) + ".";
+            const std::string proc =
+                cfg.getString(pre + "process", globalProc);
+            if (proc.empty() || proc == "none")
+                continue;
+            auto dbl = [&](const char *key, double dflt) {
+                return cfg.getDouble(
+                    pre + key,
+                    cfg.getDouble(std::string("traffic.") + key, dflt));
+            };
+            auto uns = [&](const char *key, unsigned dflt) {
+                return static_cast<unsigned>(cfg.getUint(
+                    pre + key,
+                    cfg.getUint(std::string("traffic.") + key, dflt)));
+            };
+            p.trafficProcess = proc;
+            p.trafficRate = dbl("rate", p.trafficRate);
+            p.trafficClients = uns("clients", p.trafficClients);
+            p.trafficBurstFactor =
+                dbl("burst_factor", p.trafficBurstFactor);
+            p.trafficIdleFactor =
+                dbl("idle_factor", p.trafficIdleFactor);
+            p.trafficBurstLen = dbl("burst_len", p.trafficBurstLen);
+            p.trafficIdleLen = dbl("idle_len", p.trafficIdleLen);
+            p.trafficDiurnalPeriod =
+                dbl("diurnal_period", p.trafficDiurnalPeriod);
+            p.trafficDiurnalAmp =
+                dbl("diurnal_amp", p.trafficDiurnalAmp);
+            p.storeFraction = dbl("store_fraction", p.storeFraction);
+            p.mshrs = uns("mshrs", p.mshrs);
+        }
+    }
     const int64_t auditCore = cfg.getInt("audit.core", -1);
     im.auditCore = auditCore;
 
@@ -476,13 +609,22 @@ ExperimentSystem::ExperimentSystem(const Config &cfg)
         cp.prefetchEnabled = cfg.getBool("core.prefetch", false);
         // Functional warmup must cover the footprint despite the
         // profile's temporal-reuse fraction diluting unique touches.
+        // Open-loop domains default to none: pulling records outside
+        // simulated time would consume scheduled arrivals, and a cold
+        // cache is the right model for a cloud tenant anyway.
+        const bool openLoop =
+            !profiles[i].trafficProcess.empty() &&
+            profiles[i].trafficProcess != "none";
         const double freshFrac =
             std::max(0.05, 1.0 - profiles[i].reuseFraction);
-        const auto warmDefault = static_cast<uint64_t>(
-            std::min(400000.0,
-                     6.0 * static_cast<double>(
-                               profiles[i].footprintLines) /
-                         freshFrac));
+        const auto warmDefault =
+            openLoop ? uint64_t{0}
+                     : static_cast<uint64_t>(
+                           std::min(400000.0,
+                                    6.0 * static_cast<double>(
+                                              profiles[i]
+                                                  .footprintLines) /
+                                        freshFrac));
         cp.functionalWarmupRecords =
             cfg.getUint("core.functional_warmup", warmDefault);
         if (auditCore >= 0 && static_cast<unsigned>(auditCore) == i) {
@@ -498,29 +640,67 @@ ExperimentSystem::ExperimentSystem(const Config &cfg)
             myMc));
     }
 
-    Simulator &sim = im.sim;
-    sim.setFastForward(cfg.getBool("sim.fastforward", true));
-    for (auto &c : coreModels)
-        sim.add(c.get());
-    for (auto &m : mcs)
-        sim.add(m.get());
+    // Channel sharding: one Simulator per shard, shard k owning
+    // controllers {m : m % shards == k} and the cores bound to them.
+    // Components keep the historical registration order (cores
+    // ascending, then controllers ascending) within each shard, so
+    // shards == 1 reproduces the single-simulator run byte for byte.
+    unsigned shards =
+        static_cast<unsigned>(cfg.getUint("sim.shards", 1));
+    if (shards < 1)
+        shards = 1;
+    if (shards > numMcs) {
+        warn("sim.shards {} exceeds channel count {}; clamping",
+             shards, numMcs);
+        shards = numMcs;
+    }
+    im.shards = shards;
+    im.shardEpoch = cfg.getUint("sim.shard_epoch", 8192);
+    const bool fastForward = cfg.getBool("sim.fastforward", true);
+    for (unsigned k = 0; k < shards; ++k) {
+        im.sims.push_back(std::make_unique<Simulator>());
+        im.sims.back()->setFastForward(fastForward);
+    }
+    if (shards > 1)
+        im.pool = std::make_unique<ThreadPool>(shards);
+    auto mcOfCore = [&](unsigned i) {
+        return numMcs > 1 ? map.channelOf(i) % numMcs : 0u;
+    };
+    for (unsigned i = 0; i < cores; ++i)
+        im.sims[mcOfCore(i) % shards]->add(coreModels[i].get());
+    for (unsigned m = 0; m < numMcs; ++m)
+        im.sims[m % shards]->add(mcs[m].get());
 
     const Cycle watchdog = cfg.getUint("sim.watchdog", 100000);
     if (watchdog > 0) {
         // Progress = instructions retired + DRAM commands issued; if
         // neither moves for a whole window the run is livelocked.
-        // The lambda captures the Impl, whose address is stable for
-        // the system's lifetime; restoreState() overwrites the
-        // watchdog's last-progress books after this arms.
-        Impl *ip = impl_.get();
-        sim.setWatchdog(watchdog, [ip] {
-            uint64_t v = 0;
-            for (const auto &c : ip->coreModels)
-                v += c->retired();
-            for (const auto &m : ip->mcs)
-                v += m->dram().commandsIssued();
-            return v;
-        });
+        // Each shard watches only its own components (a stalled shard
+        // must not be masked by progress elsewhere); the captured
+        // pointers are owned by the Impl, whose address is stable for
+        // the system's lifetime. restoreState() overwrites the
+        // watchdogs' last-progress books after this arms.
+        for (unsigned k = 0; k < shards; ++k) {
+            std::vector<const cpu::CoreModel *> wCores;
+            std::vector<const MemoryController *> wMcs;
+            for (unsigned i = 0; i < cores; ++i) {
+                if (mcOfCore(i) % shards == k)
+                    wCores.push_back(coreModels[i].get());
+            }
+            for (unsigned m = 0; m < numMcs; ++m) {
+                if (m % shards == k)
+                    wMcs.push_back(mcs[m].get());
+            }
+            im.sims[k]->setWatchdog(
+                watchdog, [wCores, wMcs] {
+                    uint64_t v = 0;
+                    for (const auto *c : wCores)
+                        v += c->retired();
+                    for (const auto *m : wMcs)
+                        v += m->dram().commandsIssued();
+                    return v;
+                });
+        }
     }
 
     im.warmup = cfg.getUint("sim.warmup", 20000);
@@ -535,19 +715,21 @@ ExperimentSystem::step(Cycle maxCycles)
     Impl &im = *impl_;
     while (maxCycles > 0 && !done()) {
         if (!im.measurementBegun) {
-            const Cycle left = im.warmup - im.sim.now();
+            const Cycle left = im.warmup - im.now();
             const Cycle n = std::min(maxCycles, left);
-            im.sim.run(n);
+            im.run(n);
             maxCycles -= n;
-            if (im.sim.now() >= im.warmup) {
+            if (im.now() >= im.warmup) {
                 for (auto &c : im.coreModels)
                     c->beginMeasurement();
+                for (auto &m : im.mcs)
+                    m->beginMeasurement();
                 im.measurementBegun = true;
             }
         } else {
             const Cycle end = im.warmup + im.measure;
-            const Cycle n = std::min(maxCycles, end - im.sim.now());
-            im.sim.run(n);
+            const Cycle n = std::min(maxCycles, end - im.now());
+            im.run(n);
             maxCycles -= n;
         }
     }
@@ -558,13 +740,13 @@ ExperimentSystem::done() const
 {
     const Impl &im = *impl_;
     return im.measurementBegun &&
-           im.sim.now() >= im.warmup + im.measure;
+           im.now() >= im.warmup + im.measure;
 }
 
 Cycle
 ExperimentSystem::now() const
 {
-    return impl_->sim.now();
+    return impl_->now();
 }
 
 RunReport &
@@ -587,7 +769,15 @@ ExperimentSystem::saveState(Serializer &s) const
     s.putBool(im.measurementBegun);
     im.injector->saveState(s);
     im.report.saveState(s);
-    im.sim.saveState(s);
+    // Per-controller fault plumbing and shard count are functions of
+    // the Config, and snapshots are fingerprint-bound to the Config,
+    // so the element counts need no encoding.
+    for (const auto &inj : im.mcInjectors)
+        inj->saveState(s);
+    for (const auto &rep : im.mcReports)
+        rep.saveState(s);
+    for (const auto &sm : im.sims)
+        sm->saveState(s);
 }
 
 void
@@ -598,7 +788,12 @@ ExperimentSystem::restoreState(Deserializer &d)
     im.measurementBegun = d.getBool();
     im.injector->restoreState(d);
     im.report.restoreState(d);
-    im.sim.restoreState(d);
+    for (auto &inj : im.mcInjectors)
+        inj->restoreState(d);
+    for (auto &rep : im.mcReports)
+        rep.restoreState(d);
+    for (auto &sm : im.sims)
+        sm->restoreState(d);
     if (!d.atEnd())
         d.fail("trailing bytes after experiment state");
 }
@@ -610,25 +805,29 @@ ExperimentSystem::finish()
     panic_if(im.finished, "ExperimentSystem::finish() called twice");
     im.finished = true;
     const Config &cfg = im.cfg;
-    Simulator &sim = im.sim;
     auto &coreModels = im.coreModels;
     auto &mcs = im.mcs;
-    MemoryController &mc = *mcs.front();
     const unsigned numMcs = im.numMcs;
     const int64_t auditCore = im.auditCore;
     fault::FaultInjector &injector = *im.injector;
     RunReport &report = im.report;
+    const Cycle now = im.now();
 
     for (auto &m : mcs)
-        m->scheduler().finalize(sim.now());
+        m->scheduler().finalize(now);
 
     ExperimentResult res;
     res.scheme = cfg.getString("scheme", im.schedName);
     res.workload = im.workload;
     res.cores = im.cores;
-    res.cyclesRun = sim.now();
-    res.cyclesExecuted = sim.cyclesExecuted();
-    res.cyclesSkipped = sim.cyclesSkipped();
+    res.cyclesRun = now;
+    res.effectiveChannels = im.geo.channels;
+    res.geometryOverridden = im.geometryOverridden;
+    res.shards = im.shards;
+    for (const auto &sm : im.sims) {
+        res.cyclesExecuted += sm->cyclesExecuted();
+        res.cyclesSkipped += sm->cyclesSkipped();
+    }
     for (auto &m : mcs) {
         res.compiledCommands += m->scheduler().compiledCommands();
         res.compiledFallbacks += m->scheduler().compiledFallbacks();
@@ -651,7 +850,7 @@ ExperimentSystem::finish()
             latSum += st.readLatency.mean() *
                       static_cast<double>(st.readLatency.count());
             latN += static_cast<double>(st.readLatency.count());
-            bw += m->effectiveBandwidth(sim.now());
+            bw += m->effectiveBandwidth(now);
             real += static_cast<double>(st.realBursts.value());
             dummy += static_cast<double>(st.dummyBursts.value());
             res.demandReads += st.demandReads.value();
@@ -662,7 +861,22 @@ ExperimentSystem::finish()
             real + dummy > 0 ? dummy / (real + dummy) : 0.0;
     }
 
+    // Client-observed per-domain latency, merged across controllers
+    // (a domain's requests all land on one channel under channel
+    // partitioning, but interleaved maps spread them).
+    res.domainReadLatency.resize(im.cores);
+    for (auto &h : res.domainReadLatency)
+        h.init(0.0, 16.0, 1024);
+    for (auto &m : mcs) {
+        const auto &per = m->stats().domainReadLatency;
+        for (unsigned dIdx = 0;
+             dIdx < im.cores && dIdx < per.size(); ++dIdx)
+            res.domainReadLatency[dIdx].merge(per[dIdx]);
+    }
+
     res.faultsInjected = injector.injected();
+    for (const auto &inj : im.mcInjectors)
+        res.faultsInjected += inj->injected();
     for (auto &m : mcs) {
         res.timingViolations += m->dram().checker().violationCount();
         res.illegalIssues += m->dram().illegalIssues();
@@ -670,13 +884,38 @@ ExperimentSystem::finish()
             res.violationRules[kv.first] += kv.second;
     }
     res.simErrors = report.errors();
+    if (!im.mcReports.empty()) {
+        // Interleave the per-controller error lists back into one
+        // global timeline. stable_sort keeps each controller's own
+        // arrival order for equal cycles, so the merge is a pure
+        // function of the recorded errors — identical however the
+        // shards were scheduled.
+        for (const auto &rep : im.mcReports) {
+            res.simErrors.insert(res.simErrors.end(),
+                                 rep.errors().begin(),
+                                 rep.errors().end());
+        }
+        std::stable_sort(res.simErrors.begin(), res.simErrors.end(),
+                         [](const SimError &a, const SimError &b) {
+                             return a.cycle < b.cycle;
+                         });
+    }
 
-    if (auto *fr = dynamic_cast<sched::FrFcfsScheduler *>(
-            &mc.scheduler())) {
-        const auto &e = fr->engine();
-        const double casTotal =
-            static_cast<double>(e.rowHits() + e.rowMisses());
-        res.rowHitRate = casTotal > 0 ? e.rowHits() / casTotal : 0.0;
+    {
+        uint64_t hits = 0;
+        uint64_t casTotal = 0;
+        for (auto &m : mcs) {
+            if (auto *fr = dynamic_cast<sched::FrFcfsScheduler *>(
+                    &m->scheduler())) {
+                const auto &e = fr->engine();
+                hits += e.rowHits();
+                casTotal += e.rowHits() + e.rowMisses();
+            }
+        }
+        res.rowHitRate = casTotal > 0
+                             ? static_cast<double>(hits) /
+                                   static_cast<double>(casTotal)
+                             : 0.0;
     }
 
     energy::PowerModel pm(energy::DeviceParams::ddr3_1600_4gb(), im.tp);
@@ -837,6 +1076,16 @@ serializeResult(Serializer &s, const ExperimentResult &r)
     s.putU64(r.compiledCommands);
     s.putU64(r.compiledFallbacks);
     s.putBool(r.resumedFromSnapshot);
+    s.putU32(r.effectiveChannels);
+    s.putBool(r.geometryOverridden);
+    s.putU32(r.shards);
+    s.putU64(r.domainReadLatency.size());
+    for (const auto &h : r.domainReadLatency) {
+        s.putDouble(h.lo());
+        s.putDouble(h.binWidth());
+        s.putU64(h.bins().size());
+        h.saveState(s);
+    }
 }
 
 ExperimentResult
@@ -899,6 +1148,19 @@ deserializeResult(Deserializer &d)
     r.compiledCommands = d.getU64();
     r.compiledFallbacks = d.getU64();
     r.resumedFromSnapshot = d.getBool();
+    r.effectiveChannels = d.getU32();
+    r.geometryOverridden = d.getBool();
+    r.shards = d.getU32();
+    const uint64_t nHist = d.getU64();
+    for (uint64_t i = 0; i < nHist; ++i) {
+        Histogram h;
+        const double lo = d.getDouble();
+        const double width = d.getDouble();
+        const uint64_t nbins = d.getU64();
+        h.init(lo, width, static_cast<size_t>(nbins));
+        h.restoreState(d);
+        r.domainReadLatency.push_back(std::move(h));
+    }
     return r;
 }
 

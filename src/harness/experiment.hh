@@ -23,6 +23,7 @@
 #include "energy/power_model.hh"
 #include "sim/config.hh"
 #include "sim/types.hh"
+#include "stats/stats.hh"
 #include "util/sim_error.hh"
 
 namespace memsec {
@@ -59,6 +60,15 @@ struct ExperimentResult
     /** Captured victim timelines (cores with audit enabled). */
     std::vector<core::VictimTimeline> timelines;
 
+    /**
+     * Client-observed read-latency histogram per security domain
+     * (memory cycles, measured region only). Open-loop runs account
+     * from the arrival stamp so client-side queueing shows up in the
+     * p99/p99.9 tails; percentile() returns +inf when the requested
+     * mass fell in the overflow bucket (an honest "SLA blown").
+     */
+    std::vector<Histogram> domainReadLatency;
+
     // -- fault-injection / failure-path accounting (all zero and
     //    empty when fault.kind is "none", the default) --
     uint64_t faultsInjected = 0;   ///< faults the injector fired
@@ -82,6 +92,18 @@ struct ExperimentResult
      *  than starting at cycle 0. Not part of resultDigest(): a
      *  resumed run's observables are byte-identical by contract. */
     bool resumedFromSnapshot = false;
+    /** Channel count actually simulated (after the channel-partition
+     *  geometry bump). Not part of resultDigest(): a bumped geometry
+     *  and the same geometry requested explicitly must digest
+     *  identically. */
+    unsigned effectiveChannels = 0;
+    /** True when the harness widened dram.channels to cover every
+     *  domain under channel partitioning (a warn() is emitted). */
+    bool geometryOverridden = false;
+    /** Channel shards stepped in parallel (sim.shards). Not part of
+     *  resultDigest(): sharded and serial runs are byte-identical by
+     *  contract (tests/test_shard_diff.cc). */
+    unsigned shards = 1;
 
     /** Sum over cores of ipc[i] / baseIpc[i]. */
     double weightedIpc(const std::vector<double> &baseIpc) const;

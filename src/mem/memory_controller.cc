@@ -23,6 +23,12 @@ MemoryController::MemoryController(std::string name, const Params &params,
     prefetchQueues_.resize(params.numDomains);
     clients_.assign(params.numDomains, nullptr);
     stats_.readLatencyHist.init(0.0, 32.0, 64);
+    // Fine bins and a deep range: p99.9 needs resolution, and an
+    // overloaded open-loop tail beyond 16k cycles should report +inf
+    // (SLA blown) rather than clamp.
+    stats_.domainReadLatency.resize(params.numDomains);
+    for (auto &h : stats_.domainReadLatency)
+        h.init(0.0, 16.0, 1024);
 }
 
 MemoryController::~MemoryController() = default;
@@ -69,6 +75,13 @@ MemoryController::scheduler()
 {
     panic_if(!sched_, "no scheduler installed");
     return *sched_;
+}
+
+void
+MemoryController::beginMeasurement()
+{
+    for (Histogram &h : stats_.domainReadLatency)
+        h.reset();
 }
 
 bool
@@ -263,6 +276,13 @@ MemoryController::tick(Cycle now)
                 static_cast<double>(req.completed - req.arrival);
             stats_.readLatency.sample(lat);
             stats_.readLatencyHist.sample(lat);
+            if (req.domain < stats_.domainReadLatency.size()) {
+                const Cycle from = req.issued != kNoCycle
+                                       ? req.issued
+                                       : req.arrival;
+                stats_.domainReadLatency[req.domain].sample(
+                    static_cast<double>(req.completed - from));
+            }
         }
         if (req.client)
             req.client->memResponse(req);
@@ -340,6 +360,9 @@ MemoryController::saveState(Serializer &s) const
     stats_.overflowDrops.saveState(s);
     stats_.readLatency.saveState(s);
     stats_.readLatencyHist.saveState(s);
+    s.putU64(stats_.domainReadLatency.size());
+    for (const Histogram &h : stats_.domainReadLatency)
+        h.saveState(s);
     panic_if(!sched_, "saveState without a scheduler");
     sched_->saveState(s);
 }
@@ -396,6 +419,10 @@ MemoryController::restoreState(Deserializer &d)
     stats_.overflowDrops.restoreState(d);
     stats_.readLatency.restoreState(d);
     stats_.readLatencyHist.restoreState(d);
+    if (d.getU64() != stats_.domainReadLatency.size())
+        d.fail("domain latency histogram count mismatch");
+    for (Histogram &h : stats_.domainReadLatency)
+        h.restoreState(d);
     panic_if(!sched_, "restoreState without a scheduler");
     sched_->restoreState(d);
 }

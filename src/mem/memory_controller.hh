@@ -48,6 +48,14 @@ struct ControllerStats
     Counter overflowDrops;   ///< transactions dropped on queue overflow
     Average readLatency;     ///< demand-read latency, memory cycles
     Histogram readLatencyHist;
+    /**
+     * Client-observed read latency per security domain, for the
+     * p50/p99/p99.9 SLA tables. Accounted from MemRequest::issued
+     * (the open-loop arrival stamp) when present, else from
+     * controller arrival; reset at beginMeasurement() so warmup
+     * transients stay out of the percentiles.
+     */
+    std::vector<Histogram> domainReadLatency;
 };
 
 /** One channel's memory controller. */
@@ -153,6 +161,11 @@ class MemoryController : public Component
 
     const ControllerStats &stats() const { return stats_; }
     sched::Scheduler &scheduler();
+
+    /** Reset the per-domain latency histograms at the warmup/measure
+     *  boundary (called by the harness alongside the cores'
+     *  beginMeasurement). Aggregate stats are untouched. */
+    void beginMeasurement();
 
     /** Register this controller's stats into a group. */
     void registerStats(StatGroup &group) const;

@@ -21,6 +21,7 @@ serializeRequest(Serializer &s, const MemRequest &req)
     s.putU64(req.arrival);
     s.putU64(req.firstCommand);
     s.putU64(req.completed);
+    s.putU64(req.issued);
     s.putBool(req.client != nullptr);
 }
 
@@ -43,6 +44,7 @@ deserializeRequest(Deserializer &d, bool *hadClient)
     req->arrival = d.getU64();
     req->firstCommand = d.getU64();
     req->completed = d.getU64();
+    req->issued = d.getU64();
     const bool had = d.getBool();
     if (hadClient)
         *hadClient = had;

@@ -70,6 +70,11 @@ struct MemRequest
     Cycle arrival = 0;          ///< cycle enqueued at the controller
     Cycle firstCommand = kNoCycle; ///< cycle of first DRAM command
     Cycle completed = kNoCycle; ///< cycle data finished / write accepted
+    /** Open-loop client issue stamp (kNoCycle for closed-loop
+     *  requests). When set, per-domain latency histograms account
+     *  from this cycle instead of `arrival`, so client-side queueing
+     *  under overload is not hidden from the tail percentiles. */
+    Cycle issued = kNoCycle;
 
     MemClient *client = nullptr; ///< completion sink (null for dummies)
 

@@ -162,20 +162,42 @@ Histogram::percentile(double p) const
     panic_if(p < 0.0 || p > 1.0, "percentile p out of range: {}", p);
     if (samples_ == 0)
         return 0.0;
-    const uint64_t target = static_cast<uint64_t>(
-        std::ceil(p * static_cast<double>(samples_)));
-    uint64_t seen = underflow_;
-    if (seen >= target)
-        return lo_;
+    // Continuous target mass. Linear interpolation within the bin
+    // that crosses it: samples inside a bin are assumed uniformly
+    // spread, so the answer lands `covered/binCount` of the way
+    // through the bin instead of pinning to the upper edge (which
+    // overstated the value by up to one bin width — material for
+    // p99.9 SLA tables with coarse bins).
+    const double target = p * static_cast<double>(samples_);
+    if (static_cast<double>(underflow_) >= target)
+        return lo_; // below-range mass: lo_ is the tightest bound
+    double seen = static_cast<double>(underflow_);
     for (size_t i = 0; i < bins_.size(); ++i) {
-        seen += bins_[i];
-        if (seen >= target)
-            return lo_ + width_ * static_cast<double>(i + 1);
+        const double c = static_cast<double>(bins_[i]);
+        if (seen + c >= target && c > 0.0) {
+            return lo_ + width_ * static_cast<double>(i) +
+                   width_ * (target - seen) / c;
+        }
+        seen += c;
     }
     // The target mass lies in the overflow bucket: the true value is
     // beyond the top edge and the histogram cannot bound it. Say so
     // explicitly instead of silently clamping to the top edge.
     return std::numeric_limits<double>::infinity();
+}
+
+void
+Histogram::merge(const Histogram &other)
+{
+    panic_if(lo_ != other.lo_ || width_ != other.width_ ||
+                 bins_.size() != other.bins_.size(),
+             "Histogram::merge with mismatched bin layout");
+    for (size_t i = 0; i < bins_.size(); ++i)
+        bins_[i] += other.bins_[i];
+    underflow_ += other.underflow_;
+    overflow_ += other.overflow_;
+    samples_ += other.samples_;
+    sum_ += other.sum_;
 }
 
 void

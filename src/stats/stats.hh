@@ -89,14 +89,22 @@ class Histogram
 
     uint64_t totalSamples() const { return samples_; }
     double mean() const;
-    /** Value below which fraction p of samples fall (bin-granular).
-     *  Returns +infinity when the requested mass lies in the overflow
-     *  bucket — the histogram cannot bound such a value, and clamping
-     *  it to the top bin edge would understate tail latencies. */
+    /** Value below which fraction p of samples fall, linearly
+     *  interpolated within the crossing bin (samples are assumed
+     *  uniform inside a bin). Returns +infinity when the requested
+     *  mass lies in the overflow bucket — the histogram cannot bound
+     *  such a value, and clamping it to the top bin edge would
+     *  understate tail latencies. */
     double percentile(double p) const;
     const std::vector<uint64_t> &bins() const { return bins_; }
     uint64_t underflow() const { return underflow_; }
     uint64_t overflow() const { return overflow_; }
+    double lo() const { return lo_; }
+    double binWidth() const { return width_; }
+    double total() const { return sum_; }
+    /** Accumulate another histogram's mass; panics unless the bin
+     *  layouts (lo, width, bin count) are identical. */
+    void merge(const Histogram &other);
     void reset();
 
     /** Bin contents only; the bin layout comes from init(). */

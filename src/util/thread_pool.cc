@@ -14,7 +14,7 @@ ThreadPool::ThreadPool(unsigned workers)
 
 ThreadPool::~ThreadPool()
 {
-    wait();
+    drain(); // swallow any captured exception: destructors must not throw
     {
         std::lock_guard<std::mutex> lock(mutex_);
         stopping_ = true;
@@ -41,6 +41,20 @@ ThreadPool::wait()
 {
     std::unique_lock<std::mutex> lock(mutex_);
     allDone_.wait(lock, [this] { return inFlight_ == 0; });
+    if (firstError_) {
+        std::exception_ptr e = nullptr;
+        std::swap(e, firstError_);
+        lock.unlock();
+        std::rethrow_exception(e);
+    }
+}
+
+void
+ThreadPool::drain()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    allDone_.wait(lock, [this] { return inFlight_ == 0; });
+    firstError_ = nullptr;
 }
 
 uint64_t
@@ -71,7 +85,13 @@ ThreadPool::workerLoop()
             job = std::move(queue_.front());
             queue_.pop_front();
         }
-        job();
+        try {
+            job();
+        } catch (...) {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (!firstError_)
+                firstError_ = std::current_exception();
+        }
         {
             std::lock_guard<std::mutex> lock(mutex_);
             if (--inFlight_ == 0)

@@ -4,10 +4,12 @@
  *
  * The campaign runner executes independent experiments concurrently;
  * each job owns all of its state, so the pool needs no result
- * plumbing — submit closures, then wait(). Jobs must not throw: a
- * leaked exception would tear down the process from a worker thread,
- * so the submitting layer is responsible for catching (the campaign
- * runner converts exceptions into per-run error records).
+ * plumbing — submit closures, then wait(). A job that throws no
+ * longer tears down the process: the worker captures the exception
+ * via std::exception_ptr and wait() rethrows the first one on the
+ * calling thread, where the submitting layer can convert it into a
+ * per-run error record (the campaign runner turns it into a
+ * SimError). Sibling jobs keep running to completion either way.
  */
 
 #ifndef MEMSEC_UTIL_THREAD_POOL_HH
@@ -16,6 +18,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -41,10 +44,15 @@ class ThreadPool
     ThreadPool(const ThreadPool &) = delete;
     ThreadPool &operator=(const ThreadPool &) = delete;
 
-    /** Enqueue one job. Jobs must not throw. */
+    /** Enqueue one job. A throwing job is captured, not fatal. */
     void submit(std::function<void()> job);
 
-    /** Block until every submitted job has finished. */
+    /**
+     * Block until every submitted job has finished. If any job threw,
+     * rethrows the first captured exception on the calling thread
+     * (later ones are dropped; every job still ran). The pool is
+     * reusable afterwards — the captured exception is cleared.
+     */
     void wait();
 
     unsigned workers() const
@@ -63,6 +71,8 @@ class ThreadPool
 
   private:
     void workerLoop();
+    /** wait() minus the rethrow — the destructor must not throw. */
+    void drain();
 
     mutable std::mutex mutex_;
     std::condition_variable workAvailable_;
@@ -72,6 +82,7 @@ class ThreadPool
     uint64_t submitted_ = 0;
     size_t inFlight_ = 0; ///< queued + currently executing
     bool stopping_ = false;
+    std::exception_ptr firstError_; ///< first job exception, if any
 };
 
 } // namespace memsec

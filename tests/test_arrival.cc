@@ -1,0 +1,292 @@
+/**
+ * @file
+ * Open-loop arrival generator (cpu/arrival.*): statistical sanity of
+ * the Poisson and MMPP processes, determinism, mid-burst checkpoint
+ * byte-identity, the end-to-end per-domain percentile path, and —
+ * because the generator feeds the same cores the leakage harness
+ * audits — a noise-floor gate proving open-loop background load does
+ * not reopen the covert channel under a fixed-service scheduler.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "cpu/arrival.hh"
+#include "cpu/workload.hh"
+#include "harness/campaign.hh"
+#include "harness/experiment.hh"
+#include "leakage/channel.hh"
+#include "util/serialize.hh"
+
+using namespace memsec;
+using namespace memsec::cpu;
+using namespace memsec::harness;
+
+namespace {
+
+WorkloadProfile
+openLoopProfile(const std::string &process, double rate,
+                unsigned clients)
+{
+    WorkloadProfile p = profileByName("cloud");
+    p.trafficProcess = process;
+    p.trafficRate = rate;
+    p.trafficClients = clients;
+    return p;
+}
+
+struct PullStats
+{
+    uint64_t arrivals = 0;
+    std::vector<uint64_t> windowCounts;
+    std::vector<Cycle> stamps;
+};
+
+/** Drive the generator the way a core does: observe each bus cycle,
+ *  then pull until it hands back a filler (issueAt == kNoCycle). */
+PullStats
+pull(ArrivalTraceGenerator &g, Cycle cycles, Cycle window)
+{
+    PullStats st;
+    st.windowCounts.assign(cycles / window, 0);
+    for (Cycle c = 0; c < cycles; ++c) {
+        g.observeCycle(c);
+        for (;;) {
+            const TraceRecord r = g.next();
+            if (r.issueAt == kNoCycle)
+                break;
+            EXPECT_EQ(r.gap, 0u);
+            EXPECT_LE(r.issueAt, c);
+            ++st.arrivals;
+            st.stamps.push_back(r.issueAt);
+            if (r.issueAt / window < st.windowCounts.size())
+                ++st.windowCounts[r.issueAt / window];
+        }
+    }
+    return st;
+}
+
+double
+dispersionIndex(const std::vector<uint64_t> &counts)
+{
+    double mean = 0.0;
+    for (uint64_t c : counts)
+        mean += static_cast<double>(c);
+    mean /= static_cast<double>(counts.size());
+    double var = 0.0;
+    for (uint64_t c : counts) {
+        const double d = static_cast<double>(c) - mean;
+        var += d * d;
+    }
+    var /= static_cast<double>(counts.size() - 1);
+    return mean > 0.0 ? var / mean : 0.0;
+}
+
+} // namespace
+
+// -- process statistics --------------------------------------------
+
+TEST(Arrival, PoissonMeanAndDispersion)
+{
+    // rate is per 1000 bus cycles: 8/1000 over 200k cycles -> 1600
+    // expected (sd = 40; the bound is ~6 sigma, and the draw is
+    // deterministic for a fixed seed anyway).
+    ArrivalTraceGenerator g(openLoopProfile("poisson", 8.0, 32), 12345);
+    const PullStats st = pull(g, 200000, 1000);
+    EXPECT_NEAR(static_cast<double>(st.arrivals), 1600.0, 240.0);
+    EXPECT_EQ(st.arrivals, g.arrivalsEmitted());
+    // A Poisson count process has unit variance-to-mean ratio.
+    const double d = dispersionIndex(st.windowCounts);
+    EXPECT_GT(d, 0.6);
+    EXPECT_LT(d, 1.5);
+}
+
+TEST(Arrival, MmppMeanMatchesRateAndOverdisperses)
+{
+    // The burst/idle factors shape burstiness around the configured
+    // mean, they must not scale it: 8/1000 over 400k cycles -> 3200
+    // expected, but with strongly overdispersed window counts.
+    WorkloadProfile p = openLoopProfile("mmpp", 8.0, 4);
+    ArrivalTraceGenerator g(p, 999);
+    const PullStats st = pull(g, 400000, 1000);
+    EXPECT_NEAR(static_cast<double>(st.arrivals), 3200.0, 900.0);
+    EXPECT_GT(dispersionIndex(st.windowCounts), 2.0)
+        << "MMPP windows should be visibly burstier than Poisson";
+}
+
+TEST(Arrival, DiurnalEnvelopePreservesTheMean)
+{
+    WorkloadProfile p = openLoopProfile("poisson", 8.0, 32);
+    p.trafficDiurnalPeriod = 50000.0;
+    p.trafficDiurnalAmp = 0.8;
+    ArrivalTraceGenerator g(p, 7);
+    // Eight whole periods, over which the sinusoid integrates to 0.
+    const PullStats st = pull(g, 400000, 1000);
+    EXPECT_NEAR(static_cast<double>(st.arrivals), 3200.0, 480.0);
+}
+
+TEST(Arrival, StampsAreMonotoneAndExactlyCounted)
+{
+    ArrivalTraceGenerator g(openLoopProfile("mmpp", 12.0, 8), 42);
+    const PullStats st = pull(g, 50000, 1000);
+    ASSERT_GT(st.arrivals, 100u);
+    for (size_t i = 1; i < st.stamps.size(); ++i)
+        EXPECT_GE(st.stamps[i], st.stamps[i - 1]);
+}
+
+TEST(Arrival, SeedDeterminism)
+{
+    const WorkloadProfile p = openLoopProfile("mmpp", 8.0, 4);
+    ArrivalTraceGenerator a(p, 1), b(p, 1), c(p, 2);
+    const PullStats sa = pull(a, 60000, 1000);
+    const PullStats sb = pull(b, 60000, 1000);
+    const PullStats sc = pull(c, 60000, 1000);
+    EXPECT_EQ(sa.stamps, sb.stamps);
+    EXPECT_NE(sa.stamps, sc.stamps);
+}
+
+TEST(Arrival, RejectsNonsenseConfiguration)
+{
+    WorkloadProfile p = openLoopProfile("uniform", 8.0, 1);
+    EXPECT_EXIT(ArrivalTraceGenerator(p, 1),
+                ::testing::ExitedWithCode(1), "poisson or mmpp");
+    p = openLoopProfile("poisson", 0.0, 1);
+    EXPECT_EXIT(ArrivalTraceGenerator(p, 1),
+                ::testing::ExitedWithCode(1), "rate");
+    p = openLoopProfile("poisson", 8.0, 1);
+    p.trafficDiurnalAmp = 1.5;
+    EXPECT_EXIT(ArrivalTraceGenerator(p, 1),
+                ::testing::ExitedWithCode(1), "diurnal_amp");
+}
+
+// -- mid-burst checkpoint byte-identity ----------------------------
+
+TEST(Arrival, GeneratorSaveRestoreMidBurstIsByteIdentical)
+{
+    const WorkloadProfile p = openLoopProfile("mmpp", 10.0, 4);
+    ArrivalTraceGenerator a(p, 77);
+    pull(a, 10000, 1000); // advance into the stream, mid-burst
+
+    Serializer s;
+    a.saveState(s);
+    ArrivalTraceGenerator b(p, 77);
+    Deserializer d(s.data());
+    b.restoreState(d);
+
+    // Both generators must now produce the identical record sequence.
+    for (Cycle c = 10000; c < 30000; ++c) {
+        a.observeCycle(c);
+        b.observeCycle(c);
+        for (;;) {
+            const TraceRecord ra = a.next();
+            const TraceRecord rb = b.next();
+            ASSERT_EQ(ra.issueAt, rb.issueAt) << "cycle " << c;
+            ASSERT_EQ(ra.addr, rb.addr);
+            ASSERT_EQ(ra.isStore, rb.isStore);
+            ASSERT_EQ(ra.gap, rb.gap);
+            if (ra.issueAt == kNoCycle)
+                break;
+        }
+    }
+}
+
+// -- end-to-end through the harness --------------------------------
+
+namespace {
+
+Config
+openLoopConfig(const std::string &scheme)
+{
+    Config c = defaultConfig();
+    c.merge(schemeConfig(scheme));
+    c.set("cores", 4);
+    c.set("workload", "cloud");
+    c.set("traffic.process", "mmpp");
+    c.set("traffic.rate", 6.0);
+    c.set("traffic.clients", 16);
+    c.set("sim.warmup", 2000);
+    c.set("sim.measure", 30000);
+    return c;
+}
+
+} // namespace
+
+TEST(Arrival, ExperimentProducesPerDomainPercentiles)
+{
+    const ExperimentResult r = runExperiment(openLoopConfig("fs_rp"));
+    ASSERT_EQ(r.domainReadLatency.size(), 4u);
+    for (unsigned dIdx = 0; dIdx < 4; ++dIdx) {
+        const Histogram &h = r.domainReadLatency[dIdx];
+        ASSERT_GT(h.totalSamples(), 50u) << "domain " << dIdx;
+        const double p50 = h.percentile(0.50);
+        const double p99 = h.percentile(0.99);
+        const double p999 = h.percentile(0.999);
+        EXPECT_GT(p50, 0.0);
+        EXPECT_LE(p50, p99);
+        EXPECT_LE(p99, p999);
+    }
+}
+
+TEST(Arrival, ExperimentCheckpointMidBurstIsDigestIdentical)
+{
+    const Config cfg = openLoopConfig("fs_rp");
+
+    ExperimentSystem straight(cfg);
+    while (!straight.done())
+        straight.step(kNoCycle);
+    const ExperimentResult a = straight.finish();
+
+    // Same run, snapshotted mid-burst and restored into a fresh
+    // system built from the same config.
+    ExperimentSystem first(cfg);
+    first.step(13000);
+    Serializer s;
+    first.saveState(s);
+    ExperimentSystem second(cfg);
+    Deserializer d(s.data());
+    second.restoreState(d);
+    while (!second.done())
+        second.step(4000);
+    const ExperimentResult b = second.finish();
+
+    EXPECT_EQ(resultDigest(a), resultDigest(b));
+}
+
+// -- open-loop load must not reopen the covert channel -------------
+
+TEST(Arrival, OpenLoopLoadKeepsFsAtNoiseFloor)
+{
+    // The fig_leakage receiver/sender pair with the four remaining
+    // cores converted to open-loop cloud tenants (traffic.d<i>.*
+    // overrides; the victim and senders stay closed-loop). Under a
+    // fixed-service scheduler the decoder must stay at the noise
+    // floor no matter what the open-loop background does.
+    Config c = defaultConfig();
+    c.merge(schemeConfig("fs_rp"));
+    c.set("workload", "probe,modsender,modsender,modsender,"
+                      "cloud,cloud,cloud,cloud");
+    c.set("cores", 8);
+    c.set("sim.warmup", 0);
+    c.set("sim.measure", 120000);
+    c.set("audit.core", 0);
+    c.set("leak.window", 1500);
+    c.set("leak.secret_seed", 0xC0FFEE);
+    c.set("leak.secret_bits", 32);
+    c.set("leak.skip_windows", 2);
+    for (int i = 4; i < 8; ++i) {
+        const std::string pre = "traffic.d" + std::to_string(i) + ".";
+        c.set(pre + "process", "mmpp");
+        c.set(pre + "rate", 8.0);
+        c.set(pre + "clients", 16);
+    }
+    const ExperimentResult r = runExperiment(c);
+    const auto rep = leakage::analyzeLeakage(
+        r.timelines.at(0), leakage::ChannelParams::fromConfig(c));
+    ASSERT_GT(rep.windows, 30u);
+    EXPECT_LT(rep.mi.correctedBits, 0.05);
+    EXPECT_GT(rep.rawBer, 0.35);
+    EXPECT_LT(rep.rawBer, 0.65);
+}

@@ -69,6 +69,39 @@ TEST(Stats, HistogramPercentile)
     EXPECT_NEAR(h.percentile(0.99), 99.0, 1.0);
 }
 
+TEST(Stats, HistogramPercentileInterpolatesWithinTheBin)
+{
+    // Regression: percentile() used to return the crossing bin's top
+    // edge, so p50 and p99 of a uniform fill coincided whenever they
+    // landed in the same bin — useless for tail gaps in SLA tables.
+    // One sample per unit bin: p·samples mass sits exactly at value
+    // p·100 under the uniform-within-bin assumption.
+    Histogram h;
+    h.init(0.0, 1.0, 100);
+    for (int i = 0; i < 100; ++i)
+        h.sample(i + 0.5);
+    EXPECT_DOUBLE_EQ(h.percentile(0.5), 50.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0.99), 99.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0.999), 99.9);
+    EXPECT_DOUBLE_EQ(h.percentile(1.0), 100.0);
+
+    // A single sample interpolates across its whole bin: the mass
+    // fraction p lands at lo + p * width.
+    Histogram g;
+    g.init(0.0, 10.0, 4);
+    g.sample(12.0); // bin [10, 20)
+    EXPECT_DOUBLE_EQ(g.percentile(0.5), 15.0);
+    EXPECT_DOUBLE_EQ(g.percentile(1.0), 20.0);
+
+    // Distinct percentiles inside one heavy bin stay distinct.
+    Histogram k;
+    k.init(0.0, 100.0, 4);
+    for (int i = 0; i < 1000; ++i)
+        k.sample(50.0);
+    EXPECT_LT(k.percentile(0.5), k.percentile(0.99));
+    EXPECT_NEAR(k.percentile(0.5), 50.0, 0.1);
+}
+
 TEST(Stats, HistogramPercentileOverflowIsExplicit)
 {
     // Regression: overflow mass is part of samples_ but used to be
@@ -81,7 +114,9 @@ TEST(Stats, HistogramPercentileOverflowIsExplicit)
         h.sample(0.5);
     for (int i = 0; i < 10; ++i)
         h.sample(1e9); // overflow
-    EXPECT_DOUBLE_EQ(h.percentile(0.5), 1.0);
+    // Interpolated: 50 of the 90 in-bin samples' mass, uniformly
+    // spread over bin [0, 1).
+    EXPECT_DOUBLE_EQ(h.percentile(0.5), 50.0 / 90.0);
     EXPECT_TRUE(std::isinf(h.percentile(0.95)));
     EXPECT_TRUE(std::isinf(h.percentile(1.0)));
     // With no overflow, p=1.0 still lands on a real bin edge.
@@ -108,6 +143,35 @@ TEST(Stats, HistogramMean)
     h.sample(2.0);
     h.sample(4.0);
     EXPECT_DOUBLE_EQ(h.mean(), 3.0);
+}
+
+TEST(Stats, HistogramMergeAccumulatesAllMass)
+{
+    Histogram a;
+    a.init(0.0, 1.0, 10);
+    a.sample(-1.0); // underflow
+    a.sample(2.5);
+    a.sample(3.5);
+    Histogram b;
+    b.init(0.0, 1.0, 10);
+    b.sample(2.5);
+    b.sample(100.0); // overflow
+    a.merge(b);
+    EXPECT_EQ(a.totalSamples(), 5u);
+    EXPECT_EQ(a.bins()[2], 2u);
+    EXPECT_EQ(a.bins()[3], 1u);
+    EXPECT_EQ(a.underflow(), 1u);
+    EXPECT_EQ(a.overflow(), 1u);
+    EXPECT_DOUBLE_EQ(a.total(), -1.0 + 2.5 + 3.5 + 2.5 + 100.0);
+}
+
+TEST(Stats, HistogramMergeRejectsMismatchedLayout)
+{
+    Histogram a;
+    a.init(0.0, 1.0, 10);
+    Histogram b;
+    b.init(0.0, 2.0, 10);
+    EXPECT_THROW(a.merge(b), std::logic_error);
 }
 
 TEST(Stats, GroupDumpAndLookup)

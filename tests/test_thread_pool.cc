@@ -10,6 +10,7 @@
 #include <atomic>
 #include <chrono>
 #include <set>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
@@ -109,4 +110,69 @@ TEST(ThreadPool, JobsActuallyRunOffThePoolThreads)
 TEST(ThreadPool, DefaultWorkersIsAtLeastOne)
 {
     EXPECT_GE(ThreadPool::defaultWorkers(), 1u);
+}
+
+// -- exception propagation -----------------------------------------
+//
+// Regression: a throwing job used to unwind through workerLoop() and
+// std::terminate the whole process (a worker thread has no handler).
+// The worker now captures the exception and wait() rethrows it on
+// the submitting thread.
+
+TEST(ThreadPool, ThrowingJobSurfacesAtWait)
+{
+    ThreadPool pool(2);
+    pool.submit([] { throw std::runtime_error("job failed"); });
+    EXPECT_THROW(pool.wait(), std::runtime_error);
+}
+
+TEST(ThreadPool, SiblingJobsStillRunWhenOneThrows)
+{
+    ThreadPool pool(2);
+    std::atomic<int> done{0};
+    for (int i = 0; i < 20; ++i) {
+        pool.submit([&done, i] {
+            if (i == 7)
+                throw std::runtime_error("one bad job");
+            ++done;
+        });
+    }
+    EXPECT_THROW(pool.wait(), std::runtime_error);
+    EXPECT_EQ(done.load(), 19) << "siblings must run to completion";
+}
+
+TEST(ThreadPool, FirstOfSeveralExceptionsWins)
+{
+    // Deterministic single-worker pool: jobs run in FIFO order, so
+    // the first throw is well defined and later ones are dropped.
+    ThreadPool pool(1);
+    pool.submit([] { throw std::runtime_error("first"); });
+    pool.submit([] { throw std::logic_error("second"); });
+    try {
+        pool.wait();
+        FAIL() << "wait() must rethrow";
+    } catch (const std::runtime_error &e) {
+        EXPECT_STREQ(e.what(), "first");
+    }
+}
+
+TEST(ThreadPool, PoolIsReusableAfterARethrow)
+{
+    ThreadPool pool(2);
+    pool.submit([] { throw std::runtime_error("boom"); });
+    EXPECT_THROW(pool.wait(), std::runtime_error);
+    // The error is cleared: the next batch runs and waits cleanly.
+    std::atomic<int> count{0};
+    for (int i = 0; i < 8; ++i)
+        pool.submit([&count] { ++count; });
+    pool.wait(); // must not throw
+    EXPECT_EQ(count.load(), 8);
+}
+
+TEST(ThreadPool, DestructorSwallowsAPendingException)
+{
+    // No wait() after a throwing job: the destructor must drain and
+    // join without rethrowing (a throwing destructor would terminate).
+    ThreadPool pool(2);
+    pool.submit([] { throw std::runtime_error("unobserved"); });
 }
